@@ -1,0 +1,93 @@
+// Doublefailure: worst-case two-link failure analysis on a routing tree.
+//
+// The paper's §4 primitive — the smallest cut crossing at most two edges
+// of a fixed spanning tree — answers an operations question directly:
+// traffic in many networks follows a spanning tree (STP L2 domains, MPLS
+// primary trees), and when up to two tree links fail simultaneously, the
+// network splits along a cut that crosses exactly those tree links. The
+// residual capacity of that cut (the non-tree links that survive) is what
+// reroute has to work with. ConstrainedMinCut finds the *worst* such
+// double failure: the pair of tree links whose induced partition has the
+// least total capacity crossing it.
+//
+// Run with:
+//
+//	go run ./examples/doublefailure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	parcut "repro"
+)
+
+func main() {
+	sites := []string{"core1", "core2", "agg1", "agg2", "agg3", "tor1", "tor2", "tor3", "tor4"}
+	idx := map[string]int{}
+	for i, s := range sites {
+		idx[s] = i
+	}
+	type link struct {
+		a, b string
+		cap  int64
+		tree bool // on the active routing tree?
+	}
+	links := []link{
+		{"core1", "core2", 40, true},
+		{"core1", "agg1", 20, true},
+		{"core1", "agg2", 20, true},
+		{"core2", "agg3", 20, true},
+		{"agg1", "tor1", 10, true},
+		{"agg1", "tor2", 10, true},
+		{"agg2", "tor3", 10, true},
+		{"agg3", "tor4", 10, true},
+		// Redundant (non-tree) links that survive tree failures:
+		{"core2", "agg1", 20, false},
+		{"agg2", "tor2", 5, false},
+		{"agg2", "agg3", 10, false},
+		{"tor3", "tor4", 5, false},
+		{"tor1", "tor3", 5, false},
+	}
+
+	g := parcut.NewGraph(len(sites))
+	for _, l := range links {
+		if err := g.AddEdge(idx[l.a], idx[l.b], l.cap); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The routing tree as a parent array rooted at core1.
+	parent := make([]int32, len(sites))
+	for i := range parent {
+		parent[i] = -1
+	}
+	for _, l := range links {
+		if !l.tree {
+			continue
+		}
+		// Orient away from core1 (a is always the parent in this table).
+		parent[idx[l.b]] = int32(idx[l.a])
+	}
+
+	res, err := parcut.ConstrainedMinCut(g, parent, parcut.Options{WantPartition: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst ≤2-tree-link failure partitions the network with only %d0 Gbit/s crossing\n", res.Value)
+	fmt.Printf("isolated side:")
+	for v, in := range res.InCut {
+		if in {
+			fmt.Printf(" %s", sites[v])
+		}
+	}
+	fmt.Println()
+	fmt.Println("links crossing that partition (what reroute can still use):")
+	for _, e := range g.CutEdges(res.InCut) {
+		onTree := parent[e.U] == int32(e.V) || parent[e.V] == int32(e.U)
+		kind := "backup"
+		if onTree {
+			kind = "TREE LINK (fails)"
+		}
+		fmt.Printf("  %-6s—%-6s %3d0 Gbit/s  %s\n", sites[e.U], sites[e.V], e.W, kind)
+	}
+}

@@ -1,0 +1,76 @@
+// Pathagg: the parallel Minimum Path structure as a standalone tool.
+//
+// The paper's §3 data structure is useful beyond minimum cuts: any
+// workload that maintains per-node tallies along root paths of a
+// hierarchy and asks for path minima fits. This example models a spend
+// tracker over an organization tree: every team's remaining budget sits
+// at a vertex; a purchase by a team debits every unit on its reporting
+// chain; a query asks for the tightest remaining budget along the chain
+// (the approver that would block the purchase first). Batches of mixed
+// debits and checks run through one PathAggregator.
+//
+// Run with:
+//
+//	go run ./examples/pathagg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	parcut "repro"
+)
+
+func main() {
+	// Org tree:               0 (company, budget 1000)
+	//                        /                \
+	//              1 (platform, 400)      2 (product, 500)
+	//               /         \               /        \
+	//        3 (infra,150) 4 (tools,120) 5 (web,200) 6 (mobile,180)
+	//             |
+	//        7 (storage, 60)
+	parent := []int32{-1, 0, 0, 1, 1, 2, 2, 3}
+	budgets := []int64{1000, 400, 500, 150, 120, 200, 180, 60}
+	names := []string{"company", "platform", "product", "infra", "tools", "web", "mobile", "storage"}
+
+	agg, err := parcut.NewPathAggregator(parent, budgets)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A day of activity: purchases debit a chain; checks find the
+	// tightest approver on a chain. One batch, order-sensitive.
+	batch := []parcut.PathOp{
+		parcut.MinPath(7),      // storage's tightest budget before spending
+		parcut.AddPath(7, -40), // storage buys disks: charges 7,3,1,0
+		parcut.MinPath(7),      // tightest after the purchase
+		parcut.AddPath(5, -150),
+		parcut.MinPath(5),
+		parcut.AddPath(4, -100),
+		parcut.MinPath(4), // tools nearly exhausted?
+	}
+	res, err := agg.Run(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := []string{
+		"tightest on storage chain (before)",
+		"",
+		"tightest on storage chain (after disks)",
+		"",
+		"tightest on web chain (after launch)",
+		"",
+		"tightest on tools chain (after licenses)",
+	}
+	for i, op := range batch {
+		if op.Query {
+			fmt.Printf("%-42s = %d\n", labels[i], res[i])
+		}
+	}
+
+	// The batch committed: inspect a few post-state budgets.
+	fmt.Println("\nremaining budgets:")
+	for v, name := range names {
+		fmt.Printf("  %-9s %5d\n", name, agg.Weight(int32(v)))
+	}
+}

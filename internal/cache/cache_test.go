@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/minprefix"
+)
+
+func TestSimBasics(t *testing.T) {
+	s := NewSim(4, 16) // 4 lines of 4 words
+	for i := int64(0); i < 16; i++ {
+		s.Access(i)
+	}
+	if s.Misses() != 4 {
+		t.Fatalf("sequential scan misses=%d want 4", s.Misses())
+	}
+	// Everything resident: re-scan hits.
+	for i := int64(0); i < 16; i++ {
+		s.Access(i)
+	}
+	if s.Misses() != 4 {
+		t.Fatalf("resident re-scan missed: %d", s.Misses())
+	}
+	// Touch a 5th line: evicts LRU line 0.
+	s.Access(100)
+	s.Access(0)
+	if s.Misses() != 6 {
+		t.Fatalf("eviction accounting: %d want 6", s.Misses())
+	}
+	if s.Accesses() != 34 {
+		t.Fatalf("accesses=%d want 34", s.Accesses())
+	}
+	s.Reset()
+	if s.Misses() != 0 || s.Accesses() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSimLRUOrder(t *testing.T) {
+	s := NewSim(1, 2) // two single-word lines
+	s.Access(1)
+	s.Access(2)
+	s.Access(1) // refresh 1: LRU is 2
+	s.Access(3) // evicts 2
+	s.Access(1) // hit
+	if s.Misses() != 3 {
+		t.Fatalf("misses=%d want 3", s.Misses())
+	}
+	s.Access(2) // miss again
+	if s.Misses() != 4 {
+		t.Fatalf("misses=%d want 4", s.Misses())
+	}
+}
+
+func randomBatch(n, k int, seed int64) []minprefix.Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]minprefix.Op, k)
+	for i := range ops {
+		leaf := int32(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			ops[i] = minprefix.MinOp(leaf)
+		} else {
+			ops[i] = minprefix.AddOp(leaf, int64(rng.Intn(21)-10))
+		}
+	}
+	return ops
+}
+
+func TestTracedExecutorsAreCorrect(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		n := 1 + int(seed*37)%200
+		k := 1 + int(seed*91)%400
+		rng := rand.New(rand.NewSource(seed + 100))
+		w0 := make([]int64, n)
+		for i := range w0 {
+			w0[i] = int64(rng.Intn(100) - 50)
+		}
+		ops := randomBatch(n, k, seed)
+		want := minprefix.NewNaive(w0).Run(ops)
+		simA := NewSim(8, 1024)
+		gotA := TracedOneByOne(w0, ops, simA)
+		simB := NewSim(8, 1024)
+		gotB := TracedSweep(w0, ops, simB)
+		for i := range ops {
+			if !ops[i].Query {
+				continue
+			}
+			if gotA[i] != want[i] {
+				t.Fatalf("seed %d: one-by-one op %d: %d want %d", seed, i, gotA[i], want[i])
+			}
+			if gotB[i] != want[i] {
+				t.Fatalf("seed %d: sweep op %d: %d want %d", seed, i, gotB[i], want[i])
+			}
+		}
+		if simA.Misses() == 0 || simB.Misses() == 0 {
+			t.Fatal("trace produced no misses")
+		}
+	}
+}
+
+// TestSweepBeatsOneByOne is the shape of Theorem 14: once the structure
+// exceeds the cache, the batched sweep incurs far fewer misses per
+// operation than one-at-a-time execution. The advantage is Θ(B) divided
+// by the sweep's constant stream width (each record is a few words and
+// each level makes a few passes), so it shows at wide cache lines with a
+// cache much smaller than the structure.
+func TestSweepBeatsOneByOne(t *testing.T) {
+	n, k := 1<<14, 1<<14
+	w0 := make([]int64, n)
+	ops := randomBatch(n, k, 5)
+	B, M := 128, 1024
+	simA := NewSim(B, M)
+	TracedOneByOne(w0, ops, simA)
+	simB := NewSim(B, M)
+	TracedSweep(w0, ops, simB)
+	if simB.Misses()*2 > simA.Misses() {
+		t.Fatalf("sweep %d misses vs one-by-one %d: expected ≥2x gap",
+			simB.Misses(), simA.Misses())
+	}
+}
+
+// TestSweepScalesWithB: doubling the line size roughly halves the sweep's
+// misses (the 1/B factor in Theorem 14); the one-by-one walker barely
+// benefits because its accesses are scattered.
+func TestSweepScalesWithB(t *testing.T) {
+	n, k := 1<<13, 1<<13
+	w0 := make([]int64, n)
+	ops := randomBatch(n, k, 9)
+	missesAt := func(B int) int64 {
+		sim := NewSim(B, 64*B)
+		TracedSweep(w0, ops, sim)
+		return sim.Misses()
+	}
+	m8, m32 := missesAt(8), missesAt(32)
+	ratio := float64(m8) / float64(m32)
+	if ratio < 2.4 {
+		t.Fatalf("B scaling ratio %.2f (misses %d @B=8 vs %d @B=32): want ≳4x", ratio, m8, m32)
+	}
+}

@@ -1,0 +1,64 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refLRU is an obviously correct LRU cache used to cross-check the
+// intrusive-list simulator.
+type refLRU struct {
+	capacity int
+	order    []int64 // most recent first
+	misses   int64
+}
+
+func (r *refLRU) access(line int64) {
+	for i, l := range r.order {
+		if l == line {
+			copy(r.order[1:i+1], r.order[:i])
+			r.order[0] = line
+			return
+		}
+	}
+	r.misses++
+	r.order = append([]int64{line}, r.order...)
+	if len(r.order) > r.capacity {
+		r.order = r.order[:r.capacity]
+	}
+}
+
+// TestQuickSimMatchesReference: for arbitrary access strings and
+// geometries, the simulator's miss count matches the reference LRU.
+func TestQuickSimMatchesReference(t *testing.T) {
+	property := func(raw []uint16, bExp, linesExp uint8) bool {
+		b := 1 << (bExp % 5)          // 1..16 words per line
+		lines := 1 + int(linesExp%15) // 1..15 lines
+		sim := NewSim(b, b*lines)
+		ref := &refLRU{capacity: lines}
+		for _, a := range raw {
+			addr := int64(a % 4096)
+			sim.Access(addr)
+			ref.access(addr / int64(b))
+		}
+		return sim.Misses() == ref.misses
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimGeometryValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 8}, {8, 4}, {-1, 16}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry B=%d M=%d accepted", bad[0], bad[1])
+				}
+			}()
+			NewSim(bad[0], bad[1])
+		}()
+	}
+}

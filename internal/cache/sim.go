@@ -1,0 +1,101 @@
+// Package cache provides the ideal-cache model of paper §5 (Frigo et
+// al. [9]): a fully associative cache of M words with lines of B words and
+// LRU replacement, plus traced executors for the Minimum Prefix structure
+// so the cache-oblivious claims of Theorem 14 can be measured rather than
+// assumed. The parameters B and M are replay-time inputs only — the traced
+// algorithms never see them, which is the definition of cache-oblivious.
+package cache
+
+import "fmt"
+
+// Sim is an ideal-cache simulator: fully associative, LRU replacement
+// (within a factor of two of the optimal replacement the model assumes),
+// capacity M words, line size B words.
+type Sim struct {
+	b, lines int
+	accesses int64
+	misses   int64
+	// LRU over resident lines: map + intrusive doubly linked list.
+	where map[int64]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+}
+
+type lruNode struct {
+	line       int64
+	prev, next *lruNode
+}
+
+// NewSim builds a simulator with line size b words and capacity m words
+// (at least one line).
+func NewSim(b, m int) *Sim {
+	if b < 1 || m < b {
+		panic(fmt.Sprintf("cache: invalid geometry B=%d M=%d", b, m))
+	}
+	return &Sim{b: b, lines: m / b, where: make(map[int64]*lruNode)}
+}
+
+// Access touches one word address.
+func (s *Sim) Access(addr int64) {
+	s.accesses++
+	line := addr / int64(s.b)
+	if n, ok := s.where[line]; ok {
+		s.toFront(n)
+		return
+	}
+	s.misses++
+	n := &lruNode{line: line}
+	s.where[line] = n
+	s.pushFront(n)
+	if len(s.where) > s.lines {
+		ev := s.tail
+		s.unlink(ev)
+		delete(s.where, ev.line)
+	}
+}
+
+func (s *Sim) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *Sim) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+}
+
+func (s *Sim) toFront(n *lruNode) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+// Misses returns the number of cache misses so far.
+func (s *Sim) Misses() int64 { return s.misses }
+
+// Accesses returns the number of word accesses so far.
+func (s *Sim) Accesses() int64 { return s.accesses }
+
+// Reset clears the cache and the counters.
+func (s *Sim) Reset() {
+	s.accesses, s.misses = 0, 0
+	s.where = make(map[int64]*lruNode)
+	s.head, s.tail = nil, nil
+}

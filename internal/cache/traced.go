@@ -1,0 +1,352 @@
+package cache
+
+import (
+	"repro/internal/minprefix"
+)
+
+// This file contains the two traced Minimum Prefix executors compared in
+// experiment E7 (Theorem 14):
+//
+//   - TracedOneByOne: the classic difference tree (§2.3) executing one
+//     operation at a time. Each operation walks a root path, scattering
+//     accesses across the ∆ array: ~k·log n misses once the tree exceeds
+//     the cache.
+//   - TracedSweep: the monotone batched sweep (§3.1–3.2, executed
+//     sequentially as in the cache-oblivious algorithm [10]): every level
+//     is a handful of streaming passes, so the structure costs
+//     O((k log n)/B) misses, cache-obliviously.
+//
+// Both executors return the query results, and tests pin them against the
+// naive oracle — the traces are measurements of real executions, not
+// synthetic approximations.
+
+// TracedOneByOne runs ops one at a time on the §2.3 structure, reporting
+// every ∆-cell and leaf-cell access to sim.
+func TracedOneByOne(w0 []int64, ops []minprefix.Op, sim *Sim) []int64 {
+	s := minprefix.NewSeq(w0)
+	s.SetTrace(func(cell int) { sim.Access(int64(cell)) })
+	return s.Run(ops)
+}
+
+// region is a bump-allocated address range backed by a real slice; every
+// read and write is reported to the simulator.
+type region struct {
+	base int64
+	w    []int64
+	sim  *Sim
+}
+
+type allocator struct {
+	next int64
+	sim  *Sim
+}
+
+func (a *allocator) alloc(words int64) *region {
+	r := &region{base: a.next, w: make([]int64, words), sim: a.sim}
+	a.next += words
+	return r
+}
+
+func (r *region) rd(i int64) int64 {
+	r.sim.Access(r.base + i)
+	return r.w[i]
+}
+
+func (r *region) wr(i int64, v int64) {
+	r.sim.Access(r.base + i)
+	r.w[i] = v
+}
+
+// Record widths (in words) for the streamed arrays.
+const (
+	updW = 4 // time, x, phi, fromRight
+	qryW = 4 // time, d, origin, fromRight
+	resW = 2 // origin, value
+)
+
+// span delimits one node's records inside the level arrays (metadata kept
+// in a region as well: 5 words per node).
+const spanW = 5 // id, u0, u1, q0, q1
+
+// TracedSweep runs the whole batch with the monotone level-by-level sweep,
+// reporting every touched word to sim, and returns per-op query results.
+func TracedSweep(w0 []int64, ops []minprefix.Op, sim *Sim) []int64 {
+	n := len(w0)
+	if n == 0 {
+		panic("cache: empty list")
+	}
+	k := len(ops)
+	res := make([]int64, k)
+	if k == 0 {
+		return res
+	}
+	a := &allocator{sim: sim}
+	if n == 1 {
+		r := a.alloc(int64(2 * k))
+		acc := w0[0]
+		for i, op := range ops {
+			r.wr(int64(2*i), op.X)
+			if op.Query {
+				res[i] = acc
+				r.wr(int64(2*i+1), acc)
+			} else {
+				acc += op.X
+				r.wr(int64(2*i+1), 1)
+			}
+		}
+		return res
+	}
+	pad := 1
+	for pad < n {
+		pad *= 2
+	}
+	// min0 heap, built level by level (streaming reads and writes).
+	min0 := a.alloc(int64(2 * pad))
+	for i := 0; i < pad; i++ {
+		if i < n {
+			min0.wr(int64(pad+i), w0[i])
+		} else {
+			min0.wr(int64(pad+i), minprefix.PadInf)
+		}
+	}
+	for b := int64(pad - 1); b >= 1; b-- {
+		l, r := min0.rd(2*b), min0.rd(2*b+1)
+		if r < l {
+			l = r
+		}
+		min0.wr(b, l)
+	}
+	// Initial op records: (key=leaf, time, x|0, isQuery) sorted by leaf
+	// with a traced bottom-up merge sort (stable: ties keep time order).
+	const initW = 4
+	init := a.alloc(int64(initW * k))
+	for i, op := range ops {
+		q := int64(0)
+		if op.Query {
+			q = 1
+		}
+		init.wr(int64(initW*i), int64(op.Leaf))
+		init.wr(int64(initW*i+1), int64(i))
+		init.wr(int64(initW*i+2), op.X)
+		init.wr(int64(initW*i+3), q)
+	}
+	init = mergeSortTraced(a, init, k, initW, 0)
+	// Split into the leaf-level upd/qry arrays plus node spans.
+	upd := a.alloc(int64(updW * k))
+	qry := a.alloc(int64(qryW * k))
+	spans := a.alloc(int64(spanW * k))
+	var nu, nq, ns int64
+	for i := 0; i < k; {
+		leaf := init.rd(int64(initW * i))
+		id := int64(pad) + leaf
+		fromRight := id & 1
+		u0, q0 := nu, nq
+		for ; i < k && init.rd(int64(initW*i)) == leaf; i++ {
+			t := init.rd(int64(initW*i + 1))
+			x := init.rd(int64(initW*i + 2))
+			if init.rd(int64(initW*i+3)) == 1 {
+				qry.wr(qryW*nq, t)
+				qry.wr(qryW*nq+1, 0) // d
+				qry.wr(qryW*nq+2, t) // origin
+				qry.wr(qryW*nq+3, fromRight)
+				nq++
+			} else {
+				upd.wr(updW*nu, t)
+				upd.wr(updW*nu+1, x)
+				upd.wr(updW*nu+2, x) // phi = x at the leaf
+				upd.wr(updW*nu+3, fromRight)
+				nu++
+			}
+		}
+		spans.wr(spanW*ns, id)
+		spans.wr(spanW*ns+1, u0)
+		spans.wr(spanW*ns+2, nu)
+		spans.wr(spanW*ns+3, q0)
+		spans.wr(spanW*ns+4, nq)
+		ns++
+	}
+	// Bottom-up sweep; the root additionally streams out (origin, value).
+	resStream := a.alloc(int64(resW * k))
+	var nres int64
+	for ns > 1 || spans.rd(0) != 1 {
+		nextUpd := a.alloc(int64(updW * k))
+		nextQry := a.alloc(int64(qryW * k))
+		nextSpans := a.alloc(int64(spanW * k))
+		var mu, mq, ms int64
+		for si := int64(0); si < ns; {
+			id := spans.rd(spanW * si)
+			parent := id / 2
+			// Child ranges (left may be absent, right may be absent).
+			var lu0, lu1, lq0, lq1, ru0, ru1, rq0, rq1 int64
+			if id&1 == 0 {
+				lu0, lu1 = spans.rd(spanW*si+1), spans.rd(spanW*si+2)
+				lq0, lq1 = spans.rd(spanW*si+3), spans.rd(spanW*si+4)
+				si++
+				if si < ns && spans.rd(spanW*si)/2 == parent {
+					ru0, ru1 = spans.rd(spanW*si+1), spans.rd(spanW*si+2)
+					rq0, rq1 = spans.rd(spanW*si+3), spans.rd(spanW*si+4)
+					si++
+				}
+			} else {
+				ru0, ru1 = spans.rd(spanW*si+1), spans.rd(spanW*si+2)
+				rq0, rq1 = spans.rd(spanW*si+3), spans.rd(spanW*si+4)
+				si++
+			}
+			u0, q0 := mu, mq
+			mu, mq, nres = sweepNode(parent, min0, upd, qry, nextUpd, nextQry,
+				lu0, lu1, lq0, lq1, ru0, ru1, rq0, rq1, mu, mq,
+				resStream, nres, parent == 1)
+			nextSpans.wr(spanW*ms, parent)
+			nextSpans.wr(spanW*ms+1, u0)
+			nextSpans.wr(spanW*ms+2, mu)
+			nextSpans.wr(spanW*ms+3, q0)
+			nextSpans.wr(spanW*ms+4, mq)
+			ms++
+		}
+		upd, qry, spans, ns = nextUpd, nextQry, nextSpans, ms
+	}
+	// Results arrive in root time order; sort by origin and stream out.
+	sorted := mergeSortTraced(a, resStream, int(nres), resW, 0)
+	for i := int64(0); i < nres; i++ {
+		origin := sorted.rd(resW * i)
+		res[origin] = sorted.rd(resW*i + 1)
+	}
+	return res
+}
+
+// sweepNode merges a node's child streams in time order while maintaining
+// ∆ incrementally — the monotone execution of §3.1–3.2: one streaming
+// pass per node per level.
+func sweepNode(parent int64, min0, upd, qry, outU, outQ *region,
+	lu0, lu1, lq0, lq1, ru0, ru1, rq0, rq1 int64, mu, mq int64,
+	resStream *region, nres int64, isRoot bool) (int64, int64, int64) {
+
+	delta := min0.rd(2*parent+1) - min0.rd(2*parent)
+	minRoot := int64(0)
+	if isRoot {
+		minRoot = min0.rd(parent)
+	}
+	parentRight := parent & 1
+	peekTime := func(r *region, pos, end, width int64) int64 {
+		if pos >= end {
+			return int64(1) << 62
+		}
+		return r.rd(width * pos)
+	}
+	for lu0 < lu1 || ru0 < ru1 || lq0 < lq1 || rq0 < rq1 {
+		tlu := peekTime(upd, lu0, lu1, updW)
+		tru := peekTime(upd, ru0, ru1, updW)
+		tlq := peekTime(qry, lq0, lq1, qryW)
+		trq := peekTime(qry, rq0, rq1, qryW)
+		// Unique times: pick the global minimum.
+		switch {
+		case tlu <= tru && tlu <= tlq && tlu <= trq:
+			x := upd.rd(updW*lu0 + 1)
+			phi := upd.rd(updW*lu0 + 2)
+			lu0++
+			phiL, phiR := phi, int64(0)
+			prev := delta
+			delta = prev + phiR - phiL
+			out := minprefix.PhiTransition(phiL, phiR, prev, delta)
+			outU.wr(updW*mu, tlu)
+			outU.wr(updW*mu+1, x)
+			outU.wr(updW*mu+2, out)
+			outU.wr(updW*mu+3, parentRight)
+			mu++
+			minRoot += out
+		case tru <= tlq && tru <= trq:
+			x := upd.rd(updW*ru0 + 1)
+			phi := upd.rd(updW*ru0 + 2)
+			ru0++
+			phiL, phiR := x, phi
+			prev := delta
+			delta = prev + phiR - phiL
+			out := minprefix.PhiTransition(phiL, phiR, prev, delta)
+			outU.wr(updW*mu, tru)
+			outU.wr(updW*mu+1, x)
+			outU.wr(updW*mu+2, out)
+			outU.wr(updW*mu+3, parentRight)
+			mu++
+			minRoot += out
+		default:
+			var t, d, origin int64
+			var fromRight bool
+			if tlq <= trq {
+				t = tlq
+				d = qry.rd(qryW*lq0 + 1)
+				origin = qry.rd(qryW*lq0 + 2)
+				fromRight = qry.rd(qryW*lq0+3) == 1
+				lq0++
+			} else {
+				t = trq
+				d = qry.rd(qryW*rq0 + 1)
+				origin = qry.rd(qryW*rq0 + 2)
+				fromRight = qry.rd(qryW*rq0+3) == 1
+				rq0++
+			}
+			d = minprefix.DTransition(d, fromRight, delta)
+			outQ.wr(qryW*mq, t)
+			outQ.wr(qryW*mq+1, d)
+			outQ.wr(qryW*mq+2, origin)
+			outQ.wr(qryW*mq+3, parentRight)
+			mq++
+			if isRoot {
+				resStream.wr(resW*nres, origin)
+				resStream.wr(resW*nres+1, d+minRoot)
+				nres++
+			}
+		}
+	}
+	return mu, mq, nres
+}
+
+// mergeSortTraced stably sorts recs of the given width by the key at
+// keyOff, using bottom-up merge passes between two regions (each pass
+// streams the whole array once — the cache-friendly sort the analysis
+// assumes).
+func mergeSortTraced(a *allocator, src *region, count, width int, keyOff int64) *region {
+	if count <= 1 {
+		return src
+	}
+	dst := a.alloc(int64(width * count))
+	w := int64(width)
+	for run := 1; run < count; run *= 2 {
+		for lo := 0; lo < count; lo += 2 * run {
+			mid := lo + run
+			hi := lo + 2*run
+			if mid > count {
+				mid = count
+			}
+			if hi > count {
+				hi = count
+			}
+			i, j, o := int64(lo), int64(mid), int64(lo)
+			for i < int64(mid) || j < int64(hi) {
+				var takeLeft bool
+				switch {
+				case i >= int64(mid):
+					takeLeft = false
+				case j >= int64(hi):
+					takeLeft = true
+				default:
+					takeLeft = src.rd(w*i+keyOff) <= src.rd(w*j+keyOff)
+				}
+				from := j
+				if takeLeft {
+					from = i
+				}
+				for f := int64(0); f < w; f++ {
+					dst.wr(w*o+f, src.rd(w*from+f))
+				}
+				if takeLeft {
+					i++
+				} else {
+					j++
+				}
+				o++
+			}
+		}
+		src, dst = dst, src
+	}
+	return src
+}

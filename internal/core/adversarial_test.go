@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+// TestMinCutLargeWeights exercises the integer-weight regime near the
+// supported cap: weights around 2^30 with totals under 2^40, where the
+// ±2^60 blocking sentinel still has 20 bits of headroom.
+func TestMinCutLargeWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.New(24)
+	// Ring of heavy edges plus a few light chords: the minimum cut must
+	// pick the two lightest ring edges or a light chord combination.
+	heavy := int64(1) << 30
+	for i := 0; i < 24; i++ {
+		w := heavy + int64(rng.Intn(1000))
+		if err := g.AddEdge(i, (i+1)%24, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _, err := baseline.StoerWagner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinCut(g, Options{Seed: 5, WantPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want {
+		t.Fatalf("got %d want %d", res.Value, want)
+	}
+	if got := g.CutValue(res.InCut); got != want {
+		t.Fatalf("witness %d want %d", got, want)
+	}
+}
+
+// TestMinCutAllEqualWeights: ties everywhere stress the deterministic
+// tie-breaking in MSTs and the packing.
+func TestMinCutAllEqualWeights(t *testing.T) {
+	g := gen.Clique(12, 1, 3) // maxW=1 → all weights 1
+	want, _, err := baseline.StoerWagner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinCut(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want { // K12 unit weights: min cut = 11
+		t.Fatalf("clique: got %d want %d", res.Value, want)
+	}
+}
+
+// TestMinCutStar: star graphs have n-1 bridges; minimum cut = lightest
+// spoke. Stars are also the worst case for bough fan-out.
+func TestMinCutStar(t *testing.T) {
+	g := graph.New(33)
+	for i := 1; i < 33; i++ {
+		if err := g.AddEdge(0, i, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := MinCut(g, Options{Seed: 9, WantPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 {
+		t.Fatalf("star: got %d want 1", res.Value)
+	}
+	ones := 0
+	for _, in := range res.InCut {
+		if in {
+			ones++
+		}
+	}
+	if ones != 1 && ones != 32 {
+		t.Fatalf("star witness should isolate one leaf, got %d/%d", ones, 33)
+	}
+}
+
+// TestMinCutOnlyParallelEdges: a 2-vertex multigraph.
+func TestMinCutOnlyParallelEdges(t *testing.T) {
+	g := graph.New(2)
+	var want int64
+	for i := 1; i <= 10; i++ {
+		if err := g.AddEdge(0, 1, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(i)
+	}
+	res, err := MinCut(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want {
+		t.Fatalf("got %d want %d", res.Value, want)
+	}
+}
+
+// TestMinCutBridgeGraph: a path of blobs connected by unit bridges — many
+// near-minimum cuts, the classic failure mode for sloppy sampling.
+func TestMinCutBridgeGraph(t *testing.T) {
+	blobs := 5
+	per := 6
+	n := blobs * per
+	g := graph.New(n)
+	add := func(u, v int, w int64) {
+		t.Helper()
+		if err := g.AddEdge(u, v, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b := 0; b < blobs; b++ {
+		base := b * per
+		for i := 0; i < per; i++ {
+			for j := i + 1; j < per; j++ {
+				add(base+i, base+j, 10)
+			}
+		}
+		if b+1 < blobs {
+			add(base, base+per, 1) // unit bridge
+		}
+	}
+	res, err := MinCut(g, Options{Seed: 11, WantPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 {
+		t.Fatalf("bridge graph: got %d want 1", res.Value)
+	}
+	if got := g.CutValue(res.InCut); got != 1 {
+		t.Fatalf("witness value %d", got)
+	}
+}
+
+// TestMonteCarloFailureRate: many independent seeds on one fixed graph;
+// the w.h.p. guarantee should translate into a near-zero observed failure
+// rate (we allow one failure in 60 to keep the test robust).
+func TestMonteCarloFailureRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	g := gen.RandomConnected(60, 180, 20, 99)
+	want, _, err := baseline.StoerWagner(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	const trials = 60
+	for seed := int64(0); seed < trials; seed++ {
+		res, err := MinCut(g, Options{Seed: 1000 + seed*31})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != want {
+			failures++
+		}
+	}
+	if failures > 1 {
+		t.Fatalf("%d/%d Monte Carlo failures (want ≤1)", failures, trials)
+	}
+}

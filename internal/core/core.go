@@ -1,0 +1,155 @@
+// Package core assembles the paper's parallel minimum cut algorithm
+// (Theorem 10): pack O(log n) spanning trees so that w.h.p. one of them
+// crosses the minimum cut at most twice (Lemma 1, internal/packing), then
+// for every tree find the smallest cut crossing at most two of its edges
+// (Lemma 13, internal/respect), and return the overall smallest. Total
+// work O(m log⁴ n), depth O(log³ n), Monte Carlo with high probability.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/packing"
+	"repro/internal/par"
+	"repro/internal/respect"
+	"repro/internal/tree"
+	"repro/internal/wd"
+)
+
+// Options configure MinCut.
+type Options struct {
+	// Seed drives all randomness; runs are deterministic in it.
+	Seed int64
+	// Packing overrides the tree-packing constants (zero values take the
+	// package defaults).
+	Packing packing.Options
+	// WantPartition requests the cut's vertex partition, not just the value.
+	WantPartition bool
+	// ParallelPhases executes every bough phase's operation batches
+	// concurrently per tree (the paper's §4.3 schedule): lower depth,
+	// O(m log n) memory instead of O(m).
+	ParallelPhases bool
+	// Meter, when non-nil, accumulates Work-Depth model costs.
+	Meter *wd.Meter
+}
+
+// Result of a minimum cut computation.
+type Result struct {
+	// Value is the weight of the minimum cut.
+	Value int64
+	// InCut marks one side of an optimal partition (nil unless
+	// Options.WantPartition).
+	InCut []bool
+	// TreesScanned is the number of distinct spanning trees searched.
+	TreesScanned int
+	// Estimate is the accepted cut estimate from the packing phase.
+	Estimate int64
+	// PackValue is the tree packing's value.
+	PackValue float64
+}
+
+// MinCut computes a global minimum cut of g. It is Monte Carlo: the result
+// is correct with high probability (failures can only overestimate — every
+// reported value is the weight of some real cut).
+func MinCut(g *graph.Graph, opt Options) (Result, error) {
+	n := g.N()
+	if n < 2 {
+		return Result{}, fmt.Errorf("core: minimum cut needs at least 2 vertices, have %d", n)
+	}
+	m := opt.Meter
+	// Disconnected graphs have a minimum cut of 0 (paper §1.1.1).
+	_, labels, comps := mst.ForestWithLabels(n, g.Edges(), nil, m)
+	if comps > 1 {
+		res := Result{Value: 0}
+		if opt.WantPartition {
+			inCut := make([]bool, n)
+			ref := labels[0]
+			par.For(n, func(v int) { inCut[v] = labels[v] == ref })
+			res.InCut = inCut
+		}
+		return res, nil
+	}
+	// The minimum weighted degree is both the packing's starting upper
+	// bound and a legitimate cut candidate (a singleton).
+	deg := g.WeightedDegrees()
+	minDeg, minDegV := par.MinInt64(deg)
+	m.Add(int64(n), wd.CeilLog2(n))
+
+	popt := opt.Packing
+	if popt.Seed == 0 {
+		popt.Seed = opt.Seed + 1
+	}
+	pk, err := packing.SampleTrees(g, popt, m)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: tree packing failed: %v", err)
+	}
+	// Scan every tree in parallel; each scan is itself parallel.
+	type scanOut struct {
+		finding respect.Finding
+		parent  []int32
+		err     error
+	}
+	outs := make([]scanOut, len(pk.Trees))
+	locals := make([]*wd.Meter, len(pk.Trees))
+	par.ForGrain(len(pk.Trees), 1, func(i int) {
+		edges := make([][2]int32, len(pk.Trees[i]))
+		for j, ei := range pk.Trees[i] {
+			e := g.Edge(int(ei))
+			edges[j] = [2]int32{e.U, e.V}
+		}
+		locals[i] = new(wd.Meter)
+		parent, err := tree.RootEdgeList(n, edges, 0, locals[i])
+		if err != nil {
+			outs[i].err = err
+			return
+		}
+		var f respect.Finding
+		if opt.ParallelPhases {
+			f, err = respect.ScanParallelPhases(g, parent, locals[i])
+		} else {
+			f, err = respect.Scan(g, parent, locals[i])
+		}
+		outs[i] = scanOut{finding: f, parent: parent, err: err}
+	})
+	m.Par(locals...) // trees are searched in parallel (§4.3 step 3)
+	best := Result{Value: minDeg, TreesScanned: len(pk.Trees), Estimate: pk.Estimate, PackValue: pk.PackValue}
+	bestTree := -1
+	for i, o := range outs {
+		if o.err != nil {
+			return Result{}, fmt.Errorf("core: tree %d scan failed: %v", i, o.err)
+		}
+		if o.finding.Value < best.Value {
+			best.Value = o.finding.Value
+			bestTree = i
+		}
+	}
+	if opt.WantPartition {
+		if bestTree < 0 {
+			// The singleton minimum-degree cut won.
+			inCut := make([]bool, n)
+			inCut[minDegV] = true
+			best.InCut = inCut
+		} else {
+			inCut, err := respect.Witness(g, outs[bestTree].parent, outs[bestTree].finding, m)
+			if err != nil {
+				return Result{}, fmt.Errorf("core: witness extraction failed: %v", err)
+			}
+			best.InCut = inCut
+		}
+	}
+	return best, nil
+}
+
+// ConstrainedMinCut exposes the per-tree primitive (Lemma 13): the
+// smallest cut of g crossing at most two edges of the given spanning tree,
+// rooted anywhere. The tree is given as a parent array with the root
+// marked by -1.
+func ConstrainedMinCut(g *graph.Graph, parent []int32, wantPartition bool, m *wd.Meter) (Result, error) {
+	r, err := respect.TwoRespect(g, parent, wantPartition, m)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Value: r.Value, InCut: r.InCut, TreesScanned: 1}, nil
+}

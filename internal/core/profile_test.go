@@ -1,0 +1,19 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph/gen"
+)
+
+// BenchmarkMinCutSparse2048 is the profiling anchor for the end-to-end
+// pipeline on a sparse instance.
+func BenchmarkMinCutSparse2048(b *testing.B) {
+	g := gen.RandomConnected(2048, 8192, 100, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinCut(g, Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package decomp decomposes a rooted tree into vertex-disjoint paths by
+// iteratively peeling boughs (paper §3.3): a bough starts at a leaf and
+// continues upward until the first vertex that has a sibling. Peeling all
+// boughs at least halves the number of leaves, so there are at most
+// log2(n)+1 phases (Lemma 7) and every root-to-leaf path crosses at most
+// that many paths of the decomposition.
+//
+// Bough membership is detected with subtree sums over the preorder (a
+// vertex is in a bough exactly when no vertex of its remaining subtree has
+// two or more remaining children), and boughs are ordered with list
+// ranking, the same primitive the paper uses in §4.2 step 1.
+package decomp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/listrank"
+	"repro/internal/par"
+	"repro/internal/tree"
+	"repro/internal/wd"
+)
+
+// Decomposition is a partition of the tree's vertices into directed paths.
+// Path vertices are stored front first, where the front is the vertex
+// closest to the root (§2.3.2).
+type Decomposition struct {
+	Tree  *tree.Tree
+	Paths [][]int32
+	// FrontParent[p] is the tree parent of the front vertex of path p
+	// (tree.None if the front is the root). Operations that walk from a
+	// vertex to the root continue in FrontParent's path.
+	FrontParent []int32
+	PathOf      []int32 // path id of each vertex
+	PosOf       []int32 // position of each vertex within its path (0 = front)
+	PhaseOf     []int32 // 1-based peeling phase of each vertex
+	PhaseOfPath []int32
+	NumPhases   int
+}
+
+// Decompose peels the whole tree and returns the full decomposition.
+func Decompose(t *tree.Tree, m *wd.Meter) *Decomposition {
+	n := t.N()
+	d := &Decomposition{
+		Tree:    t,
+		PathOf:  make([]int32, n),
+		PosOf:   make([]int32, n),
+		PhaseOf: make([]int32, n),
+	}
+	alive := make([]bool, n)
+	count := make([]int32, n) // remaining children per vertex
+	par.For(n, func(v int) {
+		alive[v] = true
+		count[v] = t.NumChildren(int32(v))
+	})
+	m.Add(int64(n), 1)
+	remaining := n
+	phase := int32(0)
+	st := newPhaseState(n)
+	for remaining > 0 {
+		phase++
+		if phase > int32(wd.CeilLog2(n))+2 {
+			panic(fmt.Sprintf("decomp: phase bound exceeded (n=%d, phase=%d)", n, phase))
+		}
+		members, paths, fronts := peelPhase(t, alive, count, st, d, m)
+		if len(members) == 0 {
+			panic("decomp: phase made no progress")
+		}
+		for i, p := range paths {
+			d.Paths = append(d.Paths, p)
+			d.PhaseOfPath = append(d.PhaseOfPath, phase)
+			d.FrontParent = append(d.FrontParent, t.Parent[fronts[i]])
+		}
+		for _, v := range members {
+			d.PhaseOf[v] = phase
+		}
+		remaining -= len(members)
+	}
+	d.NumPhases = int(phase)
+	return d
+}
+
+// Boughs returns only the first peeling phase of t: the bough paths (front
+// first) and the membership indicator, leaving t conceptually unmodified.
+// This is the per-phase step the two-respecting cut search drives itself
+// (§4.3 re-contracts the graph between phases).
+func Boughs(t *tree.Tree, m *wd.Meter) (paths [][]int32, member []bool) {
+	n := t.N()
+	alive := make([]bool, n)
+	count := make([]int32, n)
+	par.For(n, func(v int) {
+		alive[v] = true
+		count[v] = t.NumChildren(int32(v))
+	})
+	m.Add(int64(n), 1)
+	d := &Decomposition{
+		Tree:    t,
+		PathOf:  make([]int32, n),
+		PosOf:   make([]int32, n),
+		PhaseOf: make([]int32, n),
+	}
+	st := newPhaseState(n)
+	members, ps, _ := peelPhase(t, alive, count, st, d, m)
+	member = make([]bool, n)
+	for _, v := range members {
+		member[v] = true
+	}
+	return ps, member
+}
+
+// phaseState holds scratch arrays reused across phases.
+type phaseState struct {
+	bad    []int64
+	member []bool
+	jump   []int32
+	jump2  []int32
+	next   []int32
+	cnt    []atomic.Int32
+}
+
+func newPhaseState(n int) *phaseState {
+	return &phaseState{
+		bad:    make([]int64, n+1),
+		member: make([]bool, n),
+		jump:   make([]int32, n),
+		jump2:  make([]int32, n),
+		next:   make([]int32, n),
+		cnt:    make([]atomic.Int32, n),
+	}
+}
+
+// peelPhase identifies the boughs of the remaining tree, records their
+// paths into d (PathOf/PosOf), removes them from alive/count, and returns
+// the removed vertices, the new paths (front first), and the front vertex
+// of each path.
+func peelPhase(t *tree.Tree, alive []bool, count []int32, st *phaseState,
+	d *Decomposition, m *wd.Meter) (members []int32, paths [][]int32, fronts []int32) {
+
+	n := t.N()
+	// bad[i+1] = 1 when the vertex at preorder position i is alive and
+	// branching; a vertex is a bough member iff its alive subtree contains
+	// no branching vertex (subtree = preorder interval).
+	par.For(n, func(i int) {
+		v := t.Pre[i]
+		if alive[v] && count[v] >= 2 {
+			st.bad[i+1] = 1
+		} else {
+			st.bad[i+1] = 0
+		}
+	})
+	par.InclusiveSum(st.bad, st.bad)
+	par.For(n, func(vi int) {
+		v := int32(vi)
+		st.member[v] = alive[v] && st.bad[t.Out[v]] == st.bad[t.In[v]]
+	})
+	m.Add(3*int64(n), 2+wd.CeilLog2(n))
+	// Boughs are maximal member chains; the parent of a member is in the
+	// same bough iff the parent is itself a member. Order each bough by
+	// list ranking (distance to the bough top = position from the front)
+	// and find tops by pointer doubling.
+	par.For(n, func(vi int) {
+		v := int32(vi)
+		st.next[v] = listrank.Nil
+		st.jump[v] = v
+		if !st.member[v] {
+			return
+		}
+		if p := t.Parent[v]; p != tree.None && st.member[p] {
+			st.next[v] = p
+			st.jump[v] = p
+		}
+	})
+	m.Add(int64(n), 1)
+	rank := listrank.Rank(st.next, m)
+	rounds := wd.CeilLog2(n) + 1
+	jump, jump2 := st.jump, st.jump2
+	for r := int64(0); r < rounds; r++ {
+		par.For(n, func(v int) {
+			jump2[v] = jump[jump[v]]
+		})
+		jump, jump2 = jump2, jump
+	}
+	m.Add(int64(n)*rounds, rounds)
+	top := jump
+	// Count bough sizes at the tops, then assign path ids to tops.
+	par.For(n, func(v int) {
+		if st.member[v] {
+			st.cnt[top[v]].Add(1)
+		}
+	})
+	m.Add(int64(n), 1)
+	for vi := 0; vi < n; vi++ {
+		v := int32(vi)
+		if st.member[v] && top[v] == v {
+			paths = append(paths, make([]int32, st.cnt[v].Load()))
+			fronts = append(fronts, v)
+			d.PathOf[v] = int32(len(d.Paths) + len(paths) - 1)
+		}
+	}
+	// Scatter members into their paths by rank (rank = distance to top =
+	// position from the front) and remove them from the tree.
+	par.For(n, func(vi int) {
+		v := int32(vi)
+		if !st.member[v] {
+			return
+		}
+		tp := top[v]
+		pid := d.PathOf[tp]
+		d.PathOf[v] = pid
+		d.PosOf[v] = rank[v]
+		paths[pid-int32(len(d.Paths))][rank[v]] = v
+		alive[v] = false
+		st.cnt[v].Store(0)
+	})
+	m.Add(int64(n), 1)
+	// Each bough top's parent (if alive) loses one child.
+	for i := range fronts {
+		if p := t.Parent[fronts[i]]; p != tree.None {
+			count[p]--
+		}
+	}
+	m.Add(int64(len(fronts)), 1)
+	members = make([]int32, 0)
+	for vi := 0; vi < n; vi++ {
+		if st.member[vi] {
+			members = append(members, int32(vi))
+		}
+	}
+	return members, paths, fronts
+}

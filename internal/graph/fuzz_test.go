@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the graph parser: arbitrary input must never panic,
+// and anything that parses must round-trip through Write.
+func FuzzRead(f *testing.F) {
+	f.Add("p cut 3 2\ne 0 1 5\ne 1 2 7\n")
+	f.Add("c comment\np cut 1 0\n")
+	f.Add("p cut 2 1\ne 0 1 99999999\n")
+	f.Add("e 0 1 1\n")
+	f.Add("p cut -1 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("valid graph failed to serialize: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() || g2.TotalWeight() != g.TotalWeight() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

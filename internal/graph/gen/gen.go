@@ -1,0 +1,305 @@
+// Package gen generates the benchmark and test workloads for the minimum
+// cut experiments: random connected graphs, graphs with a planted (known)
+// minimum cut, and the structured families (cycles, grids, dumbbells,
+// cliques, random regular) that stress different parts of the algorithm.
+// All generators are deterministic in their seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// RandomConnected returns a connected graph with n vertices and exactly m
+// edges (m >= n-1 required) whose weights are uniform in [1, maxW]. The
+// first n-1 edges form a uniformly random attachment tree; the rest are
+// uniform random pairs (parallel edges possible, loops excluded).
+func RandomConnected(n, m int, maxW int64, seed int64) *graph.Graph {
+	if n < 1 {
+		panic("gen: need n >= 1")
+	}
+	if m < n-1 {
+		panic(fmt.Sprintf("gen: need m >= n-1 (n=%d, m=%d)", n, m))
+	}
+	if maxW < 1 {
+		maxW = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := perm[i]
+		v := perm[rng.Intn(i)]
+		mustAdd(g, u, v, 1+rng.Int63n(maxW))
+	}
+	for g.M() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		mustAdd(g, u, v, 1+rng.Int63n(maxW))
+	}
+	return g
+}
+
+// Planted describes a graph with a known, unique minimum cut.
+type Planted struct {
+	G *graph.Graph
+	// CutValue is the exact minimum cut value.
+	CutValue int64
+	// InCut marks side A of the planted minimum cut.
+	InCut []bool
+}
+
+// PlantedCut builds a graph of two internally well-connected communities
+// (sizes nA and nB) joined by k crossing edges. Every internal edge weighs
+// more than the total crossing weight, so the planted bipartition is the
+// unique minimum cut; its value is returned exactly.
+func PlantedCut(nA, nB, k int, seed int64) *Planted {
+	if nA < 1 || nB < 1 || k < 1 {
+		panic("gen: PlantedCut needs nA, nB, k >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := nA + nB
+	g := graph.New(n)
+	// Crossing edges: weights in [1, 8].
+	var cutValue int64
+	for i := 0; i < k; i++ {
+		u := rng.Intn(nA)
+		v := nA + rng.Intn(nB)
+		w := 1 + rng.Int63n(8)
+		cutValue += w
+		mustAdd(g, u, v, w)
+	}
+	heavy := cutValue + 1 + rng.Int63n(4)
+	side := func(base, size int) {
+		perm := rng.Perm(size)
+		for i := 1; i < size; i++ {
+			mustAdd(g, base+perm[i], base+perm[rng.Intn(i)], heavy)
+		}
+		extra := size + size/2
+		for i := 0; i < extra; i++ {
+			u := rng.Intn(size)
+			v := rng.Intn(size)
+			if u != v {
+				mustAdd(g, base+u, base+v, heavy)
+			}
+		}
+	}
+	side(0, nA)
+	side(nA, nB)
+	inCut := make([]bool, n)
+	for v := 0; v < nA; v++ {
+		inCut[v] = true
+	}
+	// Degenerate guard: if a side has one vertex of weighted degree below
+	// the crossing total, the singleton cut would win; heavy internal edges
+	// prevent that except when a side has a single vertex.
+	if nA == 1 || nB == 1 {
+		cutValue = recomputeSingleton(g, inCut, cutValue)
+	}
+	return &Planted{G: g, CutValue: cutValue, InCut: inCut}
+}
+
+func recomputeSingleton(g *graph.Graph, inCut []bool, planted int64) int64 {
+	best := planted
+	deg := g.WeightedDegrees()
+	for _, d := range deg {
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Dumbbell builds two cliques of size nClique with heavy edges, connected
+// by a single bridge edge of weight bridgeW. The minimum cut is the bridge.
+func Dumbbell(nClique int, bridgeW int64, seed int64) *Planted {
+	if nClique < 2 {
+		panic("gen: Dumbbell needs nClique >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 * nClique
+	g := graph.New(n)
+	heavy := bridgeW + 1 + rng.Int63n(16)
+	for _, base := range []int{0, nClique} {
+		for i := 0; i < nClique; i++ {
+			for j := i + 1; j < nClique; j++ {
+				mustAdd(g, base+i, base+j, heavy)
+			}
+		}
+	}
+	mustAdd(g, rng.Intn(nClique), nClique+rng.Intn(nClique), bridgeW)
+	inCut := make([]bool, n)
+	for v := 0; v < nClique; v++ {
+		inCut[v] = true
+	}
+	return &Planted{G: g, CutValue: bridgeW, InCut: inCut}
+}
+
+// Cycle builds a cycle with the given edge weights; the minimum cut is the
+// sum of the two smallest weights.
+func Cycle(weights []int64) *Planted {
+	n := len(weights)
+	if n < 3 {
+		panic("gen: Cycle needs >= 3 edges")
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		mustAdd(g, i, (i+1)%n, weights[i])
+	}
+	// Two smallest weights and the arc between them.
+	i1, i2 := -1, -1
+	for i, w := range weights {
+		if i1 < 0 || w < weights[i1] {
+			i2 = i1
+			i1 = i
+		} else if i2 < 0 || w < weights[i2] {
+			i2 = i
+		}
+	}
+	lo, hi := i1, i2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	inCut := make([]bool, n)
+	for v := lo + 1; v <= hi; v++ {
+		inCut[v] = true
+	}
+	return &Planted{G: g, CutValue: weights[i1] + weights[i2], InCut: inCut}
+}
+
+// Grid builds a rows x cols grid graph with weights uniform in [1, maxW].
+// If torus is true, wrap-around edges are added.
+func Grid(rows, cols int, torus bool, maxW int64, seed int64) *graph.Graph {
+	if rows < 1 || cols < 1 {
+		panic("gen: Grid needs positive dimensions")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(g, id(r, c), id(r, c+1), 1+rng.Int63n(maxW))
+			} else if torus && cols > 2 {
+				mustAdd(g, id(r, c), id(r, 0), 1+rng.Int63n(maxW))
+			}
+			if r+1 < rows {
+				mustAdd(g, id(r, c), id(r+1, c), 1+rng.Int63n(maxW))
+			} else if torus && rows > 2 {
+				mustAdd(g, id(r, c), id(0, c), 1+rng.Int63n(maxW))
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular builds an approximately d-regular multigraph on n vertices
+// via the configuration model (self-loops discarded), connected by patching
+// with a Hamiltonian-ish cycle when needed.
+func RandomRegular(n, d int, maxW int64, seed int64) *graph.Graph {
+	if n < 3 || d < 2 {
+		panic("gen: RandomRegular needs n >= 3, d >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := graph.New(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			continue
+		}
+		mustAdd(g, u, v, 1+rng.Int63n(maxW))
+	}
+	// Ensure connectivity with a random cycle of light edges.
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		mustAdd(g, perm[i], perm[(i+1)%n], 1+rng.Int63n(maxW))
+	}
+	return g
+}
+
+// Clique builds the complete graph on n vertices with weights uniform in
+// [1, maxW].
+func Clique(n int, maxW int64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mustAdd(g, i, j, 1+rng.Int63n(maxW))
+		}
+	}
+	return g
+}
+
+// Disconnected builds a graph with two components (for the cut-value-0
+// paths): two random connected halves with no crossing edges.
+func Disconnected(nA, nB int, seed int64) *graph.Graph {
+	a := RandomConnected(nA, 2*nA, 8, seed)
+	b := RandomConnected(nB, 2*nB, 8, seed+1)
+	g := graph.New(nA + nB)
+	for _, e := range a.Edges() {
+		mustAdd(g, int(e.U), int(e.V), e.W)
+	}
+	for _, e := range b.Edges() {
+		mustAdd(g, nA+int(e.U), nA+int(e.V), e.W)
+	}
+	return g
+}
+
+func mustAdd(g *graph.Graph, u, v int, w int64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// newRNG centralizes seeded RNG construction for the spec parser.
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SpanningTreeParent extracts a random spanning tree of the connected
+// graph g as a parent array (root marked with -1), via randomized DFS.
+// It panics if g is disconnected.
+func SpanningTreeParent(g *graph.Graph, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	adj := g.BuildAdj()
+	parent := make([]int32, n)
+	seen := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	root := int32(rng.Intn(n))
+	seen[root] = true
+	visited := 1
+	stack := []int32{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		deg := int(adj.Off[v+1] - adj.Off[v])
+		for _, di := range rng.Perm(deg) {
+			u := adj.Nbr[adj.Off[v]+int32(di)]
+			if !seen[u] {
+				seen[u] = true
+				parent[u] = v
+				visited++
+				stack = append(stack, u)
+			}
+		}
+	}
+	if visited != n {
+		panic("gen: SpanningTreeParent on a disconnected graph")
+	}
+	return parent
+}

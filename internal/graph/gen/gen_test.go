@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// connected reports whether g is connected (simple BFS; test helper only).
+func connected(g *graph.Graph) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	adj := g.BuildAdj()
+	seen := make([]bool, n)
+	queue := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for i := adj.Off[v]; i < adj.Off[v+1]; i++ {
+			u := adj.Nbr[i]
+			if !seen[u] {
+				seen[u] = true
+				count++
+				queue = append(queue, u)
+			}
+		}
+	}
+	return count == n
+}
+
+func TestRandomConnected(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{1, 0}, {2, 1}, {5, 4}, {50, 200}, {257, 1000}} {
+		g := RandomConnected(tc.n, tc.m, 100, 42)
+		if g.N() != tc.n || g.M() != tc.m {
+			t.Fatalf("n=%d m=%d: got %d %d", tc.n, tc.m, g.N(), g.M())
+		}
+		if !connected(g) {
+			t.Fatalf("n=%d m=%d: disconnected", tc.n, tc.m)
+		}
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	a := RandomConnected(40, 120, 50, 7)
+	b := RandomConnected(40, 120, 50, 7)
+	for i := range a.Edges() {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := RandomConnected(40, 120, 50, 8)
+	same := true
+	for i := range a.Edges() {
+		if a.Edge(i) != c.Edge(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestPlantedCutGroundTruth(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := PlantedCut(12, 9, 4, seed)
+		if !connected(p.G) {
+			t.Fatal("planted graph disconnected")
+		}
+		if got := p.G.CutValue(p.InCut); got != p.CutValue {
+			t.Fatalf("seed %d: planted partition value %d != claimed %d", seed, got, p.CutValue)
+		}
+		// No singleton cut may beat the planted one.
+		for _, d := range p.G.WeightedDegrees() {
+			if d < p.CutValue {
+				t.Fatalf("seed %d: singleton cut %d beats planted %d", seed, d, p.CutValue)
+			}
+		}
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	p := Dumbbell(6, 3, 11)
+	if got := p.G.CutValue(p.InCut); got != 3 {
+		t.Fatalf("dumbbell bridge cut = %d, want 3", got)
+	}
+	if !connected(p.G) {
+		t.Fatal("dumbbell disconnected")
+	}
+}
+
+func TestCycleGroundTruth(t *testing.T) {
+	p := Cycle([]int64{5, 1, 7, 2, 9})
+	if p.CutValue != 3 {
+		t.Fatalf("cycle min cut claimed %d, want 3", p.CutValue)
+	}
+	if got := p.G.CutValue(p.InCut); got != 3 {
+		t.Fatalf("cycle witness value %d, want 3", got)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(4, 5, false, 10, 3)
+	if g.N() != 20 {
+		t.Fatalf("grid n=%d", g.N())
+	}
+	if g.M() != 4*4+3*5 { // horizontal + vertical
+		t.Fatalf("grid m=%d want %d", g.M(), 4*4+3*5)
+	}
+	if !connected(g) {
+		t.Fatal("grid disconnected")
+	}
+	torus := Grid(4, 5, true, 10, 3)
+	if torus.M() != 2*20 {
+		t.Fatalf("torus m=%d want 40", torus.M())
+	}
+}
+
+func TestRandomRegularConnected(t *testing.T) {
+	g := RandomRegular(64, 4, 10, 5)
+	if !connected(g) {
+		t.Fatal("random regular disconnected")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := Disconnected(10, 7, 2)
+	if connected(g) {
+		t.Fatal("Disconnected generator made a connected graph")
+	}
+	if g.N() != 17 {
+		t.Fatalf("n=%d", g.N())
+	}
+}
+
+func TestCliqueShape(t *testing.T) {
+	g := Clique(7, 5, 1)
+	if g.M() != 21 {
+		t.Fatalf("clique m=%d", g.M())
+	}
+}

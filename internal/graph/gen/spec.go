@@ -1,0 +1,79 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// FromSpec builds a workload from a compact textual description, shared by
+// the CLI tools. Formats (parameters are key=value, comma separated):
+//
+//	random:n=1000,m=4000,w=100
+//	planted:na=40,nb=40,k=5
+//	dumbbell:n=20,bridge=3
+//	grid:rows=30,cols=40,w=10[,torus=1]
+//	regular:n=500,d=6,w=10
+//	cycle:n=100,w=50
+//	clique:n=60,w=10
+//	disconnected:na=50,nb=60
+//
+// The returned Planted is non-nil when the generator knows the exact
+// minimum cut.
+func FromSpec(spec string, seed int64) (*graph.Graph, *Planted, error) {
+	kind, args, _ := strings.Cut(spec, ":")
+	params := map[string]int64{}
+	if args != "" {
+		for _, kv := range strings.Split(args, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, nil, fmt.Errorf("gen: bad parameter %q in spec %q", kv, spec)
+			}
+			x, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("gen: bad value in %q: %v", kv, err)
+			}
+			params[strings.TrimSpace(k)] = x
+		}
+	}
+	get := func(key string, def int64) int64 {
+		if v, ok := params[key]; ok {
+			return v
+		}
+		return def
+	}
+	switch kind {
+	case "random":
+		n := get("n", 100)
+		return RandomConnected(int(n), int(get("m", 4*n)), get("w", 100), seed), nil, nil
+	case "planted":
+		p := PlantedCut(int(get("na", 40)), int(get("nb", 40)), int(get("k", 5)), seed)
+		return p.G, p, nil
+	case "dumbbell":
+		p := Dumbbell(int(get("n", 20)), get("bridge", 3), seed)
+		return p.G, p, nil
+	case "grid":
+		g := Grid(int(get("rows", 30)), int(get("cols", 30)), get("torus", 0) != 0, get("w", 10), seed)
+		return g, nil, nil
+	case "regular":
+		return RandomRegular(int(get("n", 500)), int(get("d", 6)), get("w", 10), seed), nil, nil
+	case "cycle":
+		n := int(get("n", 100))
+		maxW := get("w", 50)
+		weights := make([]int64, n)
+		rng := newRNG(seed)
+		for i := range weights {
+			weights[i] = 1 + rng.Int63n(maxW)
+		}
+		p := Cycle(weights)
+		return p.G, p, nil
+	case "clique":
+		return Clique(int(get("n", 60)), get("w", 10), seed), nil, nil
+	case "disconnected":
+		return Disconnected(int(get("na", 50)), int(get("nb", 60)), seed), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("gen: unknown workload kind %q", kind)
+	}
+}

@@ -1,0 +1,177 @@
+// Package graph provides the weighted undirected multigraph type used
+// throughout the repository (paper §1.1.1): n vertices, m edges, positive
+// integer edge weights. Parallel edges are allowed (they arise naturally
+// from the contractions in §4.3); self-loops are allowed on input but never
+// cross any cut, so most algorithms drop them.
+package graph
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// MaxTotalWeight bounds the sum of all edge weights. Keeping the total
+// below 2^40 guarantees that every intermediate quantity in the minimum
+// path structures (which add and subtract path sums and the ±infinity
+// blocking sentinel) stays far away from int64 overflow.
+const MaxTotalWeight = int64(1) << 40
+
+// Edge is an undirected weighted edge between vertices U and V.
+type Edge struct {
+	U, V int32
+	W    int64
+}
+
+// Graph is a weighted undirected multigraph. The zero value is an empty
+// graph with no vertices; use New.
+type Graph struct {
+	n     int
+	edges []Edge
+	total int64
+}
+
+// New returns an empty graph on n vertices (numbered 0..n-1).
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n}
+}
+
+// FromEdges builds a graph on n vertices from the given edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(int(e.U), int(e.V), e.W); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// AddEdge appends the undirected edge {u, v} with weight w.
+func (g *Graph) AddEdge(u, v int, w int64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+	}
+	if w <= 0 {
+		return fmt.Errorf("graph: edge {%d,%d} has non-positive weight %d", u, v, w)
+	}
+	if g.total+w > MaxTotalWeight {
+		return fmt.Errorf("graph: total weight would exceed %d", MaxTotalWeight)
+	}
+	g.edges = append(g.edges, Edge{int32(u), int32(v), w})
+	g.total += w
+	return nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge list. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the i-th edge.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() int64 { return g.total }
+
+// WeightedDegrees returns, for each vertex, the total weight of incident
+// non-loop edges. The smallest entry is the classic upper bound on the
+// minimum cut (the singleton cut of that vertex).
+func (g *Graph) WeightedDegrees() []int64 {
+	deg := make([]int64, g.n)
+	for _, e := range g.edges {
+		if e.U == e.V {
+			continue
+		}
+		deg[e.U] += e.W
+		deg[e.V] += e.W
+	}
+	return deg
+}
+
+// CutValue returns the total weight of edges crossing the cut described by
+// inCut (vertices with inCut[v] true form one side). It is the reference
+// cut evaluator used by tests and by witness verification.
+func (g *Graph) CutValue(inCut []bool) int64 {
+	if len(inCut) != g.n {
+		panic("graph: CutValue partition length mismatch")
+	}
+	var total atomic.Int64
+	par.ForChunk(len(g.edges), par.Grain, func(lo, hi int) {
+		var s int64
+		for _, e := range g.edges[lo:hi] {
+			if inCut[e.U] != inCut[e.V] {
+				s += e.W
+			}
+		}
+		total.Add(s)
+	})
+	return total.Load()
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	edges := make([]Edge, len(g.edges))
+	copy(edges, g.edges)
+	return &Graph{n: g.n, edges: edges, total: g.total}
+}
+
+// Adj is a CSR adjacency view of a Graph: for vertex v, the incident half
+// edges are Nbr[Off[v]:Off[v+1]] with parallel arrays EdgeIdx (index into
+// the graph's edge list) and W (edge weight). Self-loops are excluded.
+type Adj struct {
+	Off     []int32
+	Nbr     []int32
+	EdgeIdx []int32
+	W       []int64
+}
+
+// Degree returns the number of incident non-loop half-edges of v.
+func (a *Adj) Degree(v int) int { return int(a.Off[v+1] - a.Off[v]) }
+
+// BuildAdj constructs the CSR adjacency of g in parallel.
+func (g *Graph) BuildAdj() *Adj {
+	n, m := g.n, len(g.edges)
+	counts := make([]int64, n+1)
+	for _, e := range g.edges {
+		if e.U == e.V {
+			continue
+		}
+		counts[e.U+1]++
+		counts[e.V+1]++
+	}
+	par.InclusiveSum(counts, counts)
+	total := counts[n]
+	a := &Adj{
+		Off:     make([]int32, n+1),
+		Nbr:     make([]int32, total),
+		EdgeIdx: make([]int32, total),
+		W:       make([]int64, total),
+	}
+	for v := 0; v <= n; v++ {
+		a.Off[v] = int32(counts[v])
+	}
+	cursor := make([]int32, n)
+	copy(cursor, a.Off[:n])
+	for i := 0; i < m; i++ {
+		e := g.edges[i]
+		if e.U == e.V {
+			continue
+		}
+		cu := cursor[e.U]
+		a.Nbr[cu], a.EdgeIdx[cu], a.W[cu] = e.V, int32(i), e.W
+		cursor[e.U]++
+		cv := cursor[e.V]
+		a.Nbr[cv], a.EdgeIdx[cv], a.W[cv] = e.U, int32(i), e.W
+		cursor[e.V]++
+	}
+	return a
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write emits g in a DIMACS-like text format:
+//
+//	c <comment>
+//	p cut <n> <m>
+//	e <u> <v> <w>
+//
+// with 0-based vertex ids.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cut %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d %d\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		switch text[0] {
+		case 'p':
+			var kind string
+			var n, m int
+			if _, err := fmt.Sscanf(text, "p %s %d %d", &kind, &n, &m); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad problem line: %v", line, err)
+			}
+			if n < 0 || m < 0 || n > 1<<30 {
+				return nil, fmt.Errorf("graph: line %d: invalid sizes n=%d m=%d", line, n, m)
+			}
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate problem line", line)
+			}
+			g = New(n)
+		case 'e', 'a':
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", line)
+			}
+			var u, v int
+			var w int64
+			if _, err := fmt.Sscanf(text[1:], "%d %d %d", &u, &v, &w); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge: %v", line, err)
+			}
+			if err := g.AddEdge(u, v, w); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, text[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing problem line")
+	}
+	return g, nil
+}

@@ -1,0 +1,177 @@
+package listrank
+
+import (
+	"repro/internal/par"
+	"repro/internal/wd"
+)
+
+// This file implements the deterministic variant the paper sketches at
+// the end of §3.3.1: "Construct a 3-coloring of the tree and choose the
+// color with the largest number of non-branching internal vertices" —
+// on lists, the 3-coloring comes from Cole–Vishkin deterministic coin
+// tossing (O(log* n) halving rounds), and each contraction round splices
+// out the largest properly-colored class, which is an independent set by
+// construction.
+
+// threeColor computes a proper 3-coloring of the live nodes of the lists
+// (adjacent nodes along next get different colors), deterministically.
+// color and color2 are caller-provided scratch; pred is the predecessor
+// array maintained by the contraction.
+func threeColor(live []int32, nxt, pred, color, color2 []int32, m *wd.Meter) {
+	// Start from unique colors (node ids).
+	for _, v := range live {
+		color[v] = v
+	}
+	// Cole–Vishkin: replace each color by 2k+bit where k is the lowest
+	// bit differing from the successor's color (synchronous: read old,
+	// write new). O(log* n) rounds shrink the palette to {0..5}.
+	maxColor := int32(len(color))
+	for maxColor >= 6 {
+		par.ForGrain(len(live), 4096, func(i int) {
+			v := live[i]
+			s := nxt[v]
+			var k int32
+			if s == Nil {
+				k = 0
+			} else {
+				diff := color[v] ^ color[s]
+				for diff&1 == 0 {
+					diff >>= 1
+					k++
+				}
+			}
+			color2[v] = 2*k + (color[v]>>k)&1
+		})
+		for _, v := range live {
+			color[v] = color2[v]
+		}
+		// Color values bounded by v shrink to 2(bits(v)-1)+1.
+		newMax := 2*int32(wd.CeilLog2(int(maxColor)+1)-1) + 1
+		if newMax >= maxColor {
+			break
+		}
+		maxColor = newMax
+		m.Add(int64(len(live)), 1)
+	}
+	// Reduce {0..5} to {0,1,2}: each high color class is independent, so
+	// its members can simultaneously pick the smallest color unused by
+	// their neighbors.
+	for c := int32(3); c <= 5; c++ {
+		par.ForGrain(len(live), 4096, func(i int) {
+			v := live[i]
+			if color[v] != c {
+				return
+			}
+			used := [3]bool{}
+			if s := nxt[v]; s != Nil && color[s] < 3 {
+				used[color[s]] = true
+			}
+			if p := pred[v]; p != Nil && color[p] < 3 {
+				used[color[p]] = true
+			}
+			for pick := int32(0); pick < 3; pick++ {
+				if !used[pick] {
+					color[v] = pick
+					return
+				}
+			}
+		})
+		m.Add(int64(len(live)), 1)
+	}
+}
+
+// RankDeterministic ranks with deterministic independent-set contraction:
+// per round, 3-color the remaining lists and splice out the largest color
+// class of interior nodes. Work O(n log n log* n), depth O(log n log* n),
+// fully deterministic (the paper's derandomization of Lemma 8).
+func RankDeterministic(next []int32, m *wd.Meter) []int32 {
+	n := len(next)
+	nxt := make([]int32, n)
+	pred := make([]int32, n)
+	dist := make([]int32, n)
+	for i := range pred {
+		pred[i] = Nil
+	}
+	live := make([]int32, 0, n)
+	for i, s := range next {
+		nxt[i] = s
+		if s != Nil {
+			pred[s] = int32(i)
+			dist[i] = 1
+			live = append(live, int32(i))
+		}
+	}
+	color := make([]int32, n)
+	color2 := make([]int32, n)
+	var rounds [][]splice
+	const seqThreshold = 512
+	for len(live) > seqThreshold {
+		threeColor(live, nxt, pred, color, color2, m)
+		// Count interior candidates per color; splice the largest class.
+		var counts [3]int
+		for _, v := range live {
+			if nxt[v] != Nil && pred[v] != Nil && color[v] < 3 {
+				counts[color[v]]++
+			}
+		}
+		bestColor := int32(0)
+		for c := int32(1); c < 3; c++ {
+			if counts[c] > counts[bestColor] {
+				bestColor = c
+			}
+		}
+		if counts[bestColor] == 0 {
+			break // lists are all of length <= 2; finish sequentially
+		}
+		var removed []splice
+		keep := live[:0]
+		for _, v := range live {
+			if color[v] == bestColor && nxt[v] != Nil && pred[v] != Nil {
+				removed = append(removed, splice{node: v, succ: nxt[v], dist: dist[v]})
+			} else {
+				keep = append(keep, v)
+			}
+		}
+		for _, sp := range removed {
+			p := pred[sp.node]
+			nxt[p] = sp.succ
+			dist[p] += sp.dist
+			pred[sp.succ] = p
+		}
+		live = keep
+		rounds = append(rounds, removed)
+		m.Add(int64(len(keep)+len(removed)), 1)
+	}
+	rank := finishRanking(n, nxt, pred, dist, rounds, m)
+	return rank
+}
+
+// finishRanking sequentially ranks the contracted lists and reintroduces
+// spliced nodes round by round (shared with the random-mate engine).
+func finishRanking(n int, nxt, pred, dist []int32, rounds [][]splice, m *wd.Meter) []int32 {
+	rank := make([]int32, n)
+	for i := 0; i < n; i++ {
+		if pred[i] == Nil && nxt[i] != Nil {
+			var chain []int32
+			v := int32(i)
+			for v != Nil {
+				chain = append(chain, v)
+				v = nxt[v]
+			}
+			acc := int32(0)
+			for j := len(chain) - 1; j >= 0; j-- {
+				acc += dist[chain[j]] // dist[tail] is 0
+				rank[chain[j]] = acc
+			}
+		}
+	}
+	for r := len(rounds) - 1; r >= 0; r-- {
+		removed := rounds[r]
+		par.For(len(removed), func(k int) {
+			sp := removed[k]
+			rank[sp.node] = rank[sp.succ] + sp.dist
+		})
+		m.Add(int64(len(removed)), 1)
+	}
+	return rank
+}

@@ -1,0 +1,96 @@
+package listrank
+
+import (
+	"testing"
+
+	"repro/internal/wd"
+)
+
+func TestDeterministicSimple(t *testing.T) {
+	next := buildLists(6, []int32{3, 1, 5}, []int32{0, 2})
+	want := []int32{1, 1, 0, 2, 0, 0}
+	got := RankDeterministic(next, nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rank[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeterministicMatchesSequentialOnRandomForests(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		n := 700 + int(seed)*311
+		k := 1 + int(seed)%5
+		next := randomLists(n, k, seed)
+		want := RankSeq(next)
+		got := RankDeterministic(next, nil)
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: rank[%d]=%d want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDeterministicLongList(t *testing.T) {
+	n := 50000
+	l := make([]int32, n)
+	for i := range l {
+		l[i] = int32(i)
+	}
+	next := buildLists(n, l)
+	var m wd.Meter
+	got := RankDeterministic(next, &m)
+	for i := 0; i < n; i += 997 {
+		if got[i] != int32(n-1-i) {
+			t.Fatalf("rank[%d]=%d want %d", i, got[i], n-1-i)
+		}
+	}
+	if m.Work() == 0 {
+		t.Error("meter not updated")
+	}
+}
+
+func TestDeterministicIsDeterministic(t *testing.T) {
+	next := randomLists(5000, 3, 42)
+	a := RankDeterministic(next, nil)
+	b := RankDeterministic(next, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("two runs differ")
+		}
+	}
+}
+
+func TestThreeColorProper(t *testing.T) {
+	n := 20000
+	l := make([]int32, n)
+	for i := range l {
+		l[i] = int32(i)
+	}
+	next := buildLists(n, l)
+	pred := make([]int32, n)
+	for i := range pred {
+		pred[i] = Nil
+	}
+	live := make([]int32, 0, n)
+	for i, s := range next {
+		if s != Nil {
+			pred[s] = int32(i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		live = append(live, int32(i))
+	}
+	color := make([]int32, n)
+	color2 := make([]int32, n)
+	threeColor(live, next, pred, color, color2, nil)
+	for _, v := range live {
+		if color[v] < 0 || color[v] > 2 {
+			t.Fatalf("node %d has color %d outside {0,1,2}", v, color[v])
+		}
+		if s := next[v]; s != Nil && color[v] == color[s] {
+			t.Fatalf("adjacent nodes %d,%d share color %d", v, s, color[v])
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package listrank implements parallel list ranking, the primitive behind
+// the paper's Euler tours, bough ordering (§4.2 step 1), and bough finding
+// (§3.3.1, which cites Anderson–Miller [1]). Given linked lists encoded as
+// a successor array, ranking computes for every node its distance to the
+// end of its list.
+//
+// Two engines are provided: pointer jumping (deterministic, O(n log n)
+// work, O(log n) depth) and random-mate independent-set contraction
+// (O(n) work in expectation, O(log n) depth w.h.p., the Las Vegas
+// construction of Lemma 8). Both operate on forests of disjoint lists.
+package listrank
+
+import (
+	"math/rand"
+
+	"repro/internal/par"
+	"repro/internal/wd"
+)
+
+// Nil marks a list tail in a successor array.
+const Nil = int32(-1)
+
+// Rank returns, for each node i, the number of nodes strictly after i in
+// its list (tails get 0). next describes disjoint singly linked lists;
+// next[i] == Nil ends a list. Pointer jumping, deterministic.
+func Rank(next []int32, m *wd.Meter) []int32 {
+	n := len(next)
+	rank := make([]int32, n)
+	nxt := make([]int32, n)
+	for i, s := range next {
+		nxt[i] = s
+		if s != Nil {
+			rank[i] = 1
+		}
+	}
+	rank2 := make([]int32, n)
+	nxt2 := make([]int32, n)
+	// After ceil(log2 n) doubling rounds every proper list has converged;
+	// the cap makes cyclic (invalid) input terminate with garbage ranks on
+	// the cycles instead of hanging, which callers detect by coverage.
+	maxRounds := wd.CeilLog2(n) + 2
+	for round := int64(0); round < maxRounds; round++ {
+		alive := false
+		for _, s := range nxt {
+			if s != Nil {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			break
+		}
+		par.For(n, func(i int) {
+			s := nxt[i]
+			if s == Nil {
+				rank2[i] = rank[i]
+				nxt2[i] = Nil
+				return
+			}
+			rank2[i] = rank[i] + rank[s]
+			nxt2[i] = nxt[s]
+		})
+		rank, rank2 = rank2, rank
+		nxt, nxt2 = nxt2, nxt
+		m.Add(int64(n), 1)
+	}
+	m.Add(int64(n), wd.CeilLog2(n))
+	return rank
+}
+
+// splice records a node removed during random-mate contraction.
+type splice struct {
+	node, succ int32
+	dist       int32
+}
+
+// RankRandomMate ranks with random-mate independent-set contraction
+// seeded by seed (Las Vegas: the result is always exact; only the running
+// time is random).
+func RankRandomMate(next []int32, seed int64, m *wd.Meter) []int32 {
+	n := len(next)
+	nxt := make([]int32, n)
+	pred := make([]int32, n)
+	dist := make([]int32, n)
+	for i := range pred {
+		pred[i] = Nil
+	}
+	live := make([]int32, 0, n)
+	for i, s := range next {
+		nxt[i] = s
+		if s != Nil {
+			pred[s] = int32(i)
+			dist[i] = 1
+			live = append(live, int32(i))
+		}
+	}
+	// live holds nodes that still have a successor (removable candidates).
+	rng := rand.New(rand.NewSource(seed))
+	coins := make([]byte, n)
+	var rounds [][]splice
+	const seqThreshold = 512
+	for len(live) > seqThreshold {
+		for _, v := range live {
+			coins[v] = byte(rng.Intn(2))
+		}
+		// Remove v iff coin(v)=1 and coin(next(v))=0: no two adjacent
+		// nodes are removed, so all splices commute.
+		var removed []splice
+		keep := live[:0]
+		for _, v := range live {
+			s := nxt[v]
+			if s != Nil && pred[v] != Nil && coins[v] == 1 && coins[s] == 0 {
+				removed = append(removed, splice{node: v, succ: s, dist: dist[v]})
+			} else {
+				keep = append(keep, v)
+			}
+		}
+		if len(removed) == 0 {
+			live = keep
+			continue
+		}
+		for _, sp := range removed {
+			p := pred[sp.node]
+			nxt[p] = sp.succ
+			dist[p] += sp.dist
+			pred[sp.succ] = p
+		}
+		// Rebuild the live set: nodes with a successor that were not removed.
+		live = keep
+		rounds = append(rounds, removed)
+		m.Add(int64(len(keep)+len(removed)), 1)
+	}
+	m.Add(int64(len(live)), int64(seqThreshold))
+	return finishRanking(n, nxt, pred, dist, rounds, m)
+}
+
+// RankSeq is the sequential reference implementation used by tests.
+func RankSeq(next []int32) []int32 {
+	n := len(next)
+	rank := make([]int32, n)
+	pred := make([]int32, n)
+	for i := range pred {
+		pred[i] = Nil
+	}
+	hasSucc := make([]bool, n)
+	for i, s := range next {
+		if s != Nil {
+			pred[s] = int32(i)
+			hasSucc[i] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if pred[i] == Nil && hasSucc[i] {
+			// i is a head; walk the list.
+			var chain []int32
+			v := int32(i)
+			for v != Nil {
+				chain = append(chain, v)
+				v = next[v]
+			}
+			for j, v := range chain {
+				rank[v] = int32(len(chain) - 1 - j)
+			}
+		}
+	}
+	return rank
+}

@@ -1,0 +1,127 @@
+package listrank
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wd"
+)
+
+// buildLists creates a successor array containing the given lists (each a
+// sequence of node ids).
+func buildLists(n int, lists ...[]int32) []int32 {
+	next := make([]int32, n)
+	for i := range next {
+		next[i] = Nil
+	}
+	for _, l := range lists {
+		for i := 0; i+1 < len(l); i++ {
+			next[l[i]] = l[i+1]
+		}
+	}
+	return next
+}
+
+// randomLists shuffles nodes 0..n-1 into k random lists.
+func randomLists(n, k int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	next := make([]int32, n)
+	for i := range next {
+		next[i] = Nil
+	}
+	bounds := map[int]bool{0: true}
+	for len(bounds) < k {
+		bounds[rng.Intn(n)] = true
+	}
+	for i := 0; i+1 < n; i++ {
+		if !bounds[i+1] {
+			next[perm[i]] = int32(perm[i+1])
+		}
+	}
+	return next
+}
+
+func TestRankSimple(t *testing.T) {
+	next := buildLists(6, []int32{3, 1, 5}, []int32{0, 2})
+	want := []int32{1, 1, 0, 2, 0, 0}
+	for name, got := range map[string][]int32{
+		"jump": Rank(next, nil),
+		"mate": RankRandomMate(next, 1, nil),
+		"seq":  RankSeq(next),
+	} {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: rank[%d]=%d want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRankSingleLongList(t *testing.T) {
+	n := 10000
+	l := make([]int32, n)
+	for i := range l {
+		l[i] = int32(i)
+	}
+	next := buildLists(n, l)
+	var m wd.Meter
+	got := Rank(next, &m)
+	for i := 0; i < n; i++ {
+		if got[i] != int32(n-1-i) {
+			t.Fatalf("rank[%d]=%d want %d", i, got[i], n-1-i)
+		}
+	}
+	if m.Work() == 0 || m.Depth() == 0 {
+		t.Error("meter not updated")
+	}
+	// Pointer jumping depth should be logarithmic, not linear.
+	if m.Depth() > 4*wd.CeilLog2(n)+8 {
+		t.Errorf("depth %d too large for n=%d", m.Depth(), n)
+	}
+}
+
+func TestEnginesAgreeOnRandomForests(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		n := 500 + int(seed)*377
+		k := 1 + int(seed)%7
+		next := randomLists(n, k, seed)
+		want := RankSeq(next)
+		jump := Rank(next, nil)
+		mate := RankRandomMate(next, seed*13+5, nil)
+		for i := 0; i < n; i++ {
+			if jump[i] != want[i] {
+				t.Fatalf("seed %d: jump rank[%d]=%d want %d", seed, i, jump[i], want[i])
+			}
+			if mate[i] != want[i] {
+				t.Fatalf("seed %d: mate rank[%d]=%d want %d", seed, i, mate[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRankEmptyAndSingletons(t *testing.T) {
+	if got := Rank(nil, nil); len(got) != 0 {
+		t.Error("empty input")
+	}
+	next := []int32{Nil, Nil, Nil}
+	for _, got := range [][]int32{Rank(next, nil), RankRandomMate(next, 3, nil), RankSeq(next)} {
+		for i, r := range got {
+			if r != 0 {
+				t.Errorf("singleton %d has rank %d", i, r)
+			}
+		}
+	}
+}
+
+func TestRandomMateDoesNotMutateInput(t *testing.T) {
+	next := randomLists(1000, 3, 9)
+	saved := make([]int32, len(next))
+	copy(saved, next)
+	RankRandomMate(next, 4, nil)
+	for i := range next {
+		if next[i] != saved[i] {
+			t.Fatal("input successor array mutated")
+		}
+	}
+}

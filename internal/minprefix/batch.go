@@ -1,0 +1,394 @@
+package minprefix
+
+import (
+	"repro/internal/par"
+	"repro/internal/wd"
+)
+
+// updRec is an update relevant at the current node: one entry of the
+// arrays H (time), X (original increment), and Φ (this node's minimum
+// change) of §3.1. fromRight records whether the node holding this record
+// is the right child of its parent.
+type updRec struct {
+	time      int32
+	fromRight bool
+	x         int64
+	phi       int64
+}
+
+// qryRec is a query relevant at the current node with its partial d value
+// (§3.2) and the index of the originating op.
+type qryRec struct {
+	time      int32
+	fromRight bool
+	origin    int32
+	d         int64
+}
+
+// nodeSpan locates one tree node's records inside the per-level arrays.
+type nodeSpan struct {
+	id             int32 // heap id (root = 1, leaves pad..2*pad-1)
+	u0, u1, q0, q1 int32
+}
+
+// RunBatch executes a batch of operations on a list with initial weights
+// w0 as if they were applied sequentially in op order, but processes the
+// whole batch at once: a parallel bottom-up sweep over the difference
+// tree produces every intermediate ∆ state (§3.1) and resolves the query
+// d-values against them with merges and segmented broadcasts (§3.2).
+// The result slice has one entry per op; entry i is the query result when
+// ops[i].Query and 0 otherwise.
+func RunBatch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
+	return runBatch(w0, ops, m, false)
+}
+
+// RunBatchBinarySearch is the E9 ablation variant: instead of merging the
+// query stream with the ∆ stream and broadcasting (the paper's approach),
+// every query binary-searches the update times, paying the extra Θ(log k)
+// work factor §3.2 is designed to avoid.
+func RunBatchBinarySearch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
+	return runBatch(w0, ops, m, true)
+}
+
+// seqCutoff routes small batches to the one-by-one difference tree: below
+// this size the parallel sweep's per-level bookkeeping (and its goroutine
+// fan-out) costs more than it saves. The Minimum Path layer produces many
+// tiny per-segment batches, so this cutoff carries real weight.
+const seqCutoff = 2048
+
+func runBatch(w0 []int64, ops []Op, m *wd.Meter, binsearch bool) []int64 {
+	n := len(w0)
+	validate(n, ops)
+	res := make([]int64, len(ops))
+	if len(ops) == 0 {
+		return res
+	}
+	if n == 1 {
+		runSingleLeaf(w0[0], ops, res, m)
+		return res
+	}
+	if n+len(ops) <= seqCutoff {
+		s := NewSeq(w0)
+		for i, op := range ops {
+			if op.Query {
+				res[i] = s.MinPrefix(op.Leaf)
+			} else {
+				s.AddPrefix(op.Leaf, op.X)
+			}
+		}
+		// Metered at the batch algorithm's model cost (Lemma 6): running
+		// tiny batches sequentially is a constant-factor engineering
+		// substitution, not an algorithmic serialization.
+		m.Add(int64(n+len(ops))*wd.CeilLog2(n), wd.CeilLog2(n)*(wd.CeilLog2(len(ops))+1))
+		return res
+	}
+	pad := 1
+	levels := int64(0)
+	for pad < n {
+		pad *= 2
+		levels++
+	}
+	// min0: initial subtree minima, heap-ordered.
+	min0 := make([]int64, 2*pad)
+	par.For(pad, func(i int) {
+		if i < n {
+			min0[pad+i] = w0[i]
+		} else {
+			min0[pad+i] = padInf
+		}
+	})
+	for lvl := levels - 1; lvl >= 0; lvl-- {
+		lo := 1 << lvl
+		par.For(lo, func(i int) {
+			b := lo + i
+			l, r := min0[2*b], min0[2*b+1]
+			if l < r {
+				min0[b] = l
+			} else {
+				min0[b] = r
+			}
+		})
+	}
+	m.Add(int64(2*pad), levels+1)
+
+	// Leaf grouping: stable-sort op indices by leaf (stability keeps time
+	// order within a leaf), then split each leaf's ops into updates and
+	// queries (§3.1.1).
+	k := len(ops)
+	order := make([]int32, k)
+	par.For(k, func(i int) { order[i] = int32(i) })
+	par.SortStable(order, func(a, b int32) bool { return ops[a].Leaf < ops[b].Leaf })
+	m.Add(int64(k)*wd.CeilLog2(k), wd.CeilLog2(k))
+	upd := make([]updRec, 0, k)
+	qry := make([]qryRec, 0, k)
+	var spans []nodeSpan
+	for i := 0; i < k; {
+		leaf := ops[order[i]].Leaf
+		id := int32(pad) + leaf
+		fromRight := id&1 == 1
+		sp := nodeSpan{id: id, u0: int32(len(upd)), q0: int32(len(qry))}
+		for ; i < k && ops[order[i]].Leaf == leaf; i++ {
+			t := order[i]
+			op := ops[t]
+			if op.Query {
+				qry = append(qry, qryRec{time: t, fromRight: fromRight, origin: t})
+			} else {
+				upd = append(upd, updRec{time: t, fromRight: fromRight, x: op.X, phi: op.X})
+			}
+		}
+		sp.u1, sp.q1 = int32(len(upd)), int32(len(qry))
+		spans = append(spans, sp)
+	}
+	m.Add(int64(k), wd.CeilLog2(k))
+
+	// Scratch buffers shared by all nodes of a level (each node slices the
+	// region matching its output offsets), so the sweep's per-node state
+	// costs no allocations.
+	nu, nq := len(upd), len(qry)
+	scratch := &levelScratch{
+		delta:  make([]int64, nu),
+		sl:     make([]int64, nu),
+		sr:     make([]int64, nu),
+		states: make([]int64, nq),
+	}
+	// Bottom-up sweep: nodes of one level are processed in parallel; the
+	// records of each parent are the merge of its children's records.
+	for len(spans) > 1 || spans[0].id != 1 {
+		type job struct {
+			parent int32
+			left   int32 // index into spans, -1 if absent
+			right  int32
+			u0, q0 int32 // output offsets
+		}
+		var jobs []job
+		var uo, qo int32
+		for i := 0; i < len(spans); {
+			p := spans[i].id / 2
+			j := job{parent: p, left: -1, right: -1, u0: uo, q0: qo}
+			if spans[i].id&1 == 0 {
+				j.left = int32(i)
+			} else {
+				j.right = int32(i)
+			}
+			uo += spans[i].u1 - spans[i].u0
+			qo += spans[i].q1 - spans[i].q0
+			i++
+			if i < len(spans) && spans[i].id/2 == p {
+				j.right = int32(i)
+				uo += spans[i].u1 - spans[i].u0
+				qo += spans[i].q1 - spans[i].q0
+				i++
+			}
+			jobs = append(jobs, j)
+		}
+		nextUpd := make([]updRec, uo)
+		nextQry := make([]qryRec, qo)
+		nextSpans := make([]nodeSpan, len(jobs))
+		par.ForGrain(len(jobs), 1, func(ji int) {
+			j := jobs[ji]
+			var ul, ur []updRec
+			var ql, qr []qryRec
+			if j.left >= 0 {
+				sp := spans[j.left]
+				ul, ql = upd[sp.u0:sp.u1], qry[sp.q0:sp.q1]
+			}
+			if j.right >= 0 {
+				sp := spans[j.right]
+				ur, qr = upd[sp.u0:sp.u1], qry[sp.q0:sp.q1]
+			}
+			uOut := nextUpd[j.u0 : j.u0+int32(len(ul)+len(ur))]
+			qOut := nextQry[j.q0 : j.q0+int32(len(ql)+len(qr))]
+			sc := nodeScratch{
+				delta:  scratch.delta[j.u0 : j.u0+int32(len(uOut))],
+				sl:     scratch.sl[j.u0 : j.u0+int32(len(uOut))],
+				sr:     scratch.sr[j.u0 : j.u0+int32(len(uOut))],
+				states: scratch.states[j.q0 : j.q0+int32(len(qOut))],
+			}
+			processNode(j.parent, min0, ul, ur, ql, qr, uOut, qOut, res, binsearch, sc)
+			nextSpans[ji] = nodeSpan{
+				id: j.parent,
+				u0: j.u0, u1: j.u0 + int32(len(uOut)),
+				q0: j.q0, q1: j.q0 + int32(len(qOut)),
+			}
+		})
+		m.Add(int64(len(nextUpd)+len(nextQry))+int64(len(jobs)), wd.CeilLog2(len(nextUpd)+len(nextQry)+2)+1)
+		spans, upd, qry = nextSpans, nextUpd, nextQry
+	}
+	return res
+}
+
+// runSingleLeaf handles the degenerate 1-element list: a query result is
+// the initial weight plus the sum of the updates before it.
+func runSingleLeaf(w0 int64, ops []Op, res []int64, m *wd.Meter) {
+	k := len(ops)
+	xs := make([]int64, k)
+	par.For(k, func(i int) {
+		if !ops[i].Query {
+			xs[i] = ops[i].X
+		}
+	})
+	par.ExclusiveSum(xs, xs)
+	par.For(k, func(i int) {
+		if ops[i].Query {
+			res[i] = w0 + xs[i]
+		}
+	})
+	m.Add(3*int64(k), 2+wd.CeilLog2(k))
+}
+
+// levelScratch holds the per-level shared buffers; nodeScratch is the
+// per-node view (slices of the level buffers at the node's offsets).
+type levelScratch struct {
+	delta, sl, sr, states []int64
+}
+
+type nodeScratch struct {
+	delta, sl, sr, states []int64
+}
+
+// processNode computes the parent node's update records (∆ states and Φ
+// values, §3.1.2) and advances the query d-values through the parent
+// (§3.2). When parent is the root it also resolves the final results.
+func processNode(parent int32, min0 []int64, ul, ur []updRec, ql, qr []qryRec,
+	uOut []updRec, qOut []qryRec, res []int64, binsearch bool, sc nodeScratch) {
+
+	delta0 := min0[2*parent+1] - min0[2*parent]
+	byTimeU := func(a, b updRec) bool { return a.time < b.time }
+	byTimeQ := func(a, b qryRec) bool { return a.time < b.time }
+	par.Merge(ul, ur, uOut, byTimeU)
+	par.Merge(ql, qr, qOut, byTimeQ)
+
+	u := len(uOut)
+	// Prefix sums of φl and φr reconstruct every intermediate ∆ (the
+	// telescoped update equation, Observations 3 and 4): records from the
+	// left child have φr = 0; records from the right child have φl = x.
+	delta := sc.delta
+	if u > 0 {
+		sl, sr := sc.sl, sc.sr
+		par.For(u, func(i int) {
+			r := uOut[i]
+			if r.fromRight {
+				sl[i], sr[i] = r.x, r.phi
+			} else {
+				sl[i], sr[i] = r.phi, 0
+			}
+		})
+		par.InclusiveSum(sl, sl)
+		par.InclusiveSum(sr, sr)
+		par.For(u, func(i int) {
+			delta[i] = delta0 + sr[i] - sl[i]
+		})
+		fromRight := parent&1 == 1
+		par.For(u, func(i int) {
+			r := &uOut[i]
+			deltaPrev := delta0
+			if i > 0 {
+				deltaPrev = delta[i-1]
+			}
+			var phiL, phiR int64
+			if r.fromRight {
+				phiL, phiR = r.x, r.phi
+			} else {
+				phiL, phiR = r.phi, 0
+			}
+			r.phi = phiTransition(phiL, phiR, deltaPrev, delta[i])
+			r.fromRight = fromRight
+		})
+	}
+
+	// Advance queries: each needs ∆ at the last update time before it.
+	if len(qOut) > 0 {
+		deltaStates(uOut, delta, qOut, delta0, binsearch, sc.states)
+		fromRight := parent&1 == 1
+		par.For(len(qOut), func(i int) {
+			q := &qOut[i]
+			q.d = dTransition(q.d, q.fromRight, sc.states[i])
+			q.fromRight = fromRight
+		})
+	}
+
+	if parent == 1 && len(qOut) > 0 {
+		// Root: the overall minimum after update i is min0(root) plus the
+		// prefix sums of ϕ(root) (§3.1.3); each query adds the minimum at
+		// the closest preceding time to its final d (§3.2). The sl scratch
+		// is free again at this point and holds the running minima.
+		minAt := sc.sl
+		par.For(u, func(i int) { minAt[i] = uOut[i].phi })
+		par.InclusiveSum(minAt[:u], minAt[:u])
+		par.For(u, func(i int) { minAt[i] += min0[1] })
+		deltaStates(uOut, minAt, qOut, min0[1], binsearch, sc.states)
+		par.For(len(qOut), func(i int) {
+			res[qOut[i].origin] = qOut[i].d + sc.states[i]
+		})
+	}
+}
+
+// deltaStates fills states[i] with the value of vals at the last update
+// with time before query i (or initial if none). Small nodes use an
+// allocation-free two-pointer walk; large nodes use the paper's §3.2
+// construction (parallel merge + segmented broadcast); the ablation path
+// binary-searches per query.
+func deltaStates(uOut []updRec, vals []int64, qOut []qryRec, initial int64, binsearch bool, states []int64) {
+	if !binsearch && len(uOut)+len(qOut) <= 4*par.Grain {
+		// Sequential merge of the two time-sorted streams.
+		cur := initial
+		ui := 0
+		for qi := range qOut {
+			for ui < len(uOut) && uOut[ui].time < qOut[qi].time {
+				cur = vals[ui]
+				ui++
+			}
+			states[qi] = cur
+		}
+		return
+	}
+	if binsearch {
+		times := make([]int64, len(uOut))
+		par.For(len(uOut), func(i int) { times[i] = int64(uOut[i].time) })
+		par.For(len(qOut), func(i int) {
+			// Largest update index with time < query time.
+			lo, hi := 0, len(times) // hi exclusive
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if times[mid] < int64(qOut[i].time) {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo == 0 {
+				states[i] = initial
+			} else {
+				states[i] = vals[lo-1]
+			}
+		})
+		return
+	}
+	// Merge update (time, value) and query (time, slot) streams.
+	type mix struct {
+		time  int32
+		isQ   bool
+		val   int64
+		qslot int32
+	}
+	a := make([]mix, len(uOut))
+	b := make([]mix, len(qOut))
+	par.For(len(uOut), func(i int) { a[i] = mix{time: uOut[i].time, val: vals[i]} })
+	par.For(len(qOut), func(i int) { b[i] = mix{time: qOut[i].time, isQ: true, qslot: int32(i)} })
+	merged := make([]mix, len(a)+len(b))
+	par.Merge(a, b, merged, func(x, y mix) bool { return x.time < y.time })
+	present := make([]bool, len(merged))
+	mv := make([]int64, len(merged))
+	par.For(len(merged), func(i int) {
+		if !merged[i].isQ {
+			present[i] = true
+			mv[i] = merged[i].val
+		}
+	})
+	par.SegmentedBroadcast(present, mv, mv, initial)
+	par.For(len(merged), func(i int) {
+		if merged[i].isQ {
+			states[merged[i].qslot] = mv[i]
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package minprefix
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBatchVsSeq quantifies Lemma 5/6: the batched sweep amortizes
+// per-op cost as the batch grows, while the one-by-one tree pays a full
+// root path per op.
+func BenchmarkBatchVsSeq(b *testing.B) {
+	n := 1 << 14
+	w0 := make([]int64, n)
+	for _, k := range []int{1 << 12, 1 << 16} {
+		ops := randomBatch(n, k, 7)
+		b.Run(fmt.Sprintf("batch/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RunBatch(w0, ops, nil)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/op-single")
+		})
+		b.Run(fmt.Sprintf("seq/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NewSeq(w0).Run(ops)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/op-single")
+		})
+	}
+}
+
+func BenchmarkSeqSingleOps(b *testing.B) {
+	n := 1 << 16
+	s := NewSeq(make([]int64, n))
+	b.Run("AddPrefix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.AddPrefix(int32(i%n), 1)
+		}
+	})
+	b.Run("MinPrefix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.MinPrefix(int32(i % n))
+		}
+	})
+}

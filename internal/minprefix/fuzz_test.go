@@ -1,0 +1,46 @@
+package minprefix
+
+import (
+	"testing"
+)
+
+// FuzzBatchMatchesNaive feeds arbitrary byte strings decoded as op
+// sequences into all three executors and cross-checks them; the decoder
+// maps bytes to list sizes, op kinds, leaves and increments.
+func FuzzBatchMatchesNaive(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 2, 128, 3, 250})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add([]byte{10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 255, 254})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := 1 + int(data[0])%64
+		w0 := make([]int64, n)
+		for i := range w0 {
+			w0[i] = int64(int8(data[(i+1)%len(data)]))
+		}
+		var ops []Op
+		for i := 1; i+1 < len(data); i += 2 {
+			leaf := int32(int(data[i]) % n)
+			if data[i+1]&1 == 0 {
+				ops = append(ops, MinOp(leaf))
+			} else {
+				ops = append(ops, AddOp(leaf, int64(int8(data[i+1]))))
+			}
+		}
+		want := NewNaive(w0).Run(ops)
+		seq := NewSeq(w0).Run(ops)
+		batch := RunBatch(w0, ops, nil)
+		bs := RunBatchBinarySearch(w0, ops, nil)
+		for i := range ops {
+			if !ops[i].Query {
+				continue
+			}
+			if seq[i] != want[i] || batch[i] != want[i] || bs[i] != want[i] {
+				t.Fatalf("op %d: naive=%d seq=%d batch=%d bs=%d",
+					i, want[i], seq[i], batch[i], bs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,141 @@
+// Package minprefix implements the Minimum Prefix structure of the paper:
+// a list of weighted vertices supporting AddPrefix (add x to the first i
+// weights) and MinPrefix (smallest weight among the first i) — §2.3 for
+// the one-by-one difference-encoded binary tree and §3.1–3.2 for the
+// batched parallel executor that produces all intermediate states of every
+// node at once and answers a batch of k mixed operations in
+// O(k(log n + log k) + n) work and O(log n log k) depth (Lemmas 5 and 6).
+//
+// Paper erratum: the four-case formula for Φ(b)[i] printed in §3.1.2 uses
+// ∆(b)[i] where the paper's own Figures 6 and 7 (correctly) use the
+// previous state ∆(b)[i−1]. With ∆ = min(right) − min(left), φl/φr the
+// per-child minimum changes, ∆prev = ∆ before the update and ∆cur after:
+//
+//	min stays left   (∆prev > 0, ∆cur > 0):  ϕ(b) = φl
+//	right → left     (∆prev ≤ 0, ∆cur > 0):  ϕ(b) = φl − ∆prev
+//	min stays right  (∆prev ≤ 0, ∆cur ≤ 0):  ϕ(b) = φr
+//	left → right     (∆prev > 0, ∆cur ≤ 0):  ϕ(b) = φr + ∆prev
+//
+// TestPhiTransitionCases pins each case against the naive executor.
+package minprefix
+
+import "fmt"
+
+// Op is one Minimum Prefix operation at a leaf of the list: AddPrefix
+// (Query false; adds X to the weights of leaves 0..Leaf) or MinPrefix
+// (Query true; returns the minimum weight among leaves 0..Leaf). The
+// position of the Op in a batch is its time.
+type Op struct {
+	Query bool
+	Leaf  int32
+	X     int64
+}
+
+// AddOp and MinOp are convenience constructors.
+func AddOp(leaf int32, x int64) Op { return Op{Leaf: leaf, X: x} }
+func MinOp(leaf int32) Op          { return Op{Query: true, Leaf: leaf} }
+
+func validate(listLen int, ops []Op) {
+	if listLen < 1 {
+		panic("minprefix: empty list")
+	}
+	for i, op := range ops {
+		if op.Leaf < 0 || int(op.Leaf) >= listLen {
+			panic(fmt.Sprintf("minprefix: op %d leaf %d out of range [0,%d)", i, op.Leaf, listLen))
+		}
+	}
+}
+
+// Naive is the obviously correct O(n)-per-operation executor used as the
+// test oracle.
+type Naive struct {
+	w []int64
+}
+
+// NewNaive copies w0 as the initial weights.
+func NewNaive(w0 []int64) *Naive {
+	w := make([]int64, len(w0))
+	copy(w, w0)
+	return &Naive{w: w}
+}
+
+// AddPrefix adds x to weights 0..leaf.
+func (s *Naive) AddPrefix(leaf int32, x int64) {
+	for i := int32(0); i <= leaf; i++ {
+		s.w[i] += x
+	}
+}
+
+// MinPrefix returns the smallest weight among 0..leaf.
+func (s *Naive) MinPrefix(leaf int32) int64 {
+	best := s.w[0]
+	for i := int32(1); i <= leaf; i++ {
+		if s.w[i] < best {
+			best = s.w[i]
+		}
+	}
+	return best
+}
+
+// Run executes a batch, returning a slice with one entry per op; entry i
+// holds the query result when ops[i].Query and 0 otherwise.
+func (s *Naive) Run(ops []Op) []int64 {
+	validate(len(s.w), ops)
+	res := make([]int64, len(ops))
+	for i, op := range ops {
+		if op.Query {
+			res[i] = s.MinPrefix(op.Leaf)
+		} else {
+			s.AddPrefix(op.Leaf, op.X)
+		}
+	}
+	return res
+}
+
+// PhiTransition exposes phiTransition for the traced cache-model replay
+// in internal/cache, which re-implements the sweep sequentially.
+func PhiTransition(phiL, phiR, deltaPrev, deltaCur int64) int64 {
+	return phiTransition(phiL, phiR, deltaPrev, deltaCur)
+}
+
+// DTransition exposes dTransition for the traced cache-model replay.
+func DTransition(d int64, fromRight bool, delta int64) int64 {
+	return dTransition(d, fromRight, delta)
+}
+
+// PadInf is the padding-leaf sentinel (see seq.go).
+const PadInf = padInf
+
+// phiTransition is the (corrected) four-case update of §3.1.2 shared by
+// the sequential and batched executors.
+func phiTransition(phiL, phiR, deltaPrev, deltaCur int64) int64 {
+	switch {
+	case deltaPrev > 0 && deltaCur > 0:
+		return phiL
+	case deltaPrev <= 0 && deltaCur > 0:
+		return phiL - deltaPrev
+	case deltaPrev <= 0 && deltaCur <= 0:
+		return phiR
+	default: // deltaPrev > 0, deltaCur <= 0
+		return phiR + deltaPrev
+	}
+}
+
+// dTransition is the query-side rule of §3.2 (Figures 8 and 9): d is the
+// partial result arriving from the path child, fromRight tells whether the
+// query leaf lies in the right subtree, delta is ∆(b) at the query's time.
+func dTransition(d int64, fromRight bool, delta int64) int64 {
+	if delta > 0 {
+		if fromRight {
+			return 0 // whole left subtree, holding min(b), is in the prefix
+		}
+		return d
+	}
+	if fromRight {
+		if d+delta < 0 {
+			return d
+		}
+		return -delta
+	}
+	return d - delta
+}

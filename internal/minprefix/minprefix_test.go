@@ -1,0 +1,255 @@
+package minprefix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomBatch builds a reproducible random op batch over a list of length n.
+func randomBatch(n, k int, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]Op, k)
+	for i := range ops {
+		leaf := int32(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			ops[i] = MinOp(leaf)
+		} else {
+			ops[i] = AddOp(leaf, int64(rng.Intn(41)-20))
+		}
+	}
+	return ops
+}
+
+func randomWeights(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(rng.Intn(201) - 100)
+	}
+	return w
+}
+
+func checkAgainstNaive(t *testing.T, w0 []int64, ops []Op, name string, run func([]int64, []Op) []int64) {
+	t.Helper()
+	want := NewNaive(w0).Run(ops)
+	got := run(w0, ops)
+	if len(got) != len(want) {
+		t.Fatalf("%s: result length %d want %d", name, len(got), len(want))
+	}
+	for i := range ops {
+		if ops[i].Query && got[i] != want[i] {
+			t.Fatalf("%s: query at op %d (leaf %d): got %d want %d",
+				name, i, ops[i].Leaf, got[i], want[i])
+		}
+	}
+}
+
+func runSeq(w0 []int64, ops []Op) []int64     { return NewSeq(w0).Run(ops) }
+func runBatchT(w0 []int64, ops []Op) []int64  { return RunBatch(w0, ops, nil) }
+func runBatchBS(w0 []int64, ops []Op) []int64 { return RunBatchBinarySearch(w0, ops, nil) }
+
+func TestExecutorsAgreeRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		n := 1 + int(seed*37)%129
+		k := 1 + int(seed*101)%300
+		w0 := randomWeights(n, seed)
+		ops := randomBatch(n, k, seed+1000)
+		checkAgainstNaive(t, w0, ops, "seq", runSeq)
+		checkAgainstNaive(t, w0, ops, "batch", runBatchT)
+		checkAgainstNaive(t, w0, ops, "batch-bs", runBatchBS)
+	}
+}
+
+func TestLargerBatch(t *testing.T) {
+	n, k := 511, 4096
+	w0 := randomWeights(n, 3)
+	ops := randomBatch(n, k, 4)
+	checkAgainstNaive(t, w0, ops, "batch", runBatchT)
+}
+
+func TestAllQueriesNoUpdates(t *testing.T) {
+	w0 := []int64{5, -2, 7, 0}
+	ops := []Op{MinOp(0), MinOp(1), MinOp(2), MinOp(3)}
+	got := RunBatch(w0, ops, nil)
+	want := []int64{5, -2, -2, -2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("query %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllUpdatesNoQueries(t *testing.T) {
+	w0 := []int64{1, 2}
+	ops := []Op{AddOp(0, 5), AddOp(1, -3)}
+	got := RunBatch(w0, ops, nil)
+	for i, v := range got {
+		if v != 0 {
+			t.Errorf("non-query slot %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestSingleLeafList(t *testing.T) {
+	w0 := []int64{10}
+	ops := []Op{MinOp(0), AddOp(0, -4), MinOp(0), AddOp(0, 1), MinOp(0)}
+	want := []int64{10, 0, 6, 0, 7}
+	for name, run := range map[string]func([]int64, []Op) []int64{
+		"seq": runSeq, "batch": runBatchT, "batch-bs": runBatchBS,
+	} {
+		got := run(w0, ops)
+		for i := range want {
+			if ops[i].Query && got[i] != want[i] {
+				t.Errorf("%s: op %d got %d want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	if got := RunBatch([]int64{1, 2, 3}, nil, nil); len(got) != 0 {
+		t.Fatal("empty batch should return empty results")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range leaf did not panic")
+		}
+	}()
+	RunBatch([]int64{1, 2}, []Op{MinOp(5)}, nil)
+}
+
+// TestFigure5DifferenceTree pins the ∆ encoding of paper Figure 5: each
+// inner node stores min(right) − min(left).
+func TestFigure5DifferenceTree(t *testing.T) {
+	w := []int64{4, 7, 2, 9, 5, 1, 8, 3}
+	s := NewSeq(w)
+	// Heap ids: 1 root; leaves 8..15.
+	wantDelta := map[int]int64{
+		4: 7 - 4, 5: 9 - 2, 6: 1 - 5, 7: 3 - 8, // level above leaves
+		2: 2 - 4, 3: 3 - 1, // min(2,9)-min(4,7), min(8,3)-min(5,1)
+		1: 1 - 2, // min(5,1,8,3) - min(4,7,2,9)
+	}
+	for node, want := range wantDelta {
+		if s.delta[node] != want {
+			t.Errorf("delta[%d]=%d want %d", node, s.delta[node], want)
+		}
+	}
+	if s.minRoot != 1 {
+		t.Errorf("minRoot=%d want 1", s.minRoot)
+	}
+}
+
+// TestPhiTransitionCases exercises each of the four Φ cases of §3.1.2
+// (with the corrected ∆prev indexing; see the package comment) against
+// the naive executor, including the scenarios of Figures 6 and 7.
+func TestPhiTransitionCases(t *testing.T) {
+	// Two-leaf list: node 1 is the root with leaves 2 (left), 3 (right).
+	cases := []struct {
+		name string
+		w0   []int64
+		ops  []Op
+	}{
+		// Figure 6: minimum stays in the right subtree after the update.
+		{"stays-right", []int64{5, 1}, []Op{AddOp(0, -2), MinOp(1)}},
+		// Figure 7: minimum moves from left to right.
+		{"left-to-right", []int64{1, 5}, []Op{AddOp(0, 10), MinOp(1)}},
+		// Symmetric: minimum stays left.
+		{"stays-left", []int64{1, 5}, []Op{AddOp(0, 1), MinOp(1)}},
+		// Symmetric: minimum moves from right to left.
+		{"right-to-left", []int64{5, 1}, []Op{AddOp(1, 10), MinOp(1)}},
+	}
+	for _, c := range cases {
+		checkAgainstNaive(t, c.w0, c.ops, "seq/"+c.name, runSeq)
+		checkAgainstNaive(t, c.w0, c.ops, "batch/"+c.name, runBatchT)
+	}
+}
+
+// TestDTransitionCases pins the query rules of Figures 8 and 9.
+func TestDTransitionCases(t *testing.T) {
+	// d(b) when ∆ > 0 (min left) and query in left: copy d(l). (Fig. 8)
+	if got := dTransition(3, false, 5); got != 3 {
+		t.Errorf("fig8 case: %d", got)
+	}
+	// ∆ ≤ 0 (min right), query left: d(l) − ∆. (Fig. 9)
+	if got := dTransition(3, false, -4); got != 7 {
+		t.Errorf("fig9 case: %d", got)
+	}
+	// Query right, ∆ > 0: whole left subtree in prefix, d = 0.
+	if got := dTransition(3, true, 5); got != 0 {
+		t.Errorf("right/minleft case: %d", got)
+	}
+	// Query right, ∆ ≤ 0, d(r)+∆ < 0: keep d(r).
+	if got := dTransition(1, true, -4); got != 1 {
+		t.Errorf("right/minright deep case: %d", got)
+	}
+	// Query right, ∆ ≤ 0, d(r)+∆ ≥ 0: −∆.
+	if got := dTransition(9, true, -4); got != 4 {
+		t.Errorf("right/minright shallow case: %d", got)
+	}
+}
+
+// TestFigure10RelevantSets checks that an update is processed at exactly
+// the nodes whose subtree contains its leaf: updating leaf 1 of an
+// 8-leaf list must not disturb queries confined to other subtrees, and the
+// intermediate states seen by later queries must match the sequential
+// execution (which is what H(b) tracks).
+func TestFigure10RelevantSets(t *testing.T) {
+	w0 := []int64{10, 20, 30, 40, 50, 60, 70, 80}
+	ops := []Op{
+		AddOp(4, 1), // o1 = (1, v5, x1) in the figure's 1-based naming
+		AddOp(1, 2), // o2 = (2, v2, x2)
+		AddOp(6, 4), // o3 = (3, v7, x3)
+		MinOp(7), MinOp(3), MinOp(1), MinOp(6),
+	}
+	checkAgainstNaive(t, w0, ops, "figure10", runBatchT)
+}
+
+func TestInterleavedHammering(t *testing.T) {
+	// Dense alternation on a tiny list stresses the ∆ bookkeeping.
+	w0 := []int64{0, 0, 0}
+	var ops []Op
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 200; i++ {
+		ops = append(ops, AddOp(int32(rng.Intn(3)), int64(rng.Intn(7)-3)))
+		ops = append(ops, MinOp(int32(rng.Intn(3))))
+	}
+	checkAgainstNaive(t, w0, ops, "hammer-seq", runSeq)
+	checkAgainstNaive(t, w0, ops, "hammer-batch", runBatchT)
+}
+
+func TestBlockingSentinelScale(t *testing.T) {
+	// The respecting-cut passes add and remove ±2^60 blocking values; the
+	// structure must stay exact in that regime.
+	const inf = int64(1) << 60
+	w0 := []int64{100, 200, 300, 400}
+	ops := []Op{
+		AddOp(3, inf),
+		MinOp(3),       // all blocked: 100+inf is the min
+		AddOp(1, -inf), // unblock leaves 0..1
+		MinOp(3),       // min is 100 again
+		AddOp(3, -inf), // net: leaves 2..3 at -inf+original
+		MinOp(3),
+	}
+	checkAgainstNaive(t, w0, ops, "sentinel", runBatchT)
+	checkAgainstNaive(t, w0, ops, "sentinel-seq", runSeq)
+}
+
+func TestSeqTrace(t *testing.T) {
+	s := NewSeq(make([]int64, 8))
+	var cells []int
+	s.SetTrace(func(c int) { cells = append(cells, c) })
+	s.AddPrefix(5, 3)
+	// Leaf 5 lives at heap id 13; path touches 13, 6, 3, 1.
+	want := []int{13, 6, 3, 1}
+	if len(cells) != len(want) {
+		t.Fatalf("trace %v want %v", cells, want)
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Fatalf("trace %v want %v", cells, want)
+		}
+	}
+}

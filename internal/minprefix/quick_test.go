@@ -1,0 +1,93 @@
+package minprefix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// opsGen is a quick.Generator producing a coherent (weights, ops) pair.
+type opsGen struct {
+	W0  []int64
+	Ops []Op
+}
+
+// Generate implements quick.Generator.
+func (opsGen) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 1 + rng.Intn(size+1)
+	k := rng.Intn(4*size + 1)
+	g := opsGen{W0: make([]int64, n), Ops: make([]Op, k)}
+	for i := range g.W0 {
+		g.W0[i] = int64(rng.Intn(2001) - 1000)
+	}
+	for i := range g.Ops {
+		leaf := int32(rng.Intn(n))
+		if rng.Intn(5) < 2 {
+			g.Ops[i] = MinOp(leaf)
+		} else {
+			g.Ops[i] = AddOp(leaf, int64(rng.Intn(101)-50))
+		}
+	}
+	return reflect.ValueOf(g)
+}
+
+// TestQuickBatchMatchesNaive is the headline property: for arbitrary
+// batches, the parallel executor is indistinguishable from sequential
+// one-at-a-time execution (the correctness statement of Lemma 6).
+func TestQuickBatchMatchesNaive(t *testing.T) {
+	property := func(g opsGen) bool {
+		want := NewNaive(g.W0).Run(g.Ops)
+		got := RunBatch(g.W0, g.Ops, nil)
+		for i := range g.Ops {
+			if g.Ops[i].Query && got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(12345))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSeqMatchesNaive pins the one-by-one difference tree the same way.
+func TestQuickSeqMatchesNaive(t *testing.T) {
+	property := func(g opsGen) bool {
+		want := NewNaive(g.W0).Run(g.Ops)
+		got := NewSeq(g.W0).Run(g.Ops)
+		for i := range g.Ops {
+			if g.Ops[i].Query && got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(999))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUpdateOnlyPreservesTotal: applying updates and then querying the
+// full prefix equals the naive minimum — a cheap algebraic invariant that
+// stresses ∆ bookkeeping with no interleaved queries.
+func TestQuickUpdateOnlyPreservesTotal(t *testing.T) {
+	property := func(g opsGen) bool {
+		updates := make([]Op, 0, len(g.Ops))
+		for _, op := range g.Ops {
+			if !op.Query {
+				updates = append(updates, op)
+			}
+		}
+		updates = append(updates, MinOp(int32(len(g.W0)-1)))
+		want := NewNaive(g.W0).Run(updates)
+		got := RunBatch(g.W0, updates, nil)
+		return got[len(updates)-1] == want[len(updates)-1]
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(31337))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package minprefix
+
+// Seq is the sequential monotone Minimum Prefix structure of paper §2.3:
+// a complete binary tree over the list in which every inner node stores
+// only ∆ = min(right subtree) − min(left subtree). An operation walks one
+// leaf-to-root path, so updates and queries cost O(log n) each, and every
+// operation touches memory in the same bottom-up order (the monotonicity
+// that both the cache-oblivious algorithm [10] and the parallel batch
+// executor exploit).
+//
+// Seq doubles as the "one-by-one" comparator in the cache-miss experiment
+// (E7): its per-op root path scatters across the ∆ array, while the batch
+// executor streams.
+type Seq struct {
+	n     int
+	pad   int     // leaves padded to a power of two
+	delta []int64 // heap-ordered ∆ per inner node (index 1..pad-1)
+	leafW []int64 // current weight per (real) leaf... maintained implicitly
+	// minRoot is the current overall minimum, updated with ϕ(root) after
+	// every AddPrefix.
+	minRoot int64
+	// trace, when non-nil, records the index of every delta/leaf cell
+	// touched, for the cache simulator.
+	trace func(cell int)
+}
+
+// padInf is the weight of padding leaves: larger than any reachable real
+// weight (graph totals are capped at 2^40 and the blocking sentinel at
+// 2^60), so padding never influences a minimum, yet small enough that
+// ∆ arithmetic stays far from int64 overflow.
+const padInf = int64(1) << 62
+
+// NewSeq builds the structure over the initial weights w0.
+func NewSeq(w0 []int64) *Seq {
+	n := len(w0)
+	if n == 0 {
+		panic("minprefix: empty list")
+	}
+	pad := 1
+	for pad < n {
+		pad *= 2
+	}
+	s := &Seq{n: n, pad: pad, delta: make([]int64, pad), leafW: make([]int64, pad)}
+	// Build ∆ bottom-up from a scratch min array.
+	min := make([]int64, 2*pad)
+	for i := 0; i < pad; i++ {
+		if i < n {
+			min[pad+i] = w0[i]
+			s.leafW[i] = w0[i]
+		} else {
+			min[pad+i] = padInf
+			s.leafW[i] = padInf
+		}
+	}
+	for b := pad - 1; b >= 1; b-- {
+		l, r := min[2*b], min[2*b+1]
+		s.delta[b] = r - l
+		if l < r {
+			min[b] = l
+		} else {
+			min[b] = r
+		}
+	}
+	s.minRoot = min[1]
+	return s
+}
+
+// SetTrace installs a memory-access callback; cell ids < pad are ∆ cells,
+// cells >= pad are leaf weights.
+func (s *Seq) SetTrace(f func(cell int)) { s.trace = f }
+
+func (s *Seq) touch(cell int) {
+	if s.trace != nil {
+		s.trace(cell)
+	}
+}
+
+// AddPrefix adds x to the weights of leaves 0..leaf.
+func (s *Seq) AddPrefix(leaf int32, x int64) {
+	if leaf < 0 || int(leaf) >= s.n {
+		panic("minprefix: AddPrefix leaf out of range")
+	}
+	b := s.pad + int(leaf)
+	s.leafW[leaf] += x
+	s.touch(b)
+	phi := x
+	for b > 1 {
+		parent := b / 2
+		fromRight := b&1 == 1
+		var phiL, phiR int64
+		if fromRight {
+			phiL, phiR = x, phi // prefix covers the whole left subtree
+		} else {
+			phiL, phiR = phi, 0 // prefix ends inside the left subtree
+		}
+		deltaPrev := s.delta[parent]
+		deltaCur := deltaPrev + phiR - phiL
+		s.delta[parent] = deltaCur
+		s.touch(parent)
+		phi = phiTransition(phiL, phiR, deltaPrev, deltaCur)
+		b = parent
+	}
+	s.minRoot += phi
+}
+
+// MinPrefix returns the smallest weight among leaves 0..leaf.
+func (s *Seq) MinPrefix(leaf int32) int64 {
+	if leaf < 0 || int(leaf) >= s.n {
+		panic("minprefix: MinPrefix leaf out of range")
+	}
+	b := s.pad + int(leaf)
+	s.touch(b)
+	d := int64(0)
+	for b > 1 {
+		parent := b / 2
+		d = dTransition(d, b&1 == 1, s.delta[parent])
+		s.touch(parent)
+		b = parent
+	}
+	return d + s.minRoot
+}
+
+// Run executes a batch one operation at a time (result layout as in
+// Naive.Run).
+func (s *Seq) Run(ops []Op) []int64 {
+	validate(s.n, ops)
+	res := make([]int64, len(ops))
+	for i, op := range ops {
+		if op.Query {
+			res[i] = s.MinPrefix(op.Leaf)
+		} else {
+			s.AddPrefix(op.Leaf, op.X)
+		}
+	}
+	return res
+}

@@ -1,0 +1,205 @@
+// Package mst computes minimum spanning forests with parallel Borůvka
+// rounds. The tree-packing procedure behind Lemma 1 performs O(log² n)
+// minimum spanning tree computations with respect to evolving edge loads;
+// Borůvka is the classic O(log n)-round parallel MST algorithm, so it is
+// the natural engine here (and it doubles as the connectivity test for
+// detecting disconnected inputs, whose minimum cut is 0).
+package mst
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/wd"
+)
+
+// maxCost bounds edge costs so that (cost, edgeIndex) pairs pack into one
+// uint64 for atomic candidate selection: cost < 2^38, index < 2^25.
+const (
+	maxCost  = int64(1) << 38
+	maxEdges = 1 << 25
+	noCand   = ^uint64(0)
+)
+
+// Forest computes a minimum spanning forest of the n-vertex multigraph
+// with the given edges. cost[i] is the cost of edge i (nil means uniform
+// cost); ties break by edge index, making the forest unique and the
+// Borůvka hooking cycle-free. It returns the indices of the selected
+// edges and the number of connected components.
+func Forest(n int, edges []graph.Edge, cost []int64, m *wd.Meter) (sel []int32, comps int) {
+	sel, _, comps = ForestWithLabels(n, edges, cost, m)
+	return sel, comps
+}
+
+// ForestWithLabels is Forest, additionally returning a component label per
+// vertex (labels are representative vertex ids, not compacted).
+func ForestWithLabels(n int, edges []graph.Edge, cost []int64, m *wd.Meter) (sel []int32, labels []int32, comps int) {
+	if n == 0 {
+		return nil, nil, 0
+	}
+	mm := len(edges)
+	if mm >= maxEdges {
+		panic(fmt.Sprintf("mst: %d edges exceed packed-candidate limit %d", mm, maxEdges))
+	}
+	if cost != nil {
+		for i, c := range cost {
+			if c < 0 || c >= maxCost {
+				panic(fmt.Sprintf("mst: cost[%d]=%d outside [0, 2^38)", i, c))
+			}
+		}
+	}
+	comp := make([]int32, n)
+	par.For(n, func(i int) { comp[i] = int32(i) })
+	cand := make([]atomic.Uint64, n)
+	hook := make([]int32, n)
+	hook2 := make([]int32, n)
+	comps = n
+	sel = make([]int32, 0, n-1)
+	for round := 0; ; round++ {
+		if round > int(wd.CeilLog2(n))+2 {
+			panic("mst: round bound exceeded")
+		}
+		par.For(n, func(i int) { cand[i].Store(noCand) })
+		// Each component's candidate: the cheapest incident edge leaving it.
+		par.ForChunk(mm, par.Grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := edges[i]
+				cu, cv := comp[e.U], comp[e.V]
+				if cu == cv {
+					continue
+				}
+				var c int64
+				if cost != nil {
+					c = cost[i]
+				}
+				key := uint64(c)<<25 | uint64(i)
+				atomicMin(&cand[cu], key)
+				atomicMin(&cand[cv], key)
+			}
+		})
+		m.Add(int64(mm), 1)
+		// Hook components along their candidate edges.
+		progress := false
+		par.For(n, func(ci int) {
+			hook[ci] = int32(ci)
+			key := cand[ci].Load()
+			if key == noCand {
+				return
+			}
+			e := edges[key&(1<<25-1)]
+			other := comp[e.U]
+			if other == int32(ci) {
+				other = comp[e.V]
+			}
+			hook[ci] = other
+		})
+		// Break mutual hooks (2-cycles) toward the smaller label.
+		par.For(n, func(ci int) {
+			h := hook[ci]
+			if hook[h] == int32(ci) && h > int32(ci) {
+				// ci is the smaller of a mutual pair: it becomes the root.
+				hook2[ci] = int32(ci)
+			} else {
+				hook2[ci] = h
+			}
+		})
+		hook, hook2 = hook2, hook
+		// Collect selected edges (dedupe mutual candidates).
+		seen := make(map[int32]bool, comps)
+		for ci := 0; ci < n; ci++ {
+			key := cand[ci].Load()
+			if key == noCand {
+				continue
+			}
+			idx := int32(key & (1<<25 - 1))
+			if !seen[idx] {
+				seen[idx] = true
+				sel = append(sel, idx)
+				comps--
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+		// Pointer-jump hooks to roots and relabel vertex components.
+		for j := int64(0); j <= wd.CeilLog2(n); j++ {
+			var changed atomic.Bool
+			par.For(n, func(ci int) {
+				h := hook[hook[ci]]
+				hook2[ci] = h
+				if h != hook[ci] {
+					changed.Store(true)
+				}
+			})
+			hook, hook2 = hook2, hook
+			if !changed.Load() {
+				break
+			}
+		}
+		par.For(n, func(v int) { comp[v] = hook[comp[v]] })
+		m.Add(3*int64(n), wd.CeilLog2(n)+2)
+	}
+	return sel, comp, comps
+}
+
+// atomicMin lowers a to min(a, key).
+func atomicMin(a *atomic.Uint64, key uint64) {
+	for {
+		cur := a.Load()
+		if key >= cur || a.CompareAndSwap(cur, key) {
+			return
+		}
+	}
+}
+
+// Components returns the number of connected components (Borůvka with
+// uniform costs, discarding the forest).
+func Components(n int, edges []graph.Edge, m *wd.Meter) int {
+	_, comps := Forest(n, edges, nil, m)
+	return comps
+}
+
+// Kruskal is the sequential reference MST used by tests: sort edge indices
+// by (cost, index) and union-find.
+func Kruskal(n int, edges []graph.Edge, cost []int64) (sel []int32, comps int) {
+	idx := make([]int32, len(edges))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	par.SortStable(idx, func(a, b int32) bool {
+		var ca, cb int64
+		if cost != nil {
+			ca, cb = cost[a], cost[b]
+		}
+		if ca != cb {
+			return ca < cb
+		}
+		return a < b
+	})
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	comps = n
+	for _, i := range idx {
+		e := edges[i]
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+			sel = append(sel, i)
+			comps--
+		}
+	}
+	return sel, comps
+}

@@ -1,0 +1,139 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+func forestCost(edges []graph.Edge, cost []int64, sel []int32) int64 {
+	var total int64
+	for _, i := range sel {
+		if cost != nil {
+			total += cost[i]
+		} else {
+			total++
+		}
+	}
+	return total
+}
+
+func TestForestMatchesKruskalOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		n := 5 + int(seed*97)%300
+		g := gen.RandomConnected(n, 3*n, 50, seed)
+		rng := rand.New(rand.NewSource(seed + 7))
+		cost := make([]int64, g.M())
+		for i := range cost {
+			cost[i] = int64(rng.Intn(1000))
+		}
+		selB, compB := Forest(n, g.Edges(), cost, nil)
+		selK, compK := Kruskal(n, g.Edges(), cost)
+		if compB != 1 || compK != 1 {
+			t.Fatalf("seed %d: comps %d/%d", seed, compB, compK)
+		}
+		if len(selB) != n-1 || len(selK) != n-1 {
+			t.Fatalf("seed %d: tree sizes %d/%d", seed, len(selB), len(selK))
+		}
+		// With index tie-breaking the MSF is unique: compare edge sets.
+		inK := map[int32]bool{}
+		for _, i := range selK {
+			inK[i] = true
+		}
+		for _, i := range selB {
+			if !inK[i] {
+				t.Fatalf("seed %d: Boruvka selected %d, Kruskal did not (cost B=%d K=%d)",
+					seed, i, forestCost(g.Edges(), cost, selB), forestCost(g.Edges(), cost, selK))
+			}
+		}
+	}
+}
+
+func TestForestUniformCosts(t *testing.T) {
+	g := gen.RandomConnected(100, 400, 10, 3)
+	sel, comps := Forest(100, g.Edges(), nil, nil)
+	if comps != 1 || len(sel) != 99 {
+		t.Fatalf("comps=%d |sel|=%d", comps, len(sel))
+	}
+}
+
+func TestForestDisconnected(t *testing.T) {
+	g := gen.Disconnected(20, 30, 5)
+	sel, comps := Forest(g.N(), g.Edges(), nil, nil)
+	if comps != 2 {
+		t.Fatalf("comps=%d want 2", comps)
+	}
+	if len(sel) != g.N()-2 {
+		t.Fatalf("|sel|=%d want %d", len(sel), g.N()-2)
+	}
+	if got := Components(g.N(), g.Edges(), nil); got != 2 {
+		t.Fatalf("Components=%d", got)
+	}
+}
+
+func TestForestParallelEdgesAndLoops(t *testing.T) {
+	g := graph.New(3)
+	for _, e := range []struct {
+		u, v int
+		w    int64
+	}{{0, 1, 5}, {0, 1, 2}, {1, 1, 1}, {1, 2, 9}, {1, 2, 9}} {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := []int64{5, 2, 1, 9, 9}
+	sel, comps := Forest(3, g.Edges(), cost, nil)
+	if comps != 1 || len(sel) != 2 {
+		t.Fatalf("comps=%d sel=%v", comps, sel)
+	}
+	want := map[int32]bool{1: true, 3: true} // cheaper parallel edge; first of the tied pair
+	for _, i := range sel {
+		if !want[i] {
+			t.Fatalf("selected %v want edges {1,3}", sel)
+		}
+	}
+}
+
+func TestForestEmptyAndSingle(t *testing.T) {
+	if sel, comps := Forest(0, nil, nil, nil); len(sel) != 0 || comps != 0 {
+		t.Fatal("empty graph")
+	}
+	if sel, comps := Forest(1, nil, nil, nil); len(sel) != 0 || comps != 1 {
+		t.Fatal("single vertex")
+	}
+	if sel, comps := Forest(5, nil, nil, nil); len(sel) != 0 || comps != 5 {
+		t.Fatal("isolated vertices")
+	}
+}
+
+func TestForestRespectsLoadOrdering(t *testing.T) {
+	// Square with a diagonal: loads force specific tree choices, the way
+	// the packing uses repeated MSTs.
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}} {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := []int64{0, 0, 0, 0, 0}
+	counts := map[int32]int{}
+	for round := 0; round < 10; round++ {
+		sel, comps := Forest(4, g.Edges(), load, nil)
+		if comps != 1 || len(sel) != 3 {
+			t.Fatalf("round %d: comps=%d sel=%v", round, comps, sel)
+		}
+		for _, i := range sel {
+			load[i]++
+			counts[i]++
+		}
+	}
+	// All five edges should participate across rounds: greedy packing
+	// spreads load.
+	for i := int32(0); i < 5; i++ {
+		if counts[i] == 0 {
+			t.Fatalf("edge %d never used: %v", i, counts)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package par
+
+import "sort"
+
+// Merge merges the sorted slices a and b into out (len(out) must be
+// len(a)+len(b)) using the strict-weak ordering less. The merge is stable:
+// on ties, elements of a precede elements of b. Large merges split in
+// parallel by the classic median/binary-search scheme (Cole-style merging,
+// the primitive the paper cites for its O(log) depth merge [7]).
+func Merge[T any](a, b, out []T, less func(x, y T) bool) {
+	if len(out) != len(a)+len(b) {
+		panic("par: Merge output length mismatch")
+	}
+	mergeRec(a, b, out, less)
+}
+
+func mergeRec[T any](a, b, out []T, less func(x, y T) bool) {
+	if len(a) < len(b) {
+		// Keep a as the larger side so the split point is well-defined,
+		// flipping the tie-breaking so stability (a before b) is preserved.
+		mergeRecFlipped(b, a, out, less)
+		return
+	}
+	if len(b) == 0 {
+		copy(out, a)
+		return
+	}
+	if len(a)+len(b) <= 4*Grain || Workers() == 1 {
+		seqMerge(a, b, out, less)
+		return
+	}
+	i := len(a) / 2
+	// First j with b[j] >= a[i], so that b elements tied with a[i] land to
+	// its right, keeping a-before-b stability.
+	j := sort.Search(len(b), func(j int) bool { return !less(b[j], a[i]) })
+	out[i+j] = a[i]
+	Do2(
+		func() { mergeRec(a[:i], b[:j], out[:i+j], less) },
+		func() { mergeRec(a[i+1:], b[j:], out[i+j+1:], less) },
+	)
+}
+
+// mergeRecFlipped merges with a as the physically larger slice but with b
+// logically first for tie-breaking (elements of b win ties).
+func mergeRecFlipped[T any](a, b, out []T, less func(x, y T) bool) {
+	if len(a) < len(b) {
+		// Re-balance: mergeRec(b, a) keeps b's elements first on ties,
+		// which is exactly this function's contract.
+		mergeRec(b, a, out, less)
+		return
+	}
+	if len(b) == 0 {
+		copy(out, a)
+		return
+	}
+	if len(a)+len(b) <= 4*Grain || Workers() == 1 {
+		seqMerge(b, a, out, less)
+		return
+	}
+	i := len(a) / 2
+	// First j with a[i] < b[j], so that b elements tied with a[i] land to
+	// its left (b is logically first here).
+	j := sort.Search(len(b), func(j int) bool { return less(a[i], b[j]) })
+	out[i+j] = a[i]
+	Do2(
+		func() { mergeRecFlipped(a[:i], b[:j], out[:i+j], less) },
+		func() { mergeRecFlipped(a[i+1:], b[j:], out[i+j+1:], less) },
+	)
+}
+
+func seqMerge[T any](a, b, out []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// SortStable sorts xs in place, stably, using parallel merge sort with
+// sequential sorted runs at the leaves. It is the parallel sorting
+// primitive of Lemma 12 / §3.1.1 (stable sort by vertex, sort by time).
+func SortStable[T any](xs []T, less func(x, y T) bool) {
+	n := len(xs)
+	if n <= 1 {
+		return
+	}
+	buf := make([]T, n)
+	if n <= 8*Grain || Workers() == 1 {
+		seqSortStable(xs, buf, less)
+		return
+	}
+	sortInto(xs, buf, less, true)
+}
+
+// sortInto sorts src; if inSrc is true the result ends in src, else in dst.
+func sortInto[T any](src, dst []T, less func(x, y T) bool, inSrc bool) {
+	n := len(src)
+	if n <= 8*Grain {
+		seqSortStable(src, dst, less)
+		if !inSrc {
+			copy(dst, src)
+		}
+		return
+	}
+	mid := n / 2
+	Do2(
+		func() { sortInto(src[:mid], dst[:mid], less, !inSrc) },
+		func() { sortInto(src[mid:], dst[mid:], less, !inSrc) },
+	)
+	if inSrc {
+		mergeRec(dst[:mid], dst[mid:], src, less)
+	} else {
+		mergeRec(src[:mid], src[mid:], dst, less)
+	}
+}
+
+// seqSortStable is a reflection-free stable merge sort: insertion-sorted
+// runs of 32 followed by bottom-up merges through buf. The result lands
+// in xs.
+func seqSortStable[T any](xs, buf []T, less func(x, y T) bool) {
+	n := len(xs)
+	const run = 32
+	for lo := 0; lo < n; lo += run {
+		hi := lo + run
+		if hi > n {
+			hi = n
+		}
+		for i := lo + 1; i < hi; i++ {
+			x := xs[i]
+			j := i - 1
+			for j >= lo && less(x, xs[j]) {
+				xs[j+1] = xs[j]
+				j--
+			}
+			xs[j+1] = x
+		}
+	}
+	src, dst := xs, buf
+	for width := run; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			seqMerge(src[lo:mid], src[mid:hi], dst[lo:hi], less)
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &xs[0] {
+		copy(xs, src)
+	}
+}

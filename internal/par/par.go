@@ -1,0 +1,230 @@
+// Package par implements the fork-join parallel primitives the paper's
+// algorithms are written in terms of (§1.1.2, §3.1): parallel loops,
+// reductions, all-prefix-sums (scans), segmented broadcasts, parallel
+// merging of sorted sequences, and parallel stable sorting.
+//
+// Go has no work-stealing fork-join runtime, so the primitives emulate the
+// Work-Depth model with chunked loops over at most GOMAXPROCS goroutines.
+// Every primitive degrades to its sequential form below a grain size, which
+// keeps constant factors competitive with hand-written loops while
+// preserving the parallel structure that the paper's depth bounds rely on.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Grain is the default smallest amount of per-goroutine sequential work.
+// Loops over fewer elements run sequentially: forking a goroutine and
+// joining it costs on the order of microseconds, so data-parallel loops
+// only pay off once each worker gets several thousand elements. Task
+// parallelism over few-but-large units (tree scans, segment batches) uses
+// ForGrain with an explicit small grain instead.
+const Grain = 8192
+
+// Workers reports the parallelism the primitives will use.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs f(i) for every i in [0, n) with no ordering guarantees.
+func For(n int, f func(i int)) {
+	ForChunk(n, Grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// ForGrain is For with an explicit grain size.
+func ForGrain(n, grain int, f func(i int)) {
+	ForChunk(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// ForChunk partitions [0, n) into contiguous chunks of at least grain
+// elements and runs f(lo, hi) on the chunks in parallel.
+func ForChunk(n, grain int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := Workers()
+	if p == 1 || n <= grain {
+		f(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > 4*p {
+		chunks = 4 * p
+	}
+	if chunks < 2 {
+		f(0, n)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := p
+	if workers > chunks {
+		workers = chunks
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				if lo < hi {
+					f(lo, hi)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions as parallel fork-join branches.
+func Do(fs ...func()) {
+	switch len(fs) {
+	case 0:
+		return
+	case 1:
+		fs[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fs) - 1)
+	for _, f := range fs[1:] {
+		f := f
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	fs[0]()
+	wg.Wait()
+}
+
+// Do2 is a binary fork-join (the common case in divide and conquer).
+func Do2(a, b func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b()
+	}()
+	a()
+	wg.Wait()
+}
+
+// ReduceInt64 reduces xs with the associative op, returning identity for an
+// empty slice.
+func ReduceInt64(xs []int64, identity int64, op func(a, b int64) int64) int64 {
+	n := len(xs)
+	if n == 0 {
+		return identity
+	}
+	if n <= Grain || Workers() == 1 {
+		acc := identity
+		for _, x := range xs {
+			acc = op(acc, x)
+		}
+		return acc
+	}
+	chunks := numChunks(n)
+	partial := make([]int64, chunks)
+	size := (n + chunks - 1) / chunks
+	ForChunk(chunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*size, (c+1)*size
+			if hi > n {
+				hi = n
+			}
+			acc := identity
+			for _, x := range xs[lo:hi] {
+				acc = op(acc, x)
+			}
+			partial[c] = acc
+		}
+	})
+	acc := identity
+	for _, x := range partial {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+// MinInt64 returns the minimum element and its index (the smallest index
+// attaining the minimum). It panics on an empty slice.
+func MinInt64(xs []int64) (int64, int) {
+	if len(xs) == 0 {
+		panic("par: MinInt64 of empty slice")
+	}
+	n := len(xs)
+	if n <= Grain || Workers() == 1 {
+		return seqMin(xs, 0)
+	}
+	chunks := numChunks(n)
+	vals := make([]int64, chunks)
+	idxs := make([]int, chunks)
+	size := (n + chunks - 1) / chunks
+	ForChunk(chunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*size, (c+1)*size
+			if hi > n {
+				hi = n
+			}
+			vals[c], idxs[c] = seqMin(xs[lo:hi], lo)
+		}
+	})
+	best, bi := vals[0], idxs[0]
+	for c := 1; c < chunks; c++ {
+		if vals[c] < best {
+			best, bi = vals[c], idxs[c]
+		}
+	}
+	return best, bi
+}
+
+func seqMin(xs []int64, base int) (int64, int) {
+	best, bi := xs[0], base
+	for i, x := range xs[1:] {
+		if x < best {
+			best, bi = x, base+i+1
+		}
+	}
+	return best, bi
+}
+
+// SumInt64 returns the sum of xs.
+func SumInt64(xs []int64) int64 {
+	return ReduceInt64(xs, 0, func(a, b int64) int64 { return a + b })
+}
+
+func numChunks(n int) int {
+	p := Workers()
+	chunks := 4 * p
+	if chunks > (n+Grain-1)/Grain {
+		chunks = (n + Grain - 1) / Grain
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}

@@ -1,0 +1,68 @@
+// Package respect finds the smallest cut of a graph G that crosses at most
+// two edges of a given spanning tree T (paper §4, Lemma 13): the missing
+// piece that makes Karger's algorithm parallel. The search walks the
+// boughs of T bottom-up, maintaining cut estimates in the parallel Minimum
+// Path structure, handles both shapes of a 2-respecting cut — the union of
+// two incomparable descendant sets (§4.1) and the difference of two nested
+// ones (Appendix A) — and recurses on the bough-contracted graph (§4.3).
+package respect
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/lca"
+	"repro/internal/par"
+	"repro/internal/tree"
+	"repro/internal/wd"
+)
+
+// CutValues computes, for every vertex v of the rooted spanning tree t,
+// the value C(v↓) of the cut that has the descendants of v on one side
+// (Lemma 11), plus the subtree-internal weight ρ↓(v) — the total weight of
+// edges with both endpoints in v↓ — needed by the descendant case
+// (Appendix A). Edges with both endpoints in v↓ are exactly those whose
+// LCA lies in v↓, so both reduce to subtree sums:
+//
+//	C(v↓) = Σ_{x∈v↓} S(x) − 2·ρ↓(v),   ρ↓(v) = Σ_{x∈v↓} ρ(x)
+//
+// with S the weighted degree and ρ(x) the weight of edges whose LCA is x.
+func CutValues(g *graph.Graph, t *tree.Tree, l *lca.LCA, m *wd.Meter) (c, rhoDown []int64) {
+	n := t.N()
+	s := make([]int64, n)
+	rho := make([]int64, n)
+	edges := g.Edges()
+	par.ForChunk(len(edges), par.Grain, func(lo, hi int) {
+		for _, e := range edges[lo:hi] {
+			if e.U == e.V {
+				continue
+			}
+			atomic.AddInt64(&s[e.U], e.W)
+			atomic.AddInt64(&s[e.V], e.W)
+			atomic.AddInt64(&rho[l.Query(e.U, e.V)], e.W)
+		}
+	})
+	m.Add(int64(len(edges)), 1)
+	sDown := t.SubtreeSum(s, m)
+	rhoDown = t.SubtreeSum(rho, m)
+	c = make([]int64, n)
+	par.For(n, func(v int) {
+		c[v] = sDown[v] - 2*rhoDown[v]
+	})
+	m.Add(int64(n), 1)
+	return c, rhoDown
+}
+
+// minOneRespect returns the smallest 1-respecting cut value and its vertex
+// (minimum of C(v↓) over non-root v).
+func minOneRespect(c []int64, t *tree.Tree) (int64, int32) {
+	best := int64(1)<<62 - 1
+	arg := int32(-1)
+	for v := int32(0); v < int32(len(c)); v++ {
+		if v != t.Root && c[v] < best {
+			best = c[v]
+			arg = v
+		}
+	}
+	return best, arg
+}

@@ -1,0 +1,61 @@
+package respect
+
+import (
+	"testing"
+
+	"repro/internal/graph/gen"
+	"repro/internal/wd"
+)
+
+// TestParallelPhasesMatchesSequential: the two execution schedules of
+// §4.3 (phase-at-a-time vs all-phases-concurrently) are different
+// orderings of the same deterministic computation and must agree exactly.
+func TestParallelPhasesMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		n := 8 + int(seed*29)%120
+		g := gen.RandomConnected(n, 3*n, 12, seed)
+		parent := gen.SpanningTreeParent(g, seed+500)
+		seq, err := Scan(g, parent, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := ScanParallelPhases(g, parent, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Value != pp.Value {
+			t.Fatalf("seed %d: sequential %d vs parallel-phases %d", seed, seq.Value, pp.Value)
+		}
+		// The witness path must work from either finding.
+		inCut, err := Witness(g, parent, pp, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.CutValue(inCut); got != pp.Value {
+			t.Fatalf("seed %d: witness %d want %d", seed, got, pp.Value)
+		}
+	}
+}
+
+// TestParallelPhasesDepthAdvantage: deferring the batches and running them
+// as parallel branches must reduce the recorded model depth (that is its
+// entire purpose).
+func TestParallelPhasesDepthAdvantage(t *testing.T) {
+	g := gen.RandomConnected(512, 2048, 20, 9)
+	parent := gen.SpanningTreeParent(g, 10)
+	var mSeq, mPar wd.Meter
+	if _, err := Scan(g, parent, &mSeq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanParallelPhases(g, parent, &mPar); err != nil {
+		t.Fatal(err)
+	}
+	if mPar.Depth() >= mSeq.Depth() {
+		t.Fatalf("parallel phases depth %d not below sequential %d", mPar.Depth(), mSeq.Depth())
+	}
+	// Work should be essentially unchanged (same computation).
+	ratio := float64(mPar.Work()) / float64(mSeq.Work())
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("work changed by %0.2fx between modes", ratio)
+	}
+}

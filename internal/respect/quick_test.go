@@ -1,0 +1,71 @@
+package respect
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph/gen"
+)
+
+type quickInstance struct {
+	Seed int64
+	N    uint8
+	Deg  uint8
+}
+
+// Generate implements quick.Generator.
+func (quickInstance) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickInstance{
+		Seed: rng.Int63(),
+		N:    uint8(rng.Intn(24)),
+		Deg:  uint8(rng.Intn(4)),
+	})
+}
+
+// TestQuickTwoRespectMatchesBruteForce is the property form of Lemma 13's
+// correctness: on arbitrary random instances and spanning trees, the
+// parallel search equals exhaustive enumeration over tree-edge pairs, and
+// the witness always evaluates to the reported value.
+func TestQuickTwoRespectMatchesBruteForce(t *testing.T) {
+	property := func(q quickInstance) bool {
+		n := 2 + int(q.N)
+		mm := n - 1 + int(q.Deg)*n/2
+		g := gen.RandomConnected(n, mm, 9, q.Seed)
+		parent := gen.SpanningTreeParent(g, q.Seed+1)
+		res, err := TwoRespect(g, parent, true, nil)
+		if err != nil {
+			return false
+		}
+		if g.CutValue(res.InCut) != res.Value {
+			return false
+		}
+		return res.Value == bruteForce(nil, g, parent)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(777))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMediumScaleAgainstBruteForce runs one larger instance through both
+// engines (the brute force is O(n²·m); n=80 keeps it tractable).
+func TestMediumScaleAgainstBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium brute force")
+	}
+	g := gen.RandomConnected(80, 320, 15, 4242)
+	parent := gen.SpanningTreeParent(g, 17)
+	want := bruteForce(nil, g, parent)
+	res, err := TwoRespect(g, parent, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want {
+		t.Fatalf("n=80: got %d want %d", res.Value, want)
+	}
+	if got := g.CutValue(res.InCut); got != want {
+		t.Fatalf("witness %d want %d", got, want)
+	}
+}

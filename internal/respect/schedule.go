@@ -1,0 +1,141 @@
+package respect
+
+import (
+	"repro/internal/graph"
+	"repro/internal/minpath"
+	"repro/internal/par"
+	"repro/internal/tree"
+	"repro/internal/wd"
+)
+
+// infWeight is the blocking sentinel of §4.1: adding it to the weight of
+// the ancestors of a bough leaf excludes them from being returned as cut
+// partners; reversing the sign undoes the block exactly (weights are
+// integers, so this is lossless). It dominates every real cut value (graph
+// totals are capped at 2^40) while staying far from int64 overflow in the
+// Minimum Prefix difference arithmetic.
+const infWeight = int64(1) << 60
+
+// queryTag identifies what to do with a MinPath query result when
+// combining (§4.3 step 4 and Appendix A).
+type queryTag struct {
+	opIdx int32 // position in the op batch
+	y     int32 // bough vertex being visited
+	z     int32 // query target (neighbor in pass A, parent(y) in pass B)
+}
+
+// schedule is one phase's operation batch for one pass.
+type schedule struct {
+	ops  []minpath.Op
+	tags []queryTag
+}
+
+// genOp is an op with its sort key and combine info.
+type genOp struct {
+	key  int64
+	op   minpath.Op
+	y, z int32
+}
+
+// visitTimes assigns each bough vertex its up- and down-visit times
+// (Figure 13): boughs occupy consecutive time blocks; within a bough of h
+// vertices the vertex at distance i from the leaf is visited at base+i on
+// the way up and at base+2h−1−i on the way down. Entries for non-bough
+// vertices are -1.
+func visitTimes(n int, paths [][]int32) (t1, t2 []int64) {
+	t1 = make([]int64, n)
+	t2 = make([]int64, n)
+	for i := range t1 {
+		t1[i], t2[i] = -1, -1
+	}
+	base := int64(0)
+	for _, p := range paths {
+		h := int64(len(p))
+		for pos, v := range p {
+			i := h - 1 - int64(pos) // distance from the leaf
+			t1[v] = base + i
+			t2[v] = base + 2*h - 1 - i
+		}
+		base += 2 * h
+	}
+	return t1, t2
+}
+
+// buildSchedules generates the pass A (incomparable case, §4.1) and pass B
+// (descendant case, Appendix A) operation batches for one bough phase
+// (Lemma 12). adj is the adjacency of the current graph; paths are the
+// boughs of the current tree.
+func buildSchedules(g *graph.Graph, t *tree.Tree, adj *graph.Adj, paths [][]int32, m *wd.Meter) (passA, passB schedule) {
+	t1, t2 := visitTimes(t.N(), paths)
+	// Upper-bound op counts: per bough vertex y: pass A has deg(y) updates
+	// + deg(y) queries going up, deg(y) undos going down, plus two leaf
+	// blocks; pass B has deg(y)+1 up, deg(y) down.
+	var genA, genB []genOp
+	// key = 2*visitTime + (0 updates, 1 queries): updates precede queries
+	// within a visit (§4.2 step 4).
+	upd := func(time int64) int64 { return 2 * time }
+	qry := func(time int64) int64 { return 2*time + 1 }
+	for _, p := range paths {
+		leaf := p[len(p)-1]
+		genA = append(genA,
+			genOp{key: upd(t1[leaf]), op: minpath.AddOp(leaf, infWeight)},
+			genOp{key: upd(t2[leaf]), op: minpath.AddOp(leaf, -infWeight)},
+		)
+		for _, y := range p {
+			up, down := t1[y], t2[y]
+			for i := adj.Off[y]; i < adj.Off[y+1]; i++ {
+				z, w := adj.Nbr[i], adj.W[i]
+				// Pass A: subtract the doubled edge weight along z→root,
+				// then probe z for the best incomparable partner.
+				genA = append(genA,
+					genOp{key: upd(up), op: minpath.AddOp(z, -2*w)},
+					genOp{key: qry(up), op: minpath.MinOp(z), y: y, z: z},
+					genOp{key: upd(down), op: minpath.AddOp(z, 2*w)},
+				)
+				// Pass B: add the doubled edge weight along z→root so every
+				// ancestor x accumulates 2·cross(y↓, x↓).
+				genB = append(genB,
+					genOp{key: upd(up), op: minpath.AddOp(z, 2*w)},
+					genOp{key: upd(down), op: minpath.AddOp(z, -2*w)},
+				)
+			}
+			// Pass B probes the strict ancestors of y (t = y would be the
+			// empty cut, so the query starts at the parent).
+			if parent := t.Parent[y]; parent != tree.None {
+				genB = append(genB, genOp{key: qry(up), op: minpath.MinOp(parent), y: y, z: parent})
+			}
+		}
+	}
+	m.Add(int64(len(genA)+len(genB)), 2)
+	// Keys are bounded by twice the visit-time range (≤ 4n+2), so a stable
+	// counting sort orders each schedule in linear work.
+	maxKey := int64(4*t.N()) + 2
+	passA = finishSchedule(genA, maxKey, m)
+	passB = finishSchedule(genB, maxKey, m)
+	return passA, passB
+}
+
+// finishSchedule sorts the generated ops by time (stable counting sort
+// over the bounded key universe) and extracts query tags.
+func finishSchedule(gen []genOp, maxKey int64, m *wd.Meter) schedule {
+	counts := make([]int64, maxKey+2)
+	for i := range gen {
+		counts[gen[i].key+1]++
+	}
+	par.InclusiveSum(counts, counts)
+	s := schedule{ops: make([]minpath.Op, len(gen))}
+	order := make([]int32, len(gen))
+	for i := range gen {
+		order[counts[gen[i].key]] = int32(i)
+		counts[gen[i].key]++
+	}
+	for pos, gi := range order {
+		g := &gen[gi]
+		s.ops[pos] = g.op
+		if g.op.Query {
+			s.tags = append(s.tags, queryTag{opIdx: int32(pos), y: g.y, z: g.z})
+		}
+	}
+	m.Add(3*int64(len(gen))+maxKey, 3+wd.CeilLog2(len(gen)))
+	return s
+}

@@ -1,0 +1,140 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/listrank"
+	"repro/internal/par"
+	"repro/internal/wd"
+)
+
+// RootEdgeList orients an unrooted spanning tree, given as n-1 undirected
+// edges, into a parent array rooted at root. It builds the Euler circuit of
+// the bidirected tree and list-ranks it: for each edge, the direction
+// traversed first is the parent-to-child direction. Work O(n log n), depth
+// O(log n).
+func RootEdgeList(n int, edges [][2]int32, root int32, m *wd.Meter) ([]int32, error) {
+	if len(edges) != n-1 {
+		return nil, fmt.Errorf("tree: spanning tree needs %d edges, got %d", n-1, len(edges))
+	}
+	if root < 0 || int(root) >= n {
+		return nil, fmt.Errorf("tree: root %d out of range", root)
+	}
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = None
+	}
+	if n == 1 {
+		return parent, nil
+	}
+	// Half-edge CSR: arc 2i goes edges[i][0] -> edges[i][1], arc 2i+1 the
+	// reverse. Group arcs by tail vertex.
+	counts := make([]int64, n+1)
+	for _, e := range edges {
+		counts[e[0]+1]++
+		counts[e[1]+1]++
+	}
+	par.InclusiveSum(counts, counts)
+	off := make([]int32, n+1)
+	for i := range off {
+		off[i] = int32(counts[i])
+	}
+	slot := make([]int32, 2*(n-1)) // slot[arc] = position of arc in its tail's list
+	arcs := make([]int32, 2*(n-1)) // arcs grouped by tail
+	cursor := make([]int32, n)
+	copy(cursor, off[:n])
+	for i, e := range edges {
+		a, b := int32(2*i), int32(2*i+1)
+		slot[a] = cursor[e[0]]
+		arcs[cursor[e[0]]] = a
+		cursor[e[0]]++
+		slot[b] = cursor[e[1]]
+		arcs[cursor[e[1]]] = b
+		cursor[e[1]]++
+	}
+	// Euler circuit successor: succ(u->v) = the arc after (v->u) in v's
+	// cyclic adjacency list. Cutting the circuit at the root's first
+	// outgoing arc turns it into a list.
+	total := 2 * (n - 1)
+	succ := make([]int32, total)
+	head := func(arc int32) int32 {
+		e := edges[arc/2]
+		if arc%2 == 0 {
+			return e[1]
+		}
+		return e[0]
+	}
+	par.For(total, func(ai int) {
+		arc := int32(ai)
+		v := head(arc)
+		twin := arc ^ 1
+		pos := slot[twin]
+		next := pos + 1
+		if next == off[v+1] {
+			next = off[v]
+		}
+		succ[arc] = arcs[next]
+	})
+	m.Add(int64(total), 1)
+	start := arcs[off[root]]
+	// Find the arc whose successor is start and cut the circuit there.
+	par.For(total, func(ai int) {
+		if succ[ai] == start {
+			succ[ai] = listrank.Nil
+		}
+	})
+	m.Add(int64(total), 1)
+	rank := listrank.Rank(succ, m)
+	if int(rank[start]) != total-1 {
+		return nil, fmt.Errorf("tree: edges do not form a spanning tree (tour covers %d of %d arcs)", rank[start]+1, total)
+	}
+	// For each edge, the endpoint entered by the earlier-ranked arc is the
+	// child of the other. rank counts arcs after, so earlier = larger rank.
+	par.For(n-1, func(i int) {
+		a, b := int32(2*i), int32(2*i+1)
+		if rank[a] > rank[b] {
+			parent[head(a)] = head(b)
+		} else {
+			parent[head(b)] = head(a)
+		}
+	})
+	m.Add(int64(n), 1)
+	parent[root] = None
+	return parent, nil
+}
+
+// RootEdgeListSeq is the sequential (BFS) reference for RootEdgeList.
+func RootEdgeListSeq(n int, edges [][2]int32, root int32) ([]int32, error) {
+	if len(edges) != n-1 {
+		return nil, fmt.Errorf("tree: spanning tree needs %d edges, got %d", n-1, len(edges))
+	}
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	parent := make([]int32, n)
+	seen := make([]bool, n)
+	for i := range parent {
+		parent[i] = None
+	}
+	queue := []int32{root}
+	seen[root] = true
+	visited := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				parent[u] = v
+				visited++
+				queue = append(queue, u)
+			}
+		}
+	}
+	if visited != n {
+		return nil, fmt.Errorf("tree: edges do not form a spanning tree (reached %d of %d)", visited, n)
+	}
+	return parent, nil
+}

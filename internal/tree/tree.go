@@ -1,0 +1,265 @@
+// Package tree provides rooted trees with the Euler-tour machinery the
+// paper's algorithms traverse instead of the input graph (§1 "spanning
+// trees determine the order in which edges are accessed"): children in CSR
+// form, depths, preorder numbers and subtree intervals, subtree sums, and
+// ancestor tests. Construction is available both sequentially (reference)
+// and in parallel via Euler tours and list ranking (§3.3, [1]).
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/listrank"
+	"repro/internal/par"
+	"repro/internal/wd"
+)
+
+// None marks "no vertex" (the root's parent).
+const None = int32(-1)
+
+// Tree is a rooted tree on vertices 0..n-1.
+type Tree struct {
+	Parent []int32 // Parent[Root] == None
+	Root   int32
+
+	// Children of v are Child[ChildOff[v]:ChildOff[v+1]].
+	ChildOff []int32
+	Child    []int32
+
+	Depth []int32
+	// Preorder: vertex v occupies position In[v]; subtree(v) is the
+	// interval [In[v], Out[v]) of preorder positions; Pre[i] is the vertex
+	// at position i.
+	In, Out []int32
+	Pre     []int32
+}
+
+// N returns the number of vertices.
+func (t *Tree) N() int { return len(t.Parent) }
+
+// NumChildren returns the number of children of v.
+func (t *Tree) NumChildren(v int32) int32 { return t.ChildOff[v+1] - t.ChildOff[v] }
+
+// IsAncestor reports whether u is an ancestor of v (every vertex is its own
+// ancestor, matching the paper's convention in §1.1.1).
+func (t *Tree) IsAncestor(u, v int32) bool {
+	return t.In[u] <= t.In[v] && t.In[v] < t.Out[u]
+}
+
+// FromParent builds a tree from a parent array (Parent[root] == None),
+// validating that the structure is a single tree. Children appear in
+// increasing vertex order. Sequential construction; see FromParentParallel
+// for the Euler-tour construction.
+func FromParent(parent []int32) (*Tree, error) {
+	t, err := skeletonFromParent(parent)
+	if err != nil {
+		return nil, err
+	}
+	n := len(parent)
+	t.Depth = make([]int32, n)
+	t.In = make([]int32, n)
+	t.Out = make([]int32, n)
+	t.Pre = make([]int32, n)
+	// Iterative preorder DFS.
+	stack := make([]int32, 0, 64)
+	stack = append(stack, t.Root)
+	idx := int32(0)
+	visited := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.In[v] = idx
+		t.Pre[idx] = v
+		idx++
+		visited++
+		// Push children in reverse so the smallest-index child pops first.
+		for i := t.ChildOff[v+1] - 1; i >= t.ChildOff[v]; i-- {
+			c := t.Child[i]
+			t.Depth[c] = t.Depth[v] + 1
+			stack = append(stack, c)
+		}
+	}
+	if visited != n {
+		return nil, fmt.Errorf("tree: parent array has a cycle or unreachable vertices (visited %d of %d)", visited, n)
+	}
+	// Out by reverse preorder: Out[v] = max over children, or In[v]+1.
+	for i := n - 1; i >= 0; i-- {
+		v := t.Pre[i]
+		out := t.In[v] + 1
+		for j := t.ChildOff[v]; j < t.ChildOff[v+1]; j++ {
+			if o := t.Out[t.Child[j]]; o > out {
+				out = o
+			}
+		}
+		t.Out[v] = out
+	}
+	return t, nil
+}
+
+// skeletonFromParent validates the parent array and builds the children CSR.
+func skeletonFromParent(parent []int32) (*Tree, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, fmt.Errorf("tree: empty parent array")
+	}
+	root := None
+	counts := make([]int64, n+1)
+	for v, p := range parent {
+		if p == None {
+			if root != None {
+				return nil, fmt.Errorf("tree: multiple roots (%d and %d)", root, v)
+			}
+			root = int32(v)
+			continue
+		}
+		if p < 0 || int(p) >= n {
+			return nil, fmt.Errorf("tree: parent[%d] = %d out of range", v, p)
+		}
+		if p == int32(v) {
+			return nil, fmt.Errorf("tree: vertex %d is its own parent", v)
+		}
+		counts[p+1]++
+	}
+	if root == None {
+		return nil, fmt.Errorf("tree: no root")
+	}
+	par.InclusiveSum(counts, counts)
+	off := make([]int32, n+1)
+	for i := range off {
+		off[i] = int32(counts[i])
+	}
+	child := make([]int32, n-1)
+	cursor := make([]int32, n)
+	copy(cursor, off[:n])
+	for v := 0; v < n; v++ { // ascending v: children sorted by vertex id
+		p := parent[v]
+		if p == None {
+			continue
+		}
+		child[cursor[p]] = int32(v)
+		cursor[p]++
+	}
+	t := &Tree{Parent: parent, Root: root, ChildOff: off, Child: child}
+	return t, nil
+}
+
+// FromParentParallel builds the same Tree as FromParent but computes
+// depths, preorder numbers, and subtree intervals with an Euler tour and
+// list ranking (work O(n log n), depth O(log n) with the pointer-jumping
+// ranker).
+func FromParentParallel(parent []int32, m *wd.Meter) (*Tree, error) {
+	t, err := skeletonFromParent(parent)
+	if err != nil {
+		return nil, err
+	}
+	n := len(parent)
+	t.Depth = make([]int32, n)
+	t.In = make([]int32, n)
+	t.Out = make([]int32, n)
+	t.Pre = make([]int32, n)
+	if n == 1 {
+		t.Out[0] = 1
+		t.Pre[0] = t.Root
+		return t, nil
+	}
+	// childPos[c] = index of c within its parent's child list.
+	childPos := make([]int32, n)
+	par.For(n, func(v int) {
+		for j := t.ChildOff[v]; j < t.ChildOff[v+1]; j++ {
+			childPos[t.Child[j]] = j - t.ChildOff[v]
+		}
+	})
+	m.Add(int64(n), 1)
+	// Arcs: down(c) = 2c (parent(c) -> c), up(c) = 2c+1 (c -> parent(c))
+	// for every non-root c. Root slots stay unused (successor Nil).
+	succ := make([]int32, 2*n)
+	par.For(n, func(vi int) {
+		v := int32(vi)
+		succ[2*v] = listrank.Nil
+		succ[2*v+1] = listrank.Nil
+		if v == t.Root {
+			return
+		}
+		// down(v): descend to v's first child or bounce back up.
+		if t.NumChildren(v) > 0 {
+			succ[2*v] = 2 * t.Child[t.ChildOff[v]]
+		} else {
+			succ[2*v] = 2*v + 1
+		}
+		// up(v): next sibling's down, or parent's up (tour ends at root).
+		p := t.Parent[v]
+		if pos := childPos[v]; t.ChildOff[p]+pos+1 < t.ChildOff[p+1] {
+			succ[2*v+1] = 2 * t.Child[t.ChildOff[p]+pos+1]
+		} else if p != t.Root {
+			succ[2*v+1] = 2*p + 1
+		}
+	})
+	m.Add(int64(n), 1)
+	rank := listrank.Rank(succ, m)
+	total := 2 * (n - 1) // arcs in the tour
+	// Scatter arcs into tour order; +1 for a down arc, -1 for an up arc.
+	kind := make([]int64, total)
+	arcAt := make([]int32, total)
+	par.For(n, func(vi int) {
+		v := int32(vi)
+		if v == t.Root {
+			return
+		}
+		dpos := int32(total-1) - rank[2*v]
+		upos := int32(total-1) - rank[2*v+1]
+		kind[dpos] = 1
+		kind[upos] = -1
+		arcAt[dpos] = 2 * v
+		arcAt[upos] = 2*v + 1
+	})
+	m.Add(int64(n), 1)
+	// downCount[i] = number of down arcs at positions <= i; depthSum[i] =
+	// depth after executing arc i.
+	downCount := make([]int64, total)
+	depthSum := make([]int64, total)
+	par.For(total, func(i int) {
+		if kind[i] > 0 {
+			downCount[i] = 1
+		}
+		depthSum[i] = kind[i]
+	})
+	par.InclusiveSum(downCount, downCount)
+	par.InclusiveSum(depthSum, depthSum)
+	m.Add(int64(total)*3, 3*wd.CeilLog2(total))
+	par.For(total, func(i int) {
+		arc := arcAt[i]
+		v := arc / 2
+		if arc%2 == 0 { // down arc: first visit of v
+			t.In[v] = int32(downCount[i])
+			t.Depth[v] = int32(depthSum[i])
+		} else { // up arc: subtree of v is complete
+			t.Out[v] = int32(downCount[i]) + 1
+		}
+	})
+	m.Add(int64(total), 1)
+	t.In[t.Root] = 0
+	t.Out[t.Root] = int32(n)
+	t.Depth[t.Root] = 0
+	par.For(n, func(v int) {
+		t.Pre[t.In[v]] = int32(v)
+	})
+	m.Add(int64(n), 1)
+	return t, nil
+}
+
+// SubtreeSum returns, for every vertex v, the sum of x over the subtree of
+// v, computed with preorder prefix sums (work O(n), depth O(log n)).
+func (t *Tree) SubtreeSum(x []int64, m *wd.Meter) []int64 {
+	n := t.N()
+	pre := make([]int64, n+1)
+	par.For(n, func(i int) {
+		pre[i+1] = x[t.Pre[i]]
+	})
+	par.InclusiveSum(pre, pre)
+	out := make([]int64, n)
+	par.For(n, func(v int) {
+		out[v] = pre[t.Out[v]] - pre[t.In[v]]
+	})
+	m.Add(3*int64(n), 2+wd.CeilLog2(n))
+	return out
+}

@@ -1,0 +1,230 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wd"
+)
+
+// randomParent builds a random parent array: vertex i > 0 attaches to a
+// uniform earlier vertex under a random relabeling.
+func randomParent(n int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	parent := make([]int32, n)
+	parent[perm[0]] = None
+	for i := 1; i < n; i++ {
+		parent[perm[i]] = int32(perm[rng.Intn(i)])
+	}
+	return parent
+}
+
+// pathParent builds a path 0 <- 1 <- ... <- n-1 rooted at 0.
+func pathParent(n int) []int32 {
+	parent := make([]int32, n)
+	parent[0] = None
+	for i := 1; i < n; i++ {
+		parent[i] = int32(i - 1)
+	}
+	return parent
+}
+
+func TestFromParentValidation(t *testing.T) {
+	cases := [][]int32{
+		{},           // empty
+		{0},          // self-parent (no root)
+		{None, None}, // two roots
+		{1, 0},       // cycle, no root
+		{None, 5},    // out of range
+		{None, 2, 1}, // 2-cycle hanging off nothing reachable... parent[1]=2, parent[2]=1: cycle
+	}
+	for i, parent := range cases {
+		if _, err := FromParent(parent); err == nil {
+			t.Errorf("case %d: invalid parent array accepted", i)
+		}
+	}
+}
+
+func TestSmallTreeLayout(t *testing.T) {
+	//      0
+	//     / \
+	//    1   2
+	//   / \    \
+	//  3   4    5
+	parent := []int32{None, 0, 0, 1, 1, 2}
+	tr, err := FromParent(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != 0 {
+		t.Fatalf("root = %d", tr.Root)
+	}
+	wantDepth := []int32{0, 1, 1, 2, 2, 2}
+	for v, d := range wantDepth {
+		if tr.Depth[v] != d {
+			t.Errorf("depth[%d]=%d want %d", v, tr.Depth[v], d)
+		}
+	}
+	// Preorder with children in vertex order: 0 1 3 4 2 5.
+	wantPre := []int32{0, 1, 3, 4, 2, 5}
+	for i, v := range wantPre {
+		if tr.Pre[i] != v {
+			t.Errorf("pre[%d]=%d want %d", i, tr.Pre[i], v)
+		}
+	}
+	// Subtree sizes via intervals.
+	wantSize := []int32{6, 3, 2, 1, 1, 1}
+	for v, s := range wantSize {
+		if tr.Out[v]-tr.In[v] != s {
+			t.Errorf("size[%d]=%d want %d", v, tr.Out[v]-tr.In[v], s)
+		}
+	}
+	if !tr.IsAncestor(0, 5) || !tr.IsAncestor(1, 4) || !tr.IsAncestor(3, 3) {
+		t.Error("ancestor relation broken")
+	}
+	if tr.IsAncestor(1, 5) || tr.IsAncestor(3, 4) || tr.IsAncestor(5, 0) {
+		t.Error("non-ancestor reported as ancestor")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		n := 1 + int(seed)*137%900 + int(seed)
+		parent := randomParent(n, seed)
+		seq, err := FromParent(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m wd.Meter
+		pp, err := FromParentParallel(parent, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if seq.Depth[v] != pp.Depth[v] {
+				t.Fatalf("seed %d: depth[%d] %d vs %d", seed, v, seq.Depth[v], pp.Depth[v])
+			}
+			if seq.In[v] != pp.In[v] || seq.Out[v] != pp.Out[v] {
+				t.Fatalf("seed %d: interval[%d] [%d,%d) vs [%d,%d)", seed, v,
+					seq.In[v], seq.Out[v], pp.In[v], pp.Out[v])
+			}
+			if seq.Pre[v] != pp.Pre[v] {
+				t.Fatalf("seed %d: pre[%d] %d vs %d", seed, v, seq.Pre[v], pp.Pre[v])
+			}
+		}
+	}
+}
+
+func TestParallelOnPathAndSingle(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 100} {
+		parent := pathParent(n)
+		pp, err := FromParentParallel(parent, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if pp.Depth[v] != int32(v) || pp.In[v] != int32(v) || pp.Out[v] != int32(n) {
+				t.Fatalf("n=%d v=%d: depth=%d in=%d out=%d", n, v, pp.Depth[v], pp.In[v], pp.Out[v])
+			}
+		}
+	}
+}
+
+func TestSubtreeSum(t *testing.T) {
+	parent := []int32{None, 0, 0, 1, 1, 2}
+	tr, _ := FromParent(parent)
+	x := []int64{1, 10, 100, 1000, 10000, 100000}
+	got := tr.SubtreeSum(x, nil)
+	want := []int64{111111, 11010, 100100, 1000, 10000, 100000}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Errorf("subtreeSum[%d]=%d want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSubtreeSumRandomAgainstNaive(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		n := 200 + int(seed)*31
+		parent := randomParent(n, seed+100)
+		tr, err := FromParent(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]int64, n)
+		for i := range x {
+			x[i] = int64(rng.Intn(1000) - 500)
+		}
+		got := tr.SubtreeSum(x, nil)
+		// Naive: accumulate up from every vertex.
+		want := make([]int64, n)
+		for v := 0; v < n; v++ {
+			u := int32(v)
+			for u != None {
+				want[u] += x[v]
+				u = parent[u]
+			}
+		}
+		for v := 0; v < n; v++ {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: sum[%d]=%d want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRootEdgeList(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		n := 2 + int(seed*53)%500
+		parent := randomParent(n, seed+7)
+		// Forget the orientation, keep the edges.
+		var edges [][2]int32
+		var root int32
+		for v, p := range parent {
+			if p == None {
+				root = int32(v)
+				continue
+			}
+			edges = append(edges, [2]int32{int32(v), p})
+		}
+		got, err := RootEdgeList(n, edges, root, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := RootEdgeListSeq(n, edges, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if got[v] != parent[v] {
+				t.Fatalf("seed %d: parent[%d]=%d want %d", seed, v, got[v], parent[v])
+			}
+			if seq[v] != parent[v] {
+				t.Fatalf("seed %d: seq parent[%d]=%d want %d", seed, v, seq[v], parent[v])
+			}
+		}
+	}
+}
+
+func TestRootEdgeListRejectsNonTree(t *testing.T) {
+	// Triangle + isolated vertex: 3 edges on 4 vertices.
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 0}}
+	if _, err := RootEdgeList(4, edges, 0, nil); err == nil {
+		t.Error("cycle accepted by RootEdgeList")
+	}
+	if _, err := RootEdgeListSeq(4, edges, 0); err == nil {
+		t.Error("cycle accepted by RootEdgeListSeq")
+	}
+	if _, err := RootEdgeList(4, edges[:2], 0, nil); err == nil {
+		t.Error("wrong edge count accepted")
+	}
+}
+
+func TestRootEdgeListSingleVertex(t *testing.T) {
+	got, err := RootEdgeList(1, nil, 0, nil)
+	if err != nil || got[0] != None {
+		t.Fatalf("single vertex: %v %v", got, err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package wd provides work-depth accounting in the spirit of the
+// Work-Depth model (paper §1.1.2): the work of an algorithm is the number
+// of constant-time operations it performs and the depth is the length of
+// the longest chain of sequentially dependent operations.
+//
+// Algorithms in this repository update a Meter at primitive granularity
+// (one Add per parallel primitive invocation, with the measured input size,
+// not one per element), so metering is cheap enough to leave on during
+// benchmarks. Sequential composition adds both work and depth; parallel
+// composition adds work and takes the maximum depth, which callers express
+// with Seq and Par.
+package wd
+
+import "sync/atomic"
+
+// Meter accumulates model work and depth. The zero value is ready to use.
+// A nil *Meter is valid and records nothing, so metering is optional on
+// every code path.
+type Meter struct {
+	work  atomic.Int64
+	depth atomic.Int64
+}
+
+// Add records a primitive of the given work and depth, composed
+// sequentially after everything recorded so far.
+func (m *Meter) Add(work, depth int64) {
+	if m == nil {
+		return
+	}
+	m.work.Add(work)
+	m.depth.Add(depth)
+}
+
+// Work returns the accumulated work.
+func (m *Meter) Work() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.work.Load()
+}
+
+// Depth returns the accumulated depth.
+func (m *Meter) Depth() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.depth.Load()
+}
+
+// Seq composes other after m: work and depth both accumulate.
+func (m *Meter) Seq(other *Meter) {
+	if m == nil || other == nil {
+		return
+	}
+	m.work.Add(other.work.Load())
+	m.depth.Add(other.depth.Load())
+}
+
+// Par composes the given meters as parallel branches following m:
+// their work adds up, and the largest branch depth extends m's depth.
+func (m *Meter) Par(branches ...*Meter) {
+	if m == nil {
+		return
+	}
+	var work, depth int64
+	for _, b := range branches {
+		if b == nil {
+			continue
+		}
+		work += b.work.Load()
+		if d := b.depth.Load(); d > depth {
+			depth = d
+		}
+	}
+	m.work.Add(work)
+	m.depth.Add(depth)
+}
+
+// Reset clears the meter.
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.work.Store(0)
+	m.depth.Store(0)
+}
+
+// CeilLog2 returns ceil(log2(n)) for n >= 1 and 0 for n < 1. It is the
+// depth unit used by the parallel primitives (a reduction or scan over n
+// elements has model depth CeilLog2(n)+1).
+func CeilLog2(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	d := int64(0)
+	x := n - 1
+	for x > 0 {
+		x >>= 1
+		d++
+	}
+	return d
+}

@@ -1,0 +1,57 @@
+package wd
+
+import "testing"
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.Add(10, 2)
+	m.Seq(nil)
+	m.Par(nil, nil)
+	m.Reset()
+	if m.Work() != 0 || m.Depth() != 0 {
+		t.Fatal("nil meter must report zero")
+	}
+}
+
+func TestSeqComposition(t *testing.T) {
+	var a, b Meter
+	a.Add(100, 5)
+	b.Add(50, 3)
+	a.Seq(&b)
+	if a.Work() != 150 || a.Depth() != 8 {
+		t.Fatalf("seq: work=%d depth=%d", a.Work(), a.Depth())
+	}
+}
+
+func TestParComposition(t *testing.T) {
+	var m, b1, b2, b3 Meter
+	m.Add(10, 1)
+	b1.Add(100, 7)
+	b2.Add(200, 4)
+	b3.Add(50, 9)
+	m.Par(&b1, &b2, &b3)
+	if m.Work() != 360 {
+		t.Fatalf("par work=%d want 360", m.Work())
+	}
+	if m.Depth() != 10 { // 1 + max(7,4,9)
+		t.Fatalf("par depth=%d want 10", m.Depth())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var m Meter
+	m.Add(5, 5)
+	m.Reset()
+	if m.Work() != 0 || m.Depth() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int64{-3: 0, 0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d)=%d want %d", n, got, want)
+		}
+	}
+}

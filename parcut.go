@@ -1,0 +1,200 @@
+// Package parcut computes global minimum cuts of weighted undirected
+// graphs with the near-linear-work, poly-logarithmic-depth parallel
+// algorithm of Geissmann and Gianinazzi, "Parallel Minimum Cuts in
+// Near-linear Work and Low Depth" (SPAA 2018): O(m log⁴ n) work and
+// O(log³ n) depth, Monte Carlo with high probability.
+//
+// The package also exposes the paper's two reusable building blocks:
+//
+//   - ConstrainedMinCut: the smallest cut crossing at most two edges of a
+//     given spanning tree (the paper's §4 subproblem), deterministic.
+//   - PathAggregator: the parallel batched Minimum Path structure of §3
+//     (AddPath/MinPath on vertex-weighted rooted trees).
+//
+// Quick start:
+//
+//	g := parcut.NewGraph(4)
+//	g.AddEdge(0, 1, 3)
+//	g.AddEdge(1, 2, 1)
+//	g.AddEdge(2, 3, 4)
+//	g.AddEdge(3, 0, 2)
+//	res, err := parcut.MinCut(g, parcut.Options{Seed: 1, WantPartition: true})
+//	// res.Value == 3, res.InCut partitions the cycle at its two
+//	// lightest edges.
+package parcut
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/wd"
+)
+
+// Graph is a weighted undirected multigraph on vertices 0..n-1. Parallel
+// edges are allowed; weights must be positive integers; the total weight
+// must stay below 2^40 (enforced by AddEdge) so that the internal
+// difference arithmetic is exact.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{g: graph.New(n)}
+}
+
+// AddEdge adds the undirected edge {u, v} with weight w.
+func (G *Graph) AddEdge(u, v int, w int64) error {
+	return G.g.AddEdge(u, v, w)
+}
+
+// N returns the number of vertices.
+func (G *Graph) N() int { return G.g.N() }
+
+// M returns the number of edges.
+func (G *Graph) M() int { return G.g.M() }
+
+// TotalWeight returns the sum of all edge weights.
+func (G *Graph) TotalWeight() int64 { return G.g.TotalWeight() }
+
+// CutValue evaluates the total weight crossing the given partition
+// (inCut[v] marks one side).
+func (G *Graph) CutValue(inCut []bool) int64 { return G.g.CutValue(inCut) }
+
+// CutEdge is one edge crossing a cut.
+type CutEdge struct {
+	U, V int
+	W    int64
+}
+
+// CutEdges lists the edges crossing the given partition, in input order —
+// the paper notes the algorithm "can be easily adapted to also output the
+// edges that define the cut" (§4.3); combined with the partition from
+// MinCut this realizes that.
+func (G *Graph) CutEdges(inCut []bool) []CutEdge {
+	var out []CutEdge
+	for _, e := range G.g.Edges() {
+		if inCut[e.U] != inCut[e.V] {
+			out = append(out, CutEdge{U: int(e.U), V: int(e.V), W: e.W})
+		}
+	}
+	return out
+}
+
+// Write serializes the graph in the package's DIMACS-like text format.
+func (G *Graph) Write(w io.Writer) error { return graph.Write(w, G.g) }
+
+// ReadGraph parses a graph written by WriteTo.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	g, err := graph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Options configure MinCut and ConstrainedMinCut.
+type Options struct {
+	// Seed fixes all randomness; two runs with the same seed and input
+	// return identical results. The zero seed is a valid fixed seed.
+	Seed int64
+	// WantPartition additionally reconstructs a partition achieving the
+	// returned value.
+	WantPartition bool
+	// CollectStats fills Result.Work / Result.Depth with Work-Depth model
+	// accounting.
+	CollectStats bool
+	// Boost repeats the Monte Carlo pipeline with independent seeds and
+	// keeps the smallest cut found, driving the (already small) failure
+	// probability down exponentially. 0 and 1 both mean a single run.
+	Boost int
+	// ParallelPhases selects the paper's fully concurrent bough-phase
+	// schedule (§4.3): lower critical-path depth at O(m log n) memory.
+	// The default runs phases back to back in O(m) memory.
+	ParallelPhases bool
+}
+
+// Result of a minimum cut computation.
+type Result struct {
+	// Value is the cut weight. Every returned value is the exact weight
+	// of some cut of the graph; with high probability it is the minimum.
+	Value int64
+	// InCut marks one side of the cut (nil unless WantPartition).
+	InCut []bool
+	// TreesScanned is the number of spanning trees searched.
+	TreesScanned int
+	// Work and Depth are Work-Depth model costs (zero unless CollectStats).
+	Work, Depth int64
+}
+
+// MinCut computes a global minimum cut (Theorem 10). A disconnected graph
+// yields Value 0. Graphs need at least two vertices.
+func MinCut(G *Graph, opt Options) (Result, error) {
+	if G == nil || G.g == nil {
+		return Result{}, errNilGraph()
+	}
+	var m *wd.Meter
+	if opt.CollectStats {
+		m = new(wd.Meter)
+	}
+	runs := opt.Boost
+	if runs < 1 {
+		runs = 1
+	}
+	var out Result
+	for run := 0; run < runs; run++ {
+		r, err := core.MinCut(G.g, core.Options{
+			Seed:           opt.Seed + int64(run)*0x9e3779b9,
+			WantPartition:  opt.WantPartition,
+			ParallelPhases: opt.ParallelPhases,
+			Meter:          m,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if run == 0 || r.Value < out.Value {
+			out = Result{Value: r.Value, InCut: r.InCut, TreesScanned: out.TreesScanned + r.TreesScanned}
+		} else {
+			out.TreesScanned += r.TreesScanned
+		}
+	}
+	if m != nil {
+		out.Work, out.Depth = m.Work(), m.Depth()
+	}
+	return out, nil
+}
+
+// ConstrainedMinCut finds the smallest cut that crosses at most two edges
+// of the given rooted spanning tree (parent[v] is v's parent; the root has
+// parent -1). This is the paper's Lemma 13 primitive; it is deterministic.
+func ConstrainedMinCut(G *Graph, parent []int32, opt Options) (Result, error) {
+	if G == nil || G.g == nil {
+		return Result{}, errNilGraph()
+	}
+	var m *wd.Meter
+	if opt.CollectStats {
+		m = new(wd.Meter)
+	}
+	r, err := core.ConstrainedMinCut(G.g, parent, opt.WantPartition, m)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Value: r.Value, InCut: r.InCut, TreesScanned: 1}
+	if m != nil {
+		out.Work, out.Depth = m.Work(), m.Depth()
+	}
+	return out, nil
+}
+
+// RandomGraph generates a connected random multigraph with n vertices, m
+// edges and weights uniform in [1, maxW] (deterministic in seed) — a
+// convenience for examples and experiments.
+func RandomGraph(n, m int, maxW, seed int64) *Graph {
+	return &Graph{g: gen.RandomConnected(n, m, maxW, seed)}
+}
+
+// errNilGraph guards the exported entry points.
+func errNilGraph() error { return fmt.Errorf("parcut: nil graph") }

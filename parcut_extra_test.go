@@ -1,0 +1,64 @@
+package parcut
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/graph/gen"
+)
+
+func TestCutEdges(t *testing.T) {
+	g := NewGraph(4)
+	for _, e := range []struct {
+		u, v int
+		w    int64
+	}{{0, 1, 3}, {1, 2, 1}, {2, 3, 4}, {3, 0, 2}} {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := MinCut(g, Options{Seed: 1, WantPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.CutEdges(res.InCut)
+	var total int64
+	for _, e := range edges {
+		total += e.W
+	}
+	if total != res.Value {
+		t.Fatalf("crossing edges sum to %d, cut value %d", total, res.Value)
+	}
+	if len(edges) != 2 { // a cycle cut crosses exactly two edges
+		t.Fatalf("cycle cut crossed %d edges, want 2", len(edges))
+	}
+}
+
+func TestBoostNeverWorse(t *testing.T) {
+	inner := gen.RandomConnected(40, 140, 12, 5)
+	g := &Graph{g: inner}
+	want, _, err := baseline.StoerWagner(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := MinCut(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := MinCut(g, Options{Seed: 3, Boost: 3, WantPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.Value > single.Value {
+		t.Fatalf("boost made the answer worse: %d > %d", boosted.Value, single.Value)
+	}
+	if boosted.Value != want {
+		t.Fatalf("boosted=%d want %d", boosted.Value, want)
+	}
+	if boosted.TreesScanned <= single.TreesScanned {
+		t.Fatalf("boost should scan more trees (%d vs %d)", boosted.TreesScanned, single.TreesScanned)
+	}
+	if got := g.CutValue(boosted.InCut); got != boosted.Value {
+		t.Fatalf("boosted witness %d claimed %d", got, boosted.Value)
+	}
+}
