@@ -1,0 +1,88 @@
+// Command mincutd serves minimum-cut computations over HTTP: upload a
+// graph once, solve it many times, concurrently, with caching and
+// cancellation. See internal/service/httpapi for the API surface.
+//
+//	mincutd -addr :8080 -workers 8 -graph-cache-bytes 1073741824
+//
+// On SIGTERM or SIGINT the server stops accepting work, finishes in-flight
+// requests and jobs, and exits; jobs still running when -drain-timeout
+// expires are canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service/httpapi"
+	"repro/internal/service/registry"
+	"repro/internal/service/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mincutd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "solver worker pool size")
+	cacheBytes := flag.Int64("graph-cache-bytes", 1<<30, "graph registry budget in edge bytes (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
+	flag.Parse()
+	if err := run(*addr, *workers, *cacheBytes, *drainTimeout, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the service and blocks until the listener fails or a
+// termination signal completes the drain. If ready is non-nil, the bound
+// address is sent on it once the server accepts connections (used by
+// tests, which listen on port 0).
+func run(addr string, workers int, cacheBytes int64, drainTimeout time.Duration, ready chan<- string) error {
+	reg := registry.New(cacheBytes)
+	sch := sched.New(sched.Config{Workers: workers})
+	api := httpapi.New(reg, sch)
+	srv := &http.Server{Handler: api.Handler()}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	log.Printf("listening on %s (%d workers, %d graph cache bytes)", ln.Addr(), workers, cacheBytes)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sig)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case got := <-sig:
+		log.Printf("received %v, draining (timeout %v)", got, drainTimeout)
+	}
+	api.SetDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// First finish in-flight HTTP requests (waiters), then in-flight jobs.
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := sch.Shutdown(ctx); err != nil {
+		return fmt.Errorf("scheduler drain: %w", err)
+	}
+	log.Print("drained cleanly")
+	return nil
+}

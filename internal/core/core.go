@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -54,6 +55,14 @@ type Result struct {
 // is correct with high probability (failures can only overestimate — every
 // reported value is the weight of some real cut).
 func MinCut(g *graph.Graph, opt Options) (Result, error) {
+	return MinCutContext(context.Background(), g, opt)
+}
+
+// MinCutContext is MinCut with cooperative cancellation: ctx is checked
+// before the packing phase, at the start of every spanning-tree scan, and
+// between bough phases inside each scan, so a canceled context stops the
+// computation within one phase of work rather than running to completion.
+func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, error) {
 	n := g.N()
 	if n < 2 {
 		return Result{}, fmt.Errorf("core: minimum cut needs at least 2 vertices, have %d", n)
@@ -77,6 +86,9 @@ func MinCut(g *graph.Graph, opt Options) (Result, error) {
 	minDeg, minDegV := par.MinInt64(deg)
 	m.Add(int64(n), wd.CeilLog2(n))
 
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("core: canceled before packing: %w", err)
+	}
 	popt := opt.Packing
 	if popt.Seed == 0 {
 		popt.Seed = opt.Seed + 1
@@ -94,6 +106,12 @@ func MinCut(g *graph.Graph, opt Options) (Result, error) {
 	outs := make([]scanOut, len(pk.Trees))
 	locals := make([]*wd.Meter, len(pk.Trees))
 	par.ForGrain(len(pk.Trees), 1, func(i int) {
+		// Cancellation checkpoint between trees: a canceled context skips
+		// every scan that has not started yet.
+		if err := ctx.Err(); err != nil {
+			outs[i].err = fmt.Errorf("canceled: %w", err)
+			return
+		}
 		edges := make([][2]int32, len(pk.Trees[i]))
 		for j, ei := range pk.Trees[i] {
 			e := g.Edge(int(ei))
@@ -107,9 +125,9 @@ func MinCut(g *graph.Graph, opt Options) (Result, error) {
 		}
 		var f respect.Finding
 		if opt.ParallelPhases {
-			f, err = respect.ScanParallelPhases(g, parent, locals[i])
+			f, err = respect.ScanParallelPhasesContext(ctx, g, parent, locals[i])
 		} else {
-			f, err = respect.Scan(g, parent, locals[i])
+			f, err = respect.ScanContext(ctx, g, parent, locals[i])
 		}
 		outs[i] = scanOut{finding: f, parent: parent, err: err}
 	})
@@ -118,7 +136,7 @@ func MinCut(g *graph.Graph, opt Options) (Result, error) {
 	bestTree := -1
 	for i, o := range outs {
 		if o.err != nil {
-			return Result{}, fmt.Errorf("core: tree %d scan failed: %v", i, o.err)
+			return Result{}, fmt.Errorf("core: tree %d scan failed: %w", i, o.err)
 		}
 		if o.finding.Value < best.Value {
 			best.Value = o.finding.Value

@@ -1,6 +1,7 @@
 package respect
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/decomp"
@@ -115,10 +116,10 @@ func (j *phaseJob) run(m *wd.Meter) {
 // scan instead stops before executing batches of that phase and stores
 // the phase state in *out (witness rebuild mode).
 func scan(g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, m *wd.Meter) (int64, provenance, error) {
-	return scanMode(g, parent, stopAtPhase, out, false, m)
+	return scanMode(context.Background(), g, parent, stopAtPhase, out, false, m)
 }
 
-func scanMode(g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, parallelPhases bool, m *wd.Meter) (int64, provenance, error) {
+func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, parallelPhases bool, m *wd.Meter) (int64, provenance, error) {
 	t, err := tree.FromParentParallel(parent, m)
 	if err != nil {
 		return 0, provenance{}, fmt.Errorf("respect: invalid spanning tree: %v", err)
@@ -130,6 +131,12 @@ func scanMode(g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, p
 	var prov provenance
 	var deferred []*phaseJob
 	for phase := 0; ; phase++ {
+		// Cooperative cancellation between bough phases: each phase is a
+		// bounded batch of work, so this keeps cancellation latency at one
+		// phase without any locking on the hot path.
+		if err := ctx.Err(); err != nil {
+			return 0, provenance{}, fmt.Errorf("respect: scan canceled: %w", err)
+		}
 		if phase > int(wd.CeilLog2(g.N()))+2 {
 			return 0, provenance{}, fmt.Errorf("respect: phase bound exceeded")
 		}
@@ -170,9 +177,18 @@ func scanMode(g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, p
 	if parallelPhases && len(deferred) > 0 {
 		locals := make([]*wd.Meter, len(deferred))
 		par.ForGrain(len(deferred), 1, func(i int) {
+			// The deferred batches are where this mode spends its work, so
+			// cancellation must be honored here too, not just while the
+			// contraction chain was being built.
+			if ctx.Err() != nil {
+				return
+			}
 			locals[i] = new(wd.Meter)
 			deferred[i].run(locals[i])
 		})
+		if err := ctx.Err(); err != nil {
+			return 0, provenance{}, fmt.Errorf("respect: scan canceled: %w", err)
+		}
 		m.Par(locals...)
 		for _, job := range deferred {
 			if job.best < best {
@@ -189,10 +205,29 @@ func scanMode(g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, p
 // ScanParallelPhases is Scan with the paper-faithful concurrent phase
 // execution (§4.3): lower depth, O(m log n) memory.
 func ScanParallelPhases(g *graph.Graph, parent []int32, m *wd.Meter) (Finding, error) {
+	return ScanParallelPhasesContext(context.Background(), g, parent, m)
+}
+
+// ScanContext is Scan with cooperative cancellation: ctx is checked between
+// bough phases, so cancellation latency is bounded by a single phase.
+func ScanContext(ctx context.Context, g *graph.Graph, parent []int32, m *wd.Meter) (Finding, error) {
 	if g.N() < 2 {
 		return Finding{}, fmt.Errorf("respect: graph needs at least 2 vertices")
 	}
-	v, p, err := scanMode(g, parent, -1, nil, true, m)
+	v, p, err := scanMode(ctx, g, parent, -1, nil, false, m)
+	if err != nil {
+		return Finding{}, err
+	}
+	return Finding{Value: v, prov: p}, nil
+}
+
+// ScanParallelPhasesContext is ScanParallelPhases with cooperative
+// cancellation between bough phases.
+func ScanParallelPhasesContext(ctx context.Context, g *graph.Graph, parent []int32, m *wd.Meter) (Finding, error) {
+	if g.N() < 2 {
+		return Finding{}, fmt.Errorf("respect: graph needs at least 2 vertices")
+	}
+	v, p, err := scanMode(ctx, g, parent, -1, nil, true, m)
 	if err != nil {
 		return Finding{}, err
 	}

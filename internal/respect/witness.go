@@ -1,6 +1,7 @@
 package respect
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -20,14 +21,7 @@ type Finding struct {
 // provenance to reconstruct the partition later (so callers can scan many
 // trees and extract a witness only for the winner).
 func Scan(g *graph.Graph, parent []int32, m *wd.Meter) (Finding, error) {
-	if g.N() < 2 {
-		return Finding{}, fmt.Errorf("respect: graph needs at least 2 vertices")
-	}
-	v, p, err := scan(g, parent, -1, nil, m)
-	if err != nil {
-		return Finding{}, err
-	}
-	return Finding{Value: v, prov: p}, nil
+	return ScanContext(context.Background(), g, parent, m)
 }
 
 // Witness reconstructs one side of the cut found by Scan over the original

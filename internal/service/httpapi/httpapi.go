@@ -1,0 +1,310 @@
+// Package httpapi is mincutd's JSON-over-HTTP front end. It glues the
+// graph registry and the job scheduler to a small REST surface:
+//
+//	POST   /v1/graphs              upload a graph (text format or JSON)
+//	GET    /v1/graphs/{id}         stored graph info
+//	POST   /v1/graphs/{id}/mincut  solve (sync by default, async opt-in)
+//	GET    /v1/jobs/{id}           job status / result
+//	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	GET    /healthz                liveness (503 while draining)
+//	GET    /metrics                Prometheus text exposition
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	parcut "repro"
+	"repro/internal/service/registry"
+	"repro/internal/service/sched"
+)
+
+// maxUploadBytes caps graph upload bodies.
+const maxUploadBytes = 256 << 20
+
+// Server holds the service state behind the HTTP handlers.
+type Server struct {
+	reg      *registry.Registry
+	sch      *sched.Scheduler
+	draining atomic.Bool
+}
+
+// New wires a server around the given registry and scheduler.
+func New(reg *registry.Registry, sch *sched.Scheduler) *Server {
+	return &Server{reg: reg, sch: sch}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
+	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphInfo)
+	mux.HandleFunc("POST /v1/graphs/{id}/mincut", s.handleMinCut)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// SetDraining flips /healthz to 503 and rejects new solves; uploads and
+// reads keep working so load balancers can bleed traffic gracefully.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// jsonGraph is the JSON upload form: {"n": 4, "edges": [[0,1,3], ...]}.
+type jsonGraph struct {
+	N     int        `json:"n"`
+	Edges [][3]int64 `json:"edges"`
+}
+
+type graphResponse struct {
+	ID      string `json:"id"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	Bytes   int64  `json:"bytes"`
+	Existed bool   `json:"existed,omitempty"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	var (
+		info    registry.Info
+		existed bool
+		err     error
+	)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var jg jsonGraph
+		if derr := json.NewDecoder(body).Decode(&jg); derr != nil {
+			writeErr(w, http.StatusBadRequest, "bad JSON graph: %v", derr)
+			return
+		}
+		// Same vertex-count bounds as the text parser (graph.Read), which
+		// this path bypasses; NewGraph panics on negative n.
+		if jg.N < 0 || jg.N > 1<<30 {
+			writeErr(w, http.StatusBadRequest, "invalid vertex count n=%d", jg.N)
+			return
+		}
+		g := parcut.NewGraph(jg.N)
+		for i, e := range jg.Edges {
+			if aerr := g.AddEdge(int(e[0]), int(e[1]), e[2]); aerr != nil {
+				writeErr(w, http.StatusBadRequest, "edge %d: %v", i, aerr)
+				return
+			}
+		}
+		info, existed, err = s.reg.PutGraph(g)
+	} else {
+		info, existed, err = s.reg.Put(body)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "%v", err)
+			return
+		}
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, graphResponse{ID: info.ID, N: info.N, M: info.M, Bytes: info.Bytes, Existed: existed})
+}
+
+func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	_, info, ok := s.reg.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, graphResponse{ID: info.ID, N: info.N, M: info.M, Bytes: info.Bytes})
+}
+
+// mincutRequest selects solver options; zero values are valid defaults.
+type mincutRequest struct {
+	Seed           int64 `json:"seed"`
+	WantPartition  bool  `json:"want_partition"`
+	Boost          int   `json:"boost"`
+	ParallelPhases bool  `json:"parallel_phases"`
+	// Async returns 202 with a job ID instead of waiting for the result.
+	Async bool `json:"async"`
+	// TimeoutMs bounds how long a synchronous request waits (and, if it is
+	// the only waiter, how long the solve may run). 0 means no timeout
+	// beyond the client disconnecting.
+	TimeoutMs int64 `json:"timeout_ms"`
+}
+
+type jobResponse struct {
+	JobID        string `json:"job_id"`
+	GraphID      string `json:"graph_id"`
+	Status       string `json:"status"`
+	Cached       bool   `json:"cached,omitempty"`
+	Value        *int64 `json:"value,omitempty"`
+	InCut        []bool `json:"in_cut,omitempty"`
+	TreesScanned int    `json:"trees_scanned,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	id := r.PathValue("id")
+	g, _, ok := s.reg.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", id)
+		return
+	}
+	req := mincutRequest{}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	if req.Boost < 0 || req.TimeoutMs < 0 {
+		writeErr(w, http.StatusBadRequest, "boost and timeout_ms must be non-negative")
+		return
+	}
+	key := sched.Key{GraphID: id, Opt: sched.SolveOptions{
+		Seed:           req.Seed,
+		WantPartition:  req.WantPartition,
+		Boost:          req.Boost,
+		ParallelPhases: req.ParallelPhases,
+	}}
+	job, hit, err := s.sch.Submit(key, g, req.Async)
+	if errors.Is(err, sched.ErrDraining) {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if req.Async {
+		st, _ := s.sch.Job(job.ID())
+		writeJSON(w, http.StatusAccepted, jobResponse{
+			JobID: job.ID(), GraphID: id, Status: string(st.State), Cached: hit,
+		})
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := s.sch.Wait(ctx, job)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			code = http.StatusGatewayTimeout
+		case r.Context().Err() != nil:
+			code = 499 // this client really closed the request (nginx convention)
+		case errors.Is(err, context.Canceled):
+			// Canceled from the job's side — DELETE /v1/jobs/{id} or the
+			// shutdown drain — while this client was still connected.
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, jobResponse{JobID: job.ID(), GraphID: id, Status: "unfinished", Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResponse{
+		JobID: job.ID(), GraphID: id, Status: string(sched.StateDone), Cached: hit,
+		Value: &res.Value, InCut: res.InCut, TreesScanned: res.TreesScanned,
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.sch.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	resp := jobResponse{JobID: st.ID, GraphID: st.GraphID, Status: string(st.State), Error: st.Err}
+	if st.State == sched.StateDone {
+		v := st.Value
+		resp.Value = &v
+		resp.InCut = st.InCut
+		resp.TreesScanned = st.TreesScanned
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.sch.Job(id); !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	canceled := s.sch.Cancel(id)
+	writeJSON(w, http.StatusOK, map[string]any{"job_id": id, "canceled": canceled})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the scheduler and registry counters in Prometheus
+// text exposition format, no client library needed.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.sch.Metrics()
+	rs := s.reg.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("mincutd_jobs_submitted_total", "Solve submissions, including cache hits.", m.Submitted)
+	counter("mincutd_jobs_completed_total", "Jobs that finished successfully.", m.Completed)
+	counter("mincutd_jobs_failed_total", "Jobs that ended in a solver error.", m.Failed)
+	counter("mincutd_jobs_canceled_total", "Jobs canceled before completion.", m.Canceled)
+	counter("mincutd_cache_hits_total", "Submissions served without a new solver run (cached result or coalesced onto an in-flight job).", m.CacheHits)
+	counter("mincutd_jobs_coalesced_total", "Submissions that joined an in-flight job (subset of cache hits).", m.Coalesced)
+	gauge("mincutd_queue_depth", "Jobs waiting for a worker.", int64(m.QueueDepth))
+	gauge("mincutd_jobs_running", "Jobs currently on a worker.", int64(m.Running))
+	gauge("mincutd_workers", "Worker pool size.", int64(m.Workers))
+	fmt.Fprintf(&b, "# HELP mincutd_solve_seconds Wall time of successful solver runs.\n# TYPE mincutd_solve_seconds histogram\n")
+	for _, bk := range m.LatencyBuckets {
+		fmt.Fprintf(&b, "mincutd_solve_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", bk.UpperBound), bk.Count)
+	}
+	fmt.Fprintf(&b, "mincutd_solve_seconds_bucket{le=\"+Inf\"} %d\n", m.SolveCount)
+	fmt.Fprintf(&b, "mincutd_solve_seconds_sum %g\n", time.Duration(m.SolveNanos).Seconds())
+	fmt.Fprintf(&b, "mincutd_solve_seconds_count %d\n", m.SolveCount)
+	gauge("mincutd_graphs", "Graphs currently registered.", int64(rs.Graphs))
+	gauge("mincutd_graph_bytes", "Edge bytes held by the registry.", rs.Bytes)
+	gauge("mincutd_graph_capacity_bytes", "Registry edge-byte budget (0 = unbounded).", rs.Capacity)
+	counter("mincutd_graphs_evicted_total", "Graphs evicted by the LRU budget.", rs.Evictions)
+	counter("mincutd_graph_dedup_total", "Uploads deduplicated by content hash.", rs.Dedups)
+	counter("mincutd_graph_lookup_hits_total", "Graph lookups that found their graph.", rs.Hits)
+	counter("mincutd_graph_lookup_misses_total", "Graph lookups that missed.", rs.Misses)
+	_, _ = io.WriteString(w, b.String())
+}

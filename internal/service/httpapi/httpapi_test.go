@@ -1,0 +1,349 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service/registry"
+	"repro/internal/service/sched"
+)
+
+type testServer struct {
+	*httptest.Server
+	api *Server
+	sch *sched.Scheduler
+}
+
+func newTestServer(t *testing.T, workers int) *testServer {
+	t.Helper()
+	reg := registry.New(0)
+	sch := sched.New(sched.Config{Workers: workers})
+	api := New(reg, sch)
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		if err := sch.Shutdown(ctx); err != nil {
+			t.Errorf("scheduler shutdown: %v", err)
+		}
+	})
+	return &testServer{Server: ts, api: api, sch: sch}
+}
+
+func (ts *testServer) do(t *testing.T, method, path, contentType string, body []byte, out any) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, path, buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// uploadCycle uploads an n-cycle with edge weights 2,3,4,2,3,4,... and
+// returns its registry ID. Minimum cut = 4 (two weight-2 edges).
+func (ts *testServer) uploadCycle(t *testing.T, n int) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cut %d %d\n", n, n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "e %d %d %d\n", i, (i+1)%n, 2+i%3)
+	}
+	var gr graphResponse
+	code, raw := ts.do(t, "POST", "/v1/graphs", "", []byte(b.String()), &gr)
+	if code != http.StatusCreated {
+		t.Fatalf("upload: %d %s", code, raw)
+	}
+	return gr.ID
+}
+
+// metric scrapes one sample value from /metrics.
+func (ts *testServer) metric(t *testing.T, name string) int64 {
+	t.Helper()
+	code, body := ts.do(t, "GET", "/metrics", "", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s missing from:\n%s", name, body)
+	}
+	v, err := strconv.ParseInt(string(m[1]), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func (ts *testServer) waitMetric(t *testing.T, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for ts.metric(t, name) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("metric %s never reached %d (is %d)", name, want, ts.metric(t, name))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// startBlocker occupies a worker with an effectively endless solve (huge
+// boost on a small graph: each run is fast, so cancellation is prompt) and
+// returns the job ID so tests can cancel it.
+func (ts *testServer) startBlocker(t *testing.T, graphID string) string {
+	t.Helper()
+	var jr jobResponse
+	code, raw := ts.do(t, "POST", "/v1/graphs/"+graphID+"/mincut", "application/json",
+		[]byte(`{"seed": 999, "boost": 1048576, "async": true}`), &jr)
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker submit: %d %s", code, raw)
+	}
+	ts.waitMetric(t, "mincutd_jobs_running", 1)
+	return jr.JobID
+}
+
+func (ts *testServer) cancelJob(t *testing.T, jobID string) {
+	t.Helper()
+	if code, raw := ts.do(t, "DELETE", "/v1/jobs/"+jobID, "", nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel %s: %d %s", jobID, code, raw)
+	}
+}
+
+func TestUploadSolveAndJobStatus(t *testing.T) {
+	ts := newTestServer(t, 2)
+	id := ts.uploadCycle(t, 8)
+	if !strings.HasPrefix(id, registry.IDPrefix) {
+		t.Fatalf("graph ID = %q", id)
+	}
+
+	var gr graphResponse
+	if code, _ := ts.do(t, "GET", "/v1/graphs/"+id, "", nil, &gr); code != http.StatusOK || gr.M != 8 {
+		t.Fatalf("graph info: %d %+v", code, gr)
+	}
+
+	var jr jobResponse
+	code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json",
+		[]byte(`{"seed": 1, "want_partition": true}`), &jr)
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, raw)
+	}
+	if jr.Value == nil || *jr.Value != 4 || jr.Status != "done" {
+		t.Fatalf("solve response: %s", raw)
+	}
+	if len(jr.InCut) != 8 {
+		t.Fatalf("partition length %d, want 8", len(jr.InCut))
+	}
+
+	var st jobResponse
+	if code, _ := ts.do(t, "GET", "/v1/jobs/"+jr.JobID, "", nil, &st); code != http.StatusOK || st.Status != "done" || *st.Value != 4 {
+		t.Fatalf("job status: %d %+v", code, st)
+	}
+}
+
+func TestUploadDedupAndJSONForm(t *testing.T) {
+	ts := newTestServer(t, 1)
+	id := ts.uploadCycle(t, 8)
+	// The same graph uploaded as JSON dedups to the same content address.
+	edges := make([][3]int64, 8)
+	for i := 0; i < 8; i++ {
+		edges[i] = [3]int64{int64(i), int64((i + 1) % 8), int64(2 + i%3)}
+	}
+	body, _ := json.Marshal(jsonGraph{N: 8, Edges: edges})
+	var gr graphResponse
+	code, raw := ts.do(t, "POST", "/v1/graphs", "application/json", body, &gr)
+	if code != http.StatusOK || !gr.Existed || gr.ID != id {
+		t.Fatalf("JSON re-upload: %d %s (want existing %s)", code, raw, id)
+	}
+}
+
+func TestNotFoundAndBadInput(t *testing.T) {
+	ts := newTestServer(t, 1)
+	if code, _ := ts.do(t, "GET", "/v1/graphs/sha256:feed", "", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("missing graph: %d", code)
+	}
+	if code, _ := ts.do(t, "POST", "/v1/graphs/sha256:feed/mincut", "", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("solve on missing graph: %d", code)
+	}
+	if code, _ := ts.do(t, "GET", "/v1/jobs/job-404", "", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("missing job: %d", code)
+	}
+	if code, _ := ts.do(t, "POST", "/v1/graphs", "", []byte("not a graph"), nil); code != http.StatusBadRequest {
+		t.Fatalf("bad upload: %d", code)
+	}
+	id := ts.uploadCycle(t, 8)
+	if code, _ := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json", []byte(`{"boost": -1}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("negative boost: %d", code)
+	}
+	// The JSON upload path must apply the same vertex-count bounds as the
+	// text parser: negative n would panic NewGraph, huge n would let a
+	// 16-byte upload pin O(n) solver allocations.
+	for _, body := range []string{`{"n": -1}`, `{"n": 1099511627776, "edges": [[0,1,1]]}`} {
+		if code, raw := ts.do(t, "POST", "/v1/graphs", "application/json", []byte(body), nil); code != http.StatusBadRequest {
+			t.Fatalf("upload %s: %d %s, want 400", body, code, raw)
+		}
+	}
+}
+
+// TestConcurrentDuplicateRequestsCoalesce is the acceptance test for the
+// singleflight cache: N identical in-flight requests produce one solver
+// run, asserted via the cache-hit metric.
+func TestConcurrentDuplicateRequestsCoalesce(t *testing.T) {
+	ts := newTestServer(t, 1)
+	id := ts.uploadCycle(t, 8)
+	blocker := ts.startBlocker(t, id)
+
+	const dups = 5
+	var wg sync.WaitGroup
+	codes := make([]int, dups)
+	values := make([]int64, dups)
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var jr jobResponse
+			codes[i], _ = ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json",
+				[]byte(`{"seed": 42}`), &jr)
+			if jr.Value != nil {
+				values[i] = *jr.Value
+			}
+		}(i)
+	}
+	// All five must be in flight (coalesced onto one queued job) before
+	// the worker frees up, or they could be served one after another from
+	// the finished-result cache instead.
+	ts.waitMetric(t, "mincutd_jobs_coalesced_total", dups-1)
+	ts.cancelJob(t, blocker)
+	wg.Wait()
+	for i := 0; i < dups; i++ {
+		if codes[i] != http.StatusOK || values[i] != 4 {
+			t.Fatalf("request %d: code=%d value=%d", i, codes[i], values[i])
+		}
+	}
+	if hits := ts.metric(t, "mincutd_cache_hits_total"); hits != dups-1 {
+		t.Fatalf("cache hits = %d, want %d", hits, dups-1)
+	}
+	// One shared solve; the canceled blocker never completes one.
+	if solves := ts.metric(t, "mincutd_solve_seconds_count"); solves != 1 {
+		t.Fatalf("solver runs = %d, want 1", solves)
+	}
+}
+
+// TestExpiredDeadlineReturnsPromptly is the acceptance test for request
+// deadlines: with the worker occupied, a 1ms-deadline request must come
+// back as a timeout error long before the solver could have served it.
+func TestExpiredDeadlineReturnsPromptly(t *testing.T) {
+	ts := newTestServer(t, 1)
+	id := ts.uploadCycle(t, 8)
+	blocker := ts.startBlocker(t, id)
+	defer ts.cancelJob(t, blocker)
+
+	start := time.Now()
+	var jr jobResponse
+	code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json",
+		[]byte(`{"seed": 7, "timeout_ms": 1}`), &jr)
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline solve: %d %s", code, raw)
+	}
+	if !strings.Contains(jr.Error, "deadline") {
+		t.Fatalf("error %q does not mention the deadline", jr.Error)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("timeout response took %v", elapsed)
+	}
+}
+
+func TestAsyncSolveAndCancel(t *testing.T) {
+	ts := newTestServer(t, 1)
+	id := ts.uploadCycle(t, 8)
+	blocker := ts.startBlocker(t, id)
+
+	var st jobResponse
+	if code, _ := ts.do(t, "GET", "/v1/jobs/"+blocker, "", nil, &st); code != http.StatusOK || st.Status != "running" {
+		t.Fatalf("blocker status: %d %+v", code, st)
+	}
+	ts.cancelJob(t, blocker)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		ts.do(t, "GET", "/v1/jobs/"+blocker, "", nil, &st)
+		if st.Status == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker stuck in %q", st.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Error == "" {
+		t.Fatal("canceled job reports no error")
+	}
+}
+
+// TestServerSideCancelIsNot499: a waiter whose job is canceled by someone
+// else (DELETE) is still connected, so it must get 409, not 499 ("client
+// closed request").
+func TestServerSideCancelIsNot499(t *testing.T) {
+	ts := newTestServer(t, 1)
+	id := ts.uploadCycle(t, 8)
+	codeCh := make(chan int, 1)
+	bodyCh := make(chan []byte, 1)
+	go func() {
+		var jr jobResponse
+		code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json",
+			[]byte(`{"seed": 999, "boost": 1048576}`), &jr)
+		codeCh <- code
+		bodyCh <- raw
+	}()
+	ts.waitMetric(t, "mincutd_jobs_running", 1)
+	ts.cancelJob(t, "job-1")
+	select {
+	case code := <-codeCh:
+		if code != http.StatusConflict {
+			t.Fatalf("server-side cancel returned %d (%s), want 409", code, <-bodyCh)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("sync waiter never returned after job cancel")
+	}
+}
+
+func TestHealthzAndDrain(t *testing.T) {
+	ts := newTestServer(t, 1)
+	id := ts.uploadCycle(t, 8)
+	if code, _ := ts.do(t, "GET", "/healthz", "", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	ts.api.SetDraining()
+	if code, _ := ts.do(t, "GET", "/healthz", "", nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d", code)
+	}
+	if code, _ := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "", nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("solve while draining: %d", code)
+	}
+}

@@ -1,0 +1,177 @@
+// Package registry is the service layer's content-addressed graph store:
+// upload a graph once, solve it many times. Graphs are identified by the
+// SHA-256 of their canonical serialization (the package's DIMACS-like text
+// format re-emitted by parcut.Graph.Write), so the same graph uploaded
+// twice — even with different comments, whitespace, or via a different
+// input encoding — deduplicates to one entry. Memory is bounded: entries
+// are evicted least-recently-used once the total edge bytes held exceed
+// the configured capacity.
+package registry
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	parcut "repro"
+)
+
+// edgeBytes is the in-memory cost of one stored edge: two int32 endpoints
+// and an int64 weight. The eviction budget is measured in these.
+const edgeBytes = 16
+
+// IDPrefix tags registry identifiers so they are self-describing in URLs
+// and logs.
+const IDPrefix = "sha256:"
+
+// Info describes a stored graph.
+type Info struct {
+	// ID is "sha256:" + hex digest of the canonical serialization.
+	ID string
+	// N and M are the vertex and edge counts.
+	N, M int
+	// Bytes is the entry's edge-byte cost counted against the capacity.
+	Bytes int64
+}
+
+// Stats is a snapshot of the registry's counters.
+type Stats struct {
+	// Graphs and Bytes are the current entry count and total edge bytes.
+	Graphs int
+	Bytes  int64
+	// Capacity is the configured edge-byte budget.
+	Capacity int64
+	// Hits counts Get calls that found their graph; Misses the rest.
+	Hits, Misses int64
+	// Dedups counts Put calls that matched an existing entry.
+	Dedups int64
+	// Evictions counts entries dropped to make room.
+	Evictions int64
+}
+
+type entry struct {
+	info Info
+	g    *parcut.Graph
+	elem *list.Element // position in the LRU list; value is the ID string
+}
+
+// Registry is a bounded, concurrency-safe graph store. The zero value is
+// not usable; call New.
+type Registry struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	entries  map[string]*entry
+	lru      *list.List // front = most recently used
+
+	hits, misses, dedups, evictions atomic.Int64
+}
+
+// New returns a registry that holds at most capacity edge bytes (16 bytes
+// per stored edge). A non-positive capacity means unbounded.
+func New(capacity int64) *Registry {
+	return &Registry{
+		capacity: capacity,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+	}
+}
+
+// Put parses the graph in the repository's text format (streaming — the
+// body is never buffered whole), canonicalizes and hashes it, and stores
+// it unless an identical graph is already present. It returns the entry's
+// Info and whether the graph already existed.
+func (r *Registry) Put(src io.Reader) (Info, bool, error) {
+	g, err := parcut.ReadGraph(src)
+	if err != nil {
+		return Info{}, false, err
+	}
+	return r.PutGraph(g)
+}
+
+// PutGraph stores an already-parsed graph, deduplicating by content hash.
+func (r *Registry) PutGraph(g *parcut.Graph) (Info, bool, error) {
+	// Hash the canonical serialization as a stream; materializing it would
+	// transiently cost hundreds of MB for graphs near the budget.
+	h := sha256.New()
+	if err := g.Write(h); err != nil {
+		return Info{}, false, fmt.Errorf("registry: canonicalize: %v", err)
+	}
+	info := Info{
+		ID:    IDPrefix + hex.EncodeToString(h.Sum(nil)),
+		N:     g.N(),
+		M:     g.M(),
+		Bytes: int64(g.M()) * edgeBytes,
+	}
+	if r.capacity > 0 && info.Bytes > r.capacity {
+		return Info{}, false, fmt.Errorf("registry: graph needs %d edge bytes, capacity is %d", info.Bytes, r.capacity)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[info.ID]; ok {
+		r.lru.MoveToFront(e.elem)
+		r.dedups.Add(1)
+		return e.info, true, nil
+	}
+	e := &entry{info: info, g: g}
+	e.elem = r.lru.PushFront(info.ID)
+	r.entries[info.ID] = e
+	r.bytes += info.Bytes
+	r.evictLocked()
+	return info, false, nil
+}
+
+// evictLocked drops least-recently-used entries until the budget holds.
+// The newest entry is never evicted (Put rejects oversized graphs up
+// front, so the loop always terminates with at least one entry left).
+func (r *Registry) evictLocked() {
+	if r.capacity <= 0 {
+		return
+	}
+	for r.bytes > r.capacity && r.lru.Len() > 1 {
+		back := r.lru.Back()
+		id := back.Value.(string)
+		e := r.entries[id]
+		r.lru.Remove(back)
+		delete(r.entries, id)
+		r.bytes -= e.info.Bytes
+		r.evictions.Add(1)
+	}
+}
+
+// Get returns the graph stored under id, marking it most recently used.
+// Solvers keep their own reference, so a graph evicted mid-solve stays
+// alive until the job finishes.
+func (r *Registry) Get(id string) (*parcut.Graph, Info, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		r.misses.Add(1)
+		return nil, Info{}, false
+	}
+	r.lru.MoveToFront(e.elem)
+	r.hits.Add(1)
+	return e.g, e.info, true
+}
+
+// Stats returns a snapshot of the registry's state and counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	graphs, bytes := len(r.entries), r.bytes
+	r.mu.Unlock()
+	return Stats{
+		Graphs:    graphs,
+		Bytes:     bytes,
+		Capacity:  r.capacity,
+		Hits:      r.hits.Load(),
+		Misses:    r.misses.Load(),
+		Dedups:    r.dedups.Load(),
+		Evictions: r.evictions.Load(),
+	}
+}

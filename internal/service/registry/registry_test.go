@@ -1,0 +1,149 @@
+package registry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	parcut "repro"
+)
+
+// text builds a graph upload body in the repository's format.
+func text(n int, edges [][3]int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cut %d %d\n", n, len(edges))
+	for _, e := range edges {
+		fmt.Fprintf(&b, "e %d %d %d\n", e[0], e[1], e[2])
+	}
+	return b.String()
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := New(0)
+	in := text(3, [][3]int64{{0, 1, 5}, {1, 2, 7}})
+	info, existed, err := r.Put(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if existed {
+		t.Fatal("fresh Put reported existed")
+	}
+	if !strings.HasPrefix(info.ID, IDPrefix) {
+		t.Fatalf("ID %q lacks prefix %q", info.ID, IDPrefix)
+	}
+	if info.N != 3 || info.M != 2 || info.Bytes != 32 {
+		t.Fatalf("info = %+v", info)
+	}
+	g, got, ok := r.Get(info.ID)
+	if !ok || got.ID != info.ID {
+		t.Fatalf("Get: ok=%v info=%+v", ok, got)
+	}
+	if g.TotalWeight() != 12 {
+		t.Fatalf("stored graph total weight = %d, want 12", g.TotalWeight())
+	}
+}
+
+func TestDedupAcrossFormattingDifferences(t *testing.T) {
+	r := New(0)
+	a := "p cut 3 2\ne 0 1 5\ne 1 2 7\n"
+	b := "c a comment\np cut 3 2\n\ne 0 1 5\ne 1 2 7\n"
+	ia, _, err := r.Put(strings.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, existed, err := r.Put(strings.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existed || ia.ID != ib.ID {
+		t.Fatalf("want dedup: existed=%v ids %q vs %q", existed, ia.ID, ib.ID)
+	}
+	if s := r.Stats(); s.Graphs != 1 || s.Dedups != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDistinctGraphsGetDistinctIDs(t *testing.T) {
+	r := New(0)
+	ia, _, _ := r.Put(strings.NewReader(text(3, [][3]int64{{0, 1, 5}})))
+	ib, _, _ := r.Put(strings.NewReader(text(3, [][3]int64{{0, 1, 6}})))
+	if ia.ID == ib.ID {
+		t.Fatalf("different graphs share ID %q", ia.ID)
+	}
+}
+
+func TestLRUEvictionByEdgeBytes(t *testing.T) {
+	// Each 2-edge graph costs 32 bytes; capacity 64 holds exactly two.
+	r := New(64)
+	mk := func(w int64) Info {
+		info, _, err := r.Put(strings.NewReader(text(3, [][3]int64{{0, 1, w}, {1, 2, w}})))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info
+	}
+	a, b := mk(1), mk(2)
+	// Touch a so b becomes the eviction victim.
+	if _, _, ok := r.Get(a.ID); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c := mk(3)
+	if _, _, ok := r.Get(b.ID); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, id := range []string{a.ID, c.ID} {
+		if _, _, ok := r.Get(id); !ok {
+			t.Fatalf("%s evicted, want kept", id)
+		}
+	}
+	s := r.Stats()
+	if s.Graphs != 2 || s.Bytes != 64 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPutRejectsOversizedGraph(t *testing.T) {
+	r := New(16) // one edge fits, two do not
+	if _, _, err := r.Put(strings.NewReader(text(3, [][3]int64{{0, 1, 1}, {1, 2, 1}}))); err == nil {
+		t.Fatal("oversized Put succeeded")
+	}
+	if _, _, err := r.Put(strings.NewReader(text(2, [][3]int64{{0, 1, 1}}))); err != nil {
+		t.Fatalf("exact-fit Put failed: %v", err)
+	}
+}
+
+func TestPutRejectsMalformedInput(t *testing.T) {
+	r := New(0)
+	for _, bad := range []string{"", "e 0 1 5\n", "p cut 2 1\ne 0 5 1\n"} {
+		if _, _, err := r.Put(strings.NewReader(bad)); err == nil {
+			t.Errorf("Put(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestPutGraphMatchesTextPut(t *testing.T) {
+	r := New(0)
+	g := parcut.NewGraph(3)
+	if err := g.AddEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ia, _, err := r.PutGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, existed, err := r.Put(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !existed || ia.ID != ib.ID {
+		t.Fatalf("PutGraph and Put disagree: %q vs %q (existed=%v)", ia.ID, ib.ID, existed)
+	}
+}

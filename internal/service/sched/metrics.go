@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the solve-latency
+// histogram, chosen to straddle the microsecond-to-seconds range the
+// solver spans from toy graphs to millions of edges.
+var latencyBuckets = [...]float64{0.001, 0.01, 0.1, 1, 10, 60}
+
+// counters aggregates the scheduler's monotonic metrics. All fields are
+// atomics so the hot path never takes the scheduler lock to record them.
+type counters struct {
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	cacheHits atomic.Int64
+	coalesced atomic.Int64
+
+	solveCount atomic.Int64
+	solveNanos atomic.Int64
+	buckets    [len(latencyBuckets)]atomic.Int64 // cumulative, le semantics
+}
+
+func (c *counters) observeSolve(d time.Duration) {
+	c.solveCount.Add(1)
+	c.solveNanos.Add(int64(d))
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			c.buckets[i].Add(1)
+		}
+	}
+}
+
+// LatencyBucket is one cumulative histogram bucket.
+type LatencyBucket struct {
+	UpperBound float64 // seconds; the final +Inf bucket is SolveCount
+	Count      int64
+}
+
+// Metrics is a point-in-time snapshot of the scheduler's counters and
+// gauges.
+type Metrics struct {
+	// Submitted counts every Submit call; Completed/Failed/Canceled
+	// partition the jobs that reached a terminal state.
+	Submitted, Completed, Failed, Canceled int64
+	// CacheHits counts Submit calls served without a new solver run —
+	// either a finished cached result or joining an in-flight job.
+	// Coalesced is the in-flight-join subset.
+	CacheHits, Coalesced int64
+	// SolveCount and SolveNanos accumulate completed solver runs and
+	// their total wall time; LatencyBuckets is the cumulative histogram.
+	SolveCount, SolveNanos int64
+	LatencyBuckets         []LatencyBucket
+	// QueueDepth and Running are current gauges; Workers is the pool size.
+	QueueDepth, Running, Workers int
+}
+
+func (c *counters) snapshot() Metrics {
+	m := Metrics{
+		Submitted:  c.submitted.Load(),
+		Completed:  c.completed.Load(),
+		Failed:     c.failed.Load(),
+		Canceled:   c.canceled.Load(),
+		CacheHits:  c.cacheHits.Load(),
+		Coalesced:  c.coalesced.Load(),
+		SolveCount: c.solveCount.Load(),
+		SolveNanos: c.solveNanos.Load(),
+	}
+	for i, ub := range latencyBuckets {
+		m.LatencyBuckets = append(m.LatencyBuckets, LatencyBucket{UpperBound: ub, Count: c.buckets[i].Load()})
+	}
+	return m
+}

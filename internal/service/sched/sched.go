@@ -1,0 +1,448 @@
+// Package sched runs minimum-cut jobs on a bounded worker pool. It is the
+// service layer's concurrency core: requests become Jobs, identical
+// requests coalesce into one solver run (singleflight keyed by graph hash,
+// seed, and options), finished results are cached, smaller graphs are
+// solved first, every job carries a context so callers can cancel or
+// time out, and Shutdown drains in-flight work before returning.
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	parcut "repro"
+)
+
+// ErrDraining is returned by Submit once Shutdown has begun.
+var ErrDraining = errors.New("sched: scheduler is draining")
+
+// SolveOptions is the comparable subset of parcut.Options that, together
+// with the graph ID, keys the result cache.
+type SolveOptions struct {
+	Seed           int64
+	WantPartition  bool
+	Boost          int
+	ParallelPhases bool
+}
+
+func (o SolveOptions) parcut() parcut.Options {
+	return parcut.Options{
+		Seed:           o.Seed,
+		WantPartition:  o.WantPartition,
+		Boost:          o.Boost,
+		ParallelPhases: o.ParallelPhases,
+	}
+}
+
+// Key identifies a solve request for coalescing and caching.
+type Key struct {
+	GraphID string
+	Opt     SolveOptions
+}
+
+// State is a job's lifecycle stage.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Job is one scheduled (possibly shared) solver run. All mutable fields
+// are guarded by the owning scheduler's mutex; Done is closed exactly once
+// when the job reaches a terminal state.
+type Job struct {
+	id  string
+	key Key
+	g   *parcut.Graph
+
+	prio int    // graph edge count; smaller solves first
+	seq  uint64 // FIFO tiebreak
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	waiters  int
+	detached bool // submitted without a waiter; never auto-canceled
+
+	state    State
+	res      parcut.Result
+	err      error
+	created  time.Time
+	finished time.Time
+
+	done chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status is a snapshot of a job visible to API clients.
+type Status struct {
+	ID           string
+	GraphID      string
+	Opt          SolveOptions
+	State        State
+	Value        int64
+	InCut        []bool
+	TreesScanned int
+	Err          string
+	Created      time.Time
+	Finished     time.Time
+}
+
+// Config sizes a Scheduler.
+type Config struct {
+	// Workers is the solver pool size; 0 means 1.
+	Workers int
+	// History bounds how many finished jobs (and their cached results)
+	// are retained; 0 means 1024.
+	History int
+	// HistoryBytes additionally bounds the partition bytes (Result.InCut)
+	// those retained jobs may pin, evicting oldest-first past the budget —
+	// a count bound alone would let 1024 partitions of huge graphs dwarf
+	// the registry budget. 0 means 256 MiB.
+	HistoryBytes int64
+}
+
+// Scheduler owns the worker pool, the priority queue, and the result
+// cache. Create with New, stop with Shutdown.
+type Scheduler struct {
+	workers      int
+	history      int
+	historyBytes int64
+
+	baseCtx    context.Context
+	cancelBase context.CancelCauseFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobHeap
+	byID     map[string]*Job
+	byKey    map[Key]*Job // in-flight or successfully finished jobs
+	order    []string     // finished job IDs, oldest first (history ring)
+	resBytes int64        // partition bytes pinned by the history
+	nextSeq  uint64
+	draining bool
+
+	wg sync.WaitGroup
+	m  counters
+}
+
+// New starts a scheduler with cfg.Workers solver goroutines.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.History < 1 {
+		cfg.History = 1024
+	}
+	if cfg.HistoryBytes < 1 {
+		cfg.HistoryBytes = 256 << 20
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Scheduler{
+		workers:      cfg.Workers,
+		history:      cfg.History,
+		historyBytes: cfg.HistoryBytes,
+		baseCtx:      ctx,
+		cancelBase:   cancel,
+		byID:         make(map[string]*Job),
+		byKey:        make(map[Key]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit schedules a solve of g (registered under key.GraphID) or joins an
+// equivalent job that is already queued, running, or finished. It reports
+// whether the request was a cache hit (no new solver run). Unless detached,
+// the caller must follow up with exactly one Wait call on the returned job;
+// detached submissions run even if nobody waits.
+func (s *Scheduler) Submit(key Key, g *parcut.Graph, detached bool) (*Job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.submitted.Add(1)
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	// A still-unfinished job whose context is already canceled (abandoned
+	// waiters, Cancel) is doomed; joining it would hand this fresh request
+	// a spurious cancellation error, so start over instead (the doomed job
+	// skips its byKey cleanup once it sees it was replaced). Finished jobs
+	// always have a canceled context — run() releases it — so the check
+	// must not exclude them from cache hits.
+	if prev, ok := s.byKey[key]; ok {
+		doomed := prev.ctx.Err() != nil && (prev.state == StateQueued || prev.state == StateRunning)
+		if !doomed {
+			s.m.cacheHits.Add(1)
+			if prev.state == StateQueued || prev.state == StateRunning {
+				s.m.coalesced.Add(1)
+			}
+			if !detached {
+				prev.waiters++
+			}
+			if detached {
+				prev.detached = true
+			}
+			return prev, true, nil
+		}
+	}
+	s.nextSeq++
+	jctx, jcancel := context.WithCancelCause(s.baseCtx)
+	j := &Job{
+		id:       fmt.Sprintf("job-%d", s.nextSeq),
+		key:      key,
+		g:        g,
+		prio:     g.M(),
+		seq:      s.nextSeq,
+		ctx:      jctx,
+		cancel:   jcancel,
+		detached: detached,
+		state:    StateQueued,
+		created:  time.Now(),
+		done:     make(chan struct{}),
+	}
+	if !detached {
+		j.waiters = 1
+	}
+	s.byID[j.id] = j
+	s.byKey[key] = j
+	heap.Push(&s.queue, j)
+	s.cond.Signal()
+	return j, false, nil
+}
+
+// Wait blocks until j finishes or ctx is done, whichever is first. When
+// the last waiter of a still-unfinished, non-detached job gives up, the
+// job's context is canceled so the solver stops promptly instead of
+// running to completion. The returned error wraps ctx's cause on timeout
+// and the solver's error (including cancellation) otherwise.
+func (s *Scheduler) Wait(ctx context.Context, j *Job) (parcut.Result, error) {
+	select {
+	case <-j.done:
+		s.dropWaiter(j)
+		return j.res, j.err
+	case <-ctx.Done():
+		s.dropWaiter(j)
+		return parcut.Result{}, fmt.Errorf("sched: wait: %w", context.Cause(ctx))
+	}
+}
+
+// dropWaiter unregisters one waiter and cancels the job if it was the
+// last. The cancel happens under the scheduler lock: deciding outside it
+// would let a concurrent Submit join the job in the window between the
+// abandon check and the cancel and then see its fresh request canceled.
+// (context cancel functions only close done channels and propagate to
+// children — they never call back into the scheduler, so holding the
+// lock is safe.)
+func (s *Scheduler) dropWaiter(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.waiters > 0 {
+		j.waiters--
+	}
+	if j.waiters == 0 && !j.detached &&
+		(j.state == StateQueued || j.state == StateRunning) {
+		j.cancel(errors.New("sched: all waiters gone"))
+	}
+}
+
+// Cancel aborts the job with the given ID. It reports whether the job
+// exists and had not already finished; the job still transitions through
+// the normal terminal bookkeeping on its worker.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.byID[id]
+	live := ok && (j.state == StateQueued || j.state == StateRunning)
+	s.mu.Unlock()
+	if !live {
+		return false
+	}
+	j.cancel(errors.New("sched: canceled by request"))
+	return true
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (s *Scheduler) Job(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return Status{}, false
+	}
+	return s.statusLocked(j), true
+}
+
+func (s *Scheduler) statusLocked(j *Job) Status {
+	st := Status{
+		ID:       j.id,
+		GraphID:  j.key.GraphID,
+		Opt:      j.key.Opt,
+		State:    j.state,
+		Created:  j.created,
+		Finished: j.finished,
+	}
+	if j.state == StateDone {
+		st.Value = j.res.Value
+		st.InCut = j.res.InCut
+		st.TreesScanned = j.res.TreesScanned
+	}
+	if j.err != nil {
+		st.Err = j.err.Error()
+	}
+	return st
+}
+
+// Metrics returns a snapshot of the scheduler's counters and gauges.
+func (s *Scheduler) Metrics() Metrics {
+	m := s.m.snapshot()
+	s.mu.Lock()
+	m.QueueDepth = s.queue.Len()
+	running := 0
+	for _, j := range s.byID {
+		if j.state == StateRunning {
+			running++
+		}
+	}
+	s.mu.Unlock()
+	m.Running = running
+	m.Workers = s.workers
+	return m
+}
+
+// Shutdown stops accepting new jobs and waits for queued and running work
+// to finish. If ctx expires first, every outstanding job is canceled and
+// Shutdown waits (briefly, since the solver aborts between phases) for
+// the workers to exit, then returns ctx's error.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.cancelBase(fmt.Errorf("sched: shutdown deadline: %w", context.Cause(ctx)))
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker pops jobs in priority order until the scheduler drains.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*Job)
+		j.state = StateRunning
+		s.mu.Unlock()
+		s.run(j)
+	}
+}
+
+// run executes one job and publishes its terminal state.
+func (s *Scheduler) run(j *Job) {
+	var (
+		res parcut.Result
+		err error
+	)
+	if err = j.ctx.Err(); err == nil {
+		start := time.Now()
+		res, err = parcut.MinCutContext(j.ctx, j.g, j.key.Opt.parcut())
+		if err == nil {
+			s.m.observeSolve(time.Since(start))
+		}
+	}
+
+	s.mu.Lock()
+	j.res, j.err = res, err
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		s.m.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		s.m.canceled.Add(1)
+	default:
+		j.state = StateFailed
+		s.m.failed.Add(1)
+	}
+	// Only successful results stay cached; a failed or canceled key must
+	// be retryable. A doomed job may already have been replaced under its
+	// key by a fresh Submit — leave the replacement alone.
+	if j.state != StateDone && s.byKey[j.key] == j {
+		delete(s.byKey, j.key)
+	}
+	// The graph is only needed for the solve; drop the reference so the
+	// history pins partitions (bounded below) but never whole graphs.
+	j.g = nil
+	s.order = append(s.order, j.id)
+	s.resBytes += int64(len(j.res.InCut))
+	for len(s.order) > 1 && (len(s.order) > s.history || s.resBytes > s.historyBytes) {
+		old := s.order[0]
+		s.order = s.order[1:]
+		if oj, ok := s.byID[old]; ok {
+			s.resBytes -= int64(len(oj.res.InCut))
+			delete(s.byID, old)
+			if s.byKey[oj.key] == oj {
+				delete(s.byKey, oj.key)
+			}
+		}
+	}
+	s.mu.Unlock()
+	close(j.done)
+	j.cancel(nil)
+}
+
+// jobHeap orders queued jobs by graph size, then submission order: small
+// graphs jump the queue because their solves are fastest, which minimizes
+// mean latency under mixed load.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].prio != h[b].prio {
+		return h[a].prio < h[b].prio
+	}
+	return h[a].seq < h[b].seq
+}
+func (h jobHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,372 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	parcut "repro"
+)
+
+// cycle builds a small cycle graph whose minimum cut is the two lightest
+// edges — fast to solve and easy to assert.
+func cycle(t *testing.T, n int) *parcut.Graph {
+	t.Helper()
+	g := parcut.NewGraph(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(i, (i+1)%n, int64(2+i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// slow builds a job heavy enough to keep a worker busy until canceled; no
+// test ever runs it to completion, so its absolute cost only bounds the
+// cancellation latency (one boost run plus one bough phase).
+func slow() *parcut.Graph { return parcut.RandomGraph(1000, 4000, 100, 42) }
+
+func slowOpts() SolveOptions { return SolveOptions{Seed: 7, Boost: 1 << 20} }
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// block occupies one worker with a slow job and returns a cancel function
+// that aborts it. The blocker is submitted with a single waiter whose
+// context the cancel function ends, exercising the abandoned-waiter path.
+func block(t *testing.T, s *Scheduler) context.CancelFunc {
+	t.Helper()
+	j, _, err := s.Submit(Key{GraphID: "blocker", Opt: slowOpts()}, slow(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go s.Wait(ctx, j)
+	waitUntil(t, "blocker running", func() bool { return s.Metrics().Running >= 1 })
+	return cancel
+}
+
+func shutdown(t *testing.T, s *Scheduler) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestSolveAndResultCache(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdown(t, s)
+	g := cycle(t, 8)
+	key := Key{GraphID: "g1", Opt: SolveOptions{Seed: 1}}
+
+	j, hit, err := s.Submit(key, g, false)
+	if err != nil || hit {
+		t.Fatalf("first Submit: hit=%v err=%v", hit, err)
+	}
+	res, err := s.Wait(context.Background(), j)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.Value != 4 { // lightest two cycle edges: 2+2
+		t.Fatalf("Value = %d, want 4", res.Value)
+	}
+
+	j2, hit, err := s.Submit(key, g, false)
+	if err != nil || !hit {
+		t.Fatalf("repeat Submit: hit=%v err=%v", hit, err)
+	}
+	if j2 != j {
+		t.Fatal("repeat Submit returned a different job")
+	}
+	if _, err := s.Wait(context.Background(), j2); err != nil {
+		t.Fatalf("Wait on cached job: %v", err)
+	}
+	m := s.Metrics()
+	if m.SolveCount != 1 || m.CacheHits != 1 || m.Coalesced != 0 {
+		t.Fatalf("metrics = %+v, want 1 solve, 1 cache hit, 0 coalesced", m)
+	}
+	st, ok := s.Job(j.ID())
+	if !ok || st.State != StateDone || st.Value != 4 {
+		t.Fatalf("Job status = %+v ok=%v", st, ok)
+	}
+	// Finished jobs must not pin their graph: retained memory stays
+	// bounded by the registry budget, not the job history.
+	s.mu.Lock()
+	retained := j.g != nil
+	s.mu.Unlock()
+	if retained {
+		t.Fatal("finished job still references its graph")
+	}
+}
+
+func TestConcurrentDuplicatesCoalesce(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	// Occupy the only worker so the duplicates below stay queued together.
+	unblock := block(t, s)
+	defer unblock()
+
+	g := cycle(t, 10)
+	key := Key{GraphID: "dup", Opt: SolveOptions{Seed: 3}}
+	const dups = 5
+	var wg sync.WaitGroup
+	results := make([]parcut.Result, dups)
+	for i := 0; i < dups; i++ {
+		j, _, err := s.Submit(key, g, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, j *Job) {
+			defer wg.Done()
+			res, err := s.Wait(context.Background(), j)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i, j)
+	}
+	unblock() // free the worker for the coalesced job
+	wg.Wait()
+	for i := 1; i < dups; i++ {
+		if results[i].Value != results[0].Value {
+			t.Fatalf("waiter %d got %d, waiter 0 got %d", i, results[i].Value, results[0].Value)
+		}
+	}
+	m := s.Metrics()
+	if m.CacheHits != dups-1 || m.Coalesced != dups-1 {
+		t.Fatalf("metrics = %+v, want %d cache hits all coalesced", m, dups-1)
+	}
+	if m.SolveCount != 1 { // one shared solve; the canceled blocker counts no solve
+		t.Fatalf("SolveCount = %d, want 1", m.SolveCount)
+	}
+}
+
+func TestSmallGraphsJumpTheQueue(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	unblock := block(t, s)
+	defer unblock()
+
+	big, _, err := s.Submit(Key{GraphID: "big", Opt: SolveOptions{Seed: 1}}, cycle(t, 64), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _, err := s.Submit(Key{GraphID: "small", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unblock()
+	if _, err := s.Wait(context.Background(), big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), small); err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := s.Job(big.ID())
+	ss, _ := s.Job(small.ID())
+	if !ss.Finished.Before(sb.Finished) {
+		t.Fatalf("small finished %v, big %v: want small first despite later submit", ss.Finished, sb.Finished)
+	}
+}
+
+func TestExpiredDeadlineReturnsPromptly(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	unblock := block(t, s)
+	defer unblock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	j, _, err := s.Submit(Key{GraphID: "late", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = s.Wait(ctx, j)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait error = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Wait took %v, want prompt return", d)
+	}
+	// The abandoned job is canceled rather than run to completion, and the
+	// canceled key is retryable.
+	unblock()
+	waitUntil(t, "job canceled", func() bool {
+		st, ok := s.Job(j.ID())
+		return ok && st.State == StateCanceled
+	})
+	if m := s.Metrics(); m.Canceled < 1 {
+		t.Fatalf("Canceled = %d, want >= 1", m.Canceled)
+	}
+	j2, hit, err := s.Submit(Key{GraphID: "late", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), false)
+	if err != nil || hit {
+		t.Fatalf("retry Submit: hit=%v err=%v", hit, err)
+	}
+	if res, err := s.Wait(context.Background(), j2); err != nil || res.Value == 0 {
+		t.Fatalf("retry solve: res=%+v err=%v", res, err)
+	}
+}
+
+// TestDoomedQueuedJobIsNotJoined covers the window where a queued job's
+// context is already canceled (its only waiter timed out) but no worker
+// has published its terminal state yet: a fresh Submit for the same key
+// must start a new job, not inherit the doomed one's cancellation.
+func TestDoomedQueuedJobIsNotJoined(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	unblock := block(t, s)
+	defer unblock()
+
+	key := Key{GraphID: "k", Opt: SolveOptions{Seed: 1}}
+	g := cycle(t, 8)
+	doomed, _, err := s.Submit(key, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Wait(ctx, doomed); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on doomed job: %v", err)
+	}
+	// The doomed job is still queued (the worker is blocked) with a dead
+	// context; the retry must get a fresh job and a real result.
+	fresh, hit, err := s.Submit(key, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || fresh == doomed {
+		t.Fatalf("retry joined the doomed job (hit=%v)", hit)
+	}
+	unblock()
+	if res, err := s.Wait(context.Background(), fresh); err != nil || res.Value != 4 {
+		t.Fatalf("fresh job: res=%+v err=%v", res, err)
+	}
+	waitUntil(t, "doomed job published", func() bool {
+		st, _ := s.Job(doomed.ID())
+		return st.State == StateCanceled
+	})
+	// The doomed job's cleanup must not have evicted the fresh cached
+	// result from the key cache.
+	again, hit, err := s.Submit(key, g, false)
+	if err != nil || !hit || again != fresh {
+		t.Fatalf("cached result lost after doomed cleanup: hit=%v err=%v", hit, err)
+	}
+	if _, err := s.Wait(context.Background(), again); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidRunCancellationAborts(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	j, _, err := s.Submit(Key{GraphID: "slow", Opt: slowOpts()}, slow(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "job running", func() bool { return s.Metrics().Running == 1 })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Wait(ctx, j); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait error = %v, want Canceled", err)
+	}
+	waitUntil(t, "solver aborted", func() bool {
+		st, _ := s.Job(j.ID())
+		return st.State == StateCanceled
+	})
+	if st, _ := s.Job(j.ID()); st.Err == "" {
+		t.Fatalf("canceled job has no error: %+v", st)
+	}
+}
+
+// TestHistoryBytesBoundsRetainedPartitions: finished jobs pin their InCut
+// slices only up to the HistoryBytes budget, oldest first.
+func TestHistoryBytesBoundsRetainedPartitions(t *testing.T) {
+	s := New(Config{Workers: 1, HistoryBytes: 10}) // one 8-byte partition fits, two do not
+	defer shutdown(t, s)
+	g := cycle(t, 8)
+	solve := func(seed int64) *Job {
+		j, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: seed, WantPartition: true}}, g, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res, err := s.Wait(context.Background(), j); err != nil || len(res.InCut) != 8 {
+			t.Fatalf("solve %d: res=%+v err=%v", seed, res, err)
+		}
+		return j
+	}
+	first, second := solve(1), solve(2)
+	if _, ok := s.Job(first.ID()); ok {
+		t.Fatal("first job survived the partition-byte budget")
+	}
+	if _, ok := s.Job(second.ID()); !ok {
+		t.Fatal("newest job was evicted")
+	}
+	// The evicted job's cached result went with it: same key re-solves.
+	j, hit, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 1, WantPartition: true}}, g, false)
+	if err != nil || hit {
+		t.Fatalf("re-submit after eviction: hit=%v err=%v", hit, err)
+	}
+	if _, err := s.Wait(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShutdownDrainsInFlightJobs(t *testing.T) {
+	s := New(Config{Workers: 2})
+	g := cycle(t, 12)
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: int64(i)}}, g, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for _, j := range jobs {
+		st, ok := s.Job(j.ID())
+		if !ok || st.State != StateDone {
+			t.Fatalf("job %s not drained: %+v", j.ID(), st)
+		}
+	}
+	if _, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 99}}, g, false); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after Shutdown = %v, want ErrDraining", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
+	s := New(Config{Workers: 1})
+	j, _, err := s.Submit(Key{GraphID: "slow", Opt: slowOpts()}, slow(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "job running", func() bool { return s.Metrics().Running == 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	st, _ := s.Job(j.ID())
+	if st.State != StateCanceled {
+		t.Fatalf("straggler state = %s, want canceled", st.State)
+	}
+}

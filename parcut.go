@@ -24,6 +24,7 @@
 package parcut
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -87,7 +88,7 @@ func (G *Graph) CutEdges(inCut []bool) []CutEdge {
 // Write serializes the graph in the package's DIMACS-like text format.
 func (G *Graph) Write(w io.Writer) error { return graph.Write(w, G.g) }
 
-// ReadGraph parses a graph written by WriteTo.
+// ReadGraph parses a graph written by Write.
 func ReadGraph(r io.Reader) (*Graph, error) {
 	g, err := graph.Read(r)
 	if err != nil {
@@ -133,6 +134,16 @@ type Result struct {
 // MinCut computes a global minimum cut (Theorem 10). A disconnected graph
 // yields Value 0. Graphs need at least two vertices.
 func MinCut(G *Graph, opt Options) (Result, error) {
+	return MinCutContext(context.Background(), G, opt)
+}
+
+// MinCutContext is MinCut with cooperative cancellation. The context is
+// checked between boost runs, between spanning-tree scans, and between
+// bough phases inside each scan, so canceling it (or letting its deadline
+// expire) stops the computation promptly instead of running to completion.
+// The returned error wraps ctx.Err(), so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) identify cancellation.
+func MinCutContext(ctx context.Context, G *Graph, opt Options) (Result, error) {
 	if G == nil || G.g == nil {
 		return Result{}, errNilGraph()
 	}
@@ -146,7 +157,10 @@ func MinCut(G *Graph, opt Options) (Result, error) {
 	}
 	var out Result
 	for run := 0; run < runs; run++ {
-		r, err := core.MinCut(G.g, core.Options{
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("parcut: canceled: %w", err)
+		}
+		r, err := core.MinCutContext(ctx, G.g, core.Options{
 			Seed:           opt.Seed + int64(run)*0x9e3779b9,
 			WantPartition:  opt.WantPartition,
 			ParallelPhases: opt.ParallelPhases,

@@ -1,0 +1,140 @@
+package parcut
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// square builds the quickstart graph: a 4-cycle with weights 3,1,4,2 whose
+// minimum cut (value 3) crosses the two lightest edges.
+func square(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(4)
+	for _, e := range [][3]int64{{0, 1, 3}, {1, 2, 1}, {2, 3, 4}, {3, 0, 2}} {
+		if err := g.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestCutEdgesQuickstartPartition(t *testing.T) {
+	g := square(t)
+	res, err := MinCut(g, Options{Seed: 1, WantPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 3 {
+		t.Fatalf("Value = %d, want 3", res.Value)
+	}
+	edges := g.CutEdges(res.InCut)
+	if len(edges) != 2 {
+		t.Fatalf("CutEdges returned %d edges, want 2: %+v", len(edges), edges)
+	}
+	var total int64
+	for _, e := range edges {
+		if res.InCut[e.U] == res.InCut[e.V] {
+			t.Fatalf("edge %+v does not cross the cut", e)
+		}
+		total += e.W
+	}
+	if total != res.Value {
+		t.Fatalf("cut edges weigh %d, want %d", total, res.Value)
+	}
+	// Input order: {1,2} before {3,0}.
+	if edges[0].U != 1 || edges[0].V != 2 || edges[0].W != 1 {
+		t.Fatalf("edges[0] = %+v, want {1 2 1}", edges[0])
+	}
+}
+
+func TestCutEdgesEmptyWhenAllOneSide(t *testing.T) {
+	g := square(t)
+	if edges := g.CutEdges(make([]bool, 4)); len(edges) != 0 {
+		t.Fatalf("trivial partition cut %d edges", len(edges))
+	}
+}
+
+func TestWriteReadGraphRoundTrip(t *testing.T) {
+	g := RandomGraph(40, 120, 50, 11)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() || got.TotalWeight() != g.TotalWeight() {
+		t.Fatalf("round trip changed shape: n %d->%d m %d->%d w %d->%d",
+			g.N(), got.N(), g.M(), got.M(), g.TotalWeight(), got.TotalWeight())
+	}
+	// Serializing again must reproduce the bytes exactly (the service
+	// registry's content addressing relies on this canonical form).
+	var again bytes.Buffer
+	if err := got.Write(&again); err != nil {
+		t.Fatal(err)
+	}
+	first := regenerate(t, g)
+	if !bytes.Equal(first, again.Bytes()) {
+		t.Fatal("canonical serialization is not a fixed point")
+	}
+	// And both solve to the same cut value.
+	a, err := MinCut(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinCut(got, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Fatalf("round trip changed min cut: %d -> %d", a.Value, b.Value)
+	}
+}
+
+func regenerate(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadGraphRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "e 0 1 2\n", "p cut 2 1\ne 0 9 1\n"} {
+		if _, err := ReadGraph(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadGraph(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestMinCutContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MinCutContext(ctx, square(t), Options{Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+}
+
+func TestMinCutContextBackgroundMatchesMinCut(t *testing.T) {
+	g := RandomGraph(60, 200, 30, 3)
+	a, err := MinCut(g, Options{Seed: 9, WantPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinCutContext(context.Background(), g, Options{Seed: 9, WantPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Fatalf("MinCut %d != MinCutContext %d", a.Value, b.Value)
+	}
+	if g.CutValue(b.InCut) != b.Value {
+		t.Fatalf("partition does not achieve value %d", b.Value)
+	}
+}
