@@ -7,6 +7,7 @@ package graph
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/par"
@@ -121,6 +122,31 @@ func (g *Graph) CutValue(inCut []bool) int64 {
 func (g *Graph) Clone() *Graph {
 	edges := make([]Edge, len(g.edges))
 	copy(edges, g.edges)
+	return &Graph{n: g.n, edges: edges, total: g.total}
+}
+
+// Canonical returns a copy of the graph in canonical edge order: every
+// edge stored with U <= V, the list sorted by (U, V, W). Graphs that
+// differ only in edge input order or endpoint order share one canonical
+// form, which makes the form's serialization suitable for
+// content-addressing.
+func (g *Graph) Canonical() *Graph {
+	edges := make([]Edge, len(g.edges))
+	for i, e := range g.edges {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		edges[i] = e
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		if edges[a].V != edges[b].V {
+			return edges[a].V < edges[b].V
+		}
+		return edges[a].W < edges[b].W
+	})
 	return &Graph{n: g.n, edges: edges, total: g.total}
 }
 

@@ -1,13 +1,14 @@
 // Package httpapi is mincutd's JSON-over-HTTP front end. It glues the
 // graph registry and the job scheduler to a small REST surface:
 //
-//	POST   /v1/graphs              upload a graph (text format or JSON)
-//	GET    /v1/graphs/{id}         stored graph info
-//	POST   /v1/graphs/{id}/mincut  solve (sync by default, async opt-in)
-//	GET    /v1/jobs/{id}           job status / result
-//	DELETE /v1/jobs/{id}           cancel a queued or running job
-//	GET    /healthz                liveness (503 while draining)
-//	GET    /metrics                Prometheus text exposition
+//	POST   /v1/graphs                    upload a graph (text format or JSON)
+//	GET    /v1/graphs/{id}               stored graph info
+//	POST   /v1/graphs/{id}/mincut        solve (sync by default, async opt-in)
+//	POST   /v1/graphs/{id}/mincut:batch  solve many seeds in one request
+//	GET    /v1/jobs/{id}                 job status / result
+//	DELETE /v1/jobs/{id}                 cancel a queued or running job
+//	GET    /healthz                      liveness (503 while draining)
+//	GET    /metrics                      Prometheus text exposition
 package httpapi
 
 import (
@@ -47,6 +48,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
 	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphInfo)
 	mux.HandleFunc("POST /v1/graphs/{id}/mincut", s.handleMinCut)
+	mux.HandleFunc("POST /v1/graphs/{id}/mincut:batch", s.handleMinCutBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -160,7 +162,10 @@ type jobResponse struct {
 	Value        *int64 `json:"value,omitempty"`
 	InCut        []bool `json:"in_cut,omitempty"`
 	TreesScanned int    `json:"trees_scanned,omitempty"`
-	Error        string `json:"error,omitempty"`
+	// Fanout is the number of scheduler sub-jobs a boosted solve was
+	// decomposed into; absent for single-run solves.
+	Fanout int    `json:"fanout,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
@@ -203,7 +208,7 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 	if req.Async {
 		st, _ := s.sch.Job(job.ID())
 		writeJSON(w, http.StatusAccepted, jobResponse{
-			JobID: job.ID(), GraphID: id, Status: string(st.State), Cached: hit,
+			JobID: job.ID(), GraphID: id, Status: string(st.State), Cached: hit, Fanout: job.Fanout(),
 		})
 		return
 	}
@@ -231,8 +236,159 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, jobResponse{
 		JobID: job.ID(), GraphID: id, Status: string(sched.StateDone), Cached: hit,
-		Value: &res.Value, InCut: res.InCut, TreesScanned: res.TreesScanned,
+		Value: &res.Value, InCut: res.InCut, TreesScanned: res.TreesScanned, Fanout: job.Fanout(),
 	})
+}
+
+// maxBatchItems caps how many solves one batch request may carry.
+const maxBatchItems = 1024
+
+// batchItem is one solve of a batch request. A zero Boost inherits the
+// request-level boost.
+type batchItem struct {
+	Seed  int64 `json:"seed"`
+	Boost int   `json:"boost,omitempty"`
+}
+
+// batchRequest solves many seeds of one graph in a single request. Seeds
+// is the shorthand form (every seed gets the request-level Boost); Items
+// additionally carries per-item boosts. Both may be given; Seeds run
+// first.
+type batchRequest struct {
+	Seeds          []int64     `json:"seeds"`
+	Items          []batchItem `json:"items"`
+	Boost          int         `json:"boost"`
+	WantPartition  bool        `json:"want_partition"`
+	ParallelPhases bool        `json:"parallel_phases"`
+	// TimeoutMs bounds how long the whole batch waits. 0 means no timeout
+	// beyond the client disconnecting.
+	TimeoutMs int64 `json:"timeout_ms"`
+}
+
+// batchEntry is one element of the batch response's results array.
+type batchEntry struct {
+	Seed         int64  `json:"seed"`
+	Boost        int    `json:"boost,omitempty"`
+	JobID        string `json:"job_id,omitempty"`
+	Status       string `json:"status"`
+	Cached       bool   `json:"cached,omitempty"`
+	Value        *int64 `json:"value,omitempty"`
+	InCut        []bool `json:"in_cut,omitempty"`
+	TreesScanned int    `json:"trees_scanned,omitempty"`
+	Fanout       int    `json:"fanout,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// handleMinCutBatch submits every item of the batch up front — so
+// overlapping seed ranges and boost fan-outs coalesce in the scheduler —
+// then streams the results array in item order, flushing each entry as
+// its solve finishes. Per-item failures (cancellation, timeout) are
+// reported in the entry's status/error fields, not by the HTTP status,
+// which is committed before the first solve completes.
+func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	id := r.PathValue("id")
+	g, _, ok := s.reg.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", id)
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Boost < 0 || req.TimeoutMs < 0 {
+		writeErr(w, http.StatusBadRequest, "boost and timeout_ms must be non-negative")
+		return
+	}
+	items := make([]batchItem, 0, len(req.Seeds)+len(req.Items))
+	for _, seed := range req.Seeds {
+		items = append(items, batchItem{Seed: seed, Boost: req.Boost})
+	}
+	for _, it := range req.Items {
+		if it.Boost < 0 {
+			writeErr(w, http.StatusBadRequest, "item boost must be non-negative")
+			return
+		}
+		if it.Boost == 0 {
+			it.Boost = req.Boost
+		}
+		items = append(items, it)
+	}
+	if len(items) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch needs at least one seed")
+		return
+	}
+	if len(items) > maxBatchItems {
+		writeErr(w, http.StatusBadRequest, "batch of %d items exceeds the limit of %d", len(items), maxBatchItems)
+		return
+	}
+
+	type submission struct {
+		job *sched.Job
+		hit bool
+		err error
+	}
+	subs := make([]submission, len(items))
+	for i, it := range items {
+		key := sched.Key{GraphID: id, Opt: sched.SolveOptions{
+			Seed:           it.Seed,
+			WantPartition:  req.WantPartition,
+			Boost:          it.Boost,
+			ParallelPhases: req.ParallelPhases,
+		}}
+		subs[i].job, subs[i].hit, subs[i].err = s.sch.Submit(key, g, false)
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	fmt.Fprintf(w, `{"graph_id":%q,"results":[`, id)
+	for i, sub := range subs {
+		entry := batchEntry{Seed: items[i].Seed, Boost: items[i].Boost}
+		switch {
+		case sub.err != nil:
+			entry.Status = "rejected"
+			entry.Error = sub.err.Error()
+		default:
+			entry.JobID = sub.job.ID()
+			entry.Cached = sub.hit
+			entry.Fanout = sub.job.Fanout()
+			res, err := s.sch.Wait(ctx, sub.job)
+			if err != nil {
+				entry.Status = "unfinished"
+				entry.Error = err.Error()
+			} else {
+				entry.Status = string(sched.StateDone)
+				entry.Value = &res.Value
+				entry.InCut = res.InCut
+				entry.TreesScanned = res.TreesScanned
+			}
+		}
+		if i > 0 {
+			_, _ = io.WriteString(w, ",")
+		}
+		raw, merr := json.Marshal(entry)
+		if merr != nil {
+			raw = []byte(`{"status":"failed","error":"encode"}`)
+		}
+		_, _ = w.Write(raw)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_, _ = io.WriteString(w, "]}\n")
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -242,7 +398,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	resp := jobResponse{JobID: st.ID, GraphID: st.GraphID, Status: string(st.State), Error: st.Err}
+	resp := jobResponse{JobID: st.ID, GraphID: st.GraphID, Status: string(st.State), Fanout: st.Fanout, Error: st.Err}
 	if st.State == sched.StateDone {
 		v := st.Value
 		resp.Value = &v
@@ -283,14 +439,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
-	counter("mincutd_jobs_submitted_total", "Solve submissions, including cache hits.", m.Submitted)
+	counter("mincutd_jobs_submitted_total", "Accepted solve submissions, including cache hits.", m.Submitted)
+	counter("mincutd_jobs_rejected_total", "Solve submissions rejected while draining.", m.Rejected)
 	counter("mincutd_jobs_completed_total", "Jobs that finished successfully.", m.Completed)
 	counter("mincutd_jobs_failed_total", "Jobs that ended in a solver error.", m.Failed)
 	counter("mincutd_jobs_canceled_total", "Jobs canceled before completion.", m.Canceled)
 	counter("mincutd_cache_hits_total", "Submissions served without a new solver run (cached result or coalesced onto an in-flight job).", m.CacheHits)
 	counter("mincutd_jobs_coalesced_total", "Submissions that joined an in-flight job (subset of cache hits).", m.Coalesced)
+	counter("mincutd_boost_fanouts_total", "Boosted solves decomposed into parallel sub-jobs.", m.Fanouts)
+	counter("mincutd_boost_subjobs_total", "Sub-jobs requested by boost fan-outs.", m.SubJobs)
+	counter("mincutd_boost_subjobs_shared_total", "Fan-out sub-jobs served by an existing or cached run.", m.SubJobsShared)
 	gauge("mincutd_queue_depth", "Jobs waiting for a worker.", int64(m.QueueDepth))
 	gauge("mincutd_jobs_running", "Jobs currently on a worker.", int64(m.Running))
+	gauge("mincutd_jobs_running_peak", "High-water mark of jobs concurrently on workers.", int64(m.PeakRunning))
 	gauge("mincutd_workers", "Worker pool size.", int64(m.Workers))
 	fmt.Fprintf(&b, "# HELP mincutd_solve_seconds Wall time of successful solver runs.\n# TYPE mincutd_solve_seconds histogram\n")
 	for _, bk := range m.LatencyBuckets {

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	parcut "repro"
 	"repro/internal/service/registry"
 	"repro/internal/service/sched"
 )
@@ -103,10 +104,22 @@ func (ts *testServer) metric(t *testing.T, name string) int64 {
 	return v
 }
 
+// waitMetric polls until the named metric equals want;
+// waitMetricAtLeast until it reaches want.
 func (ts *testServer) waitMetric(t *testing.T, name string, want int64) {
 	t.Helper()
+	ts.waitMetricCond(t, name, want, func(v int64) bool { return v == want })
+}
+
+func (ts *testServer) waitMetricAtLeast(t *testing.T, name string, want int64) {
+	t.Helper()
+	ts.waitMetricCond(t, name, want, func(v int64) bool { return v >= want })
+}
+
+func (ts *testServer) waitMetricCond(t *testing.T, name string, want int64, ok func(int64) bool) {
+	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
-	for ts.metric(t, name) != want {
+	for !ok(ts.metric(t, name)) {
 		if time.Now().After(deadline) {
 			t.Fatalf("metric %s never reached %d (is %d)", name, want, ts.metric(t, name))
 		}
@@ -345,5 +358,171 @@ func TestHealthzAndDrain(t *testing.T) {
 	}
 	if code, _ := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "", nil, nil); code != http.StatusServiceUnavailable {
 		t.Fatalf("solve while draining: %d", code)
+	}
+}
+
+// batchBody mirrors the batch endpoint's response shape.
+type batchBody struct {
+	GraphID string       `json:"graph_id"`
+	Results []batchEntry `json:"results"`
+}
+
+func TestBatchSolve(t *testing.T) {
+	ts := newTestServer(t, 2)
+	id := ts.uploadCycle(t, 8)
+	var out batchBody
+	code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut:batch", "application/json",
+		[]byte(`{"seeds": [1, 2, 3], "want_partition": true}`), &out)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, raw)
+	}
+	if out.GraphID != id || len(out.Results) != 3 {
+		t.Fatalf("batch body: %s", raw)
+	}
+	for i, e := range out.Results {
+		if e.Seed != int64(i+1) || e.Status != "done" || e.Value == nil || *e.Value != 4 {
+			t.Fatalf("entry %d: %+v", i, e)
+		}
+		if len(e.InCut) != 8 {
+			t.Fatalf("entry %d partition length %d", i, len(e.InCut))
+		}
+		if e.JobID == "" {
+			t.Fatalf("entry %d has no job id", i)
+		}
+	}
+	// A duplicate seed inside a second batch is a cache hit.
+	code, raw = ts.do(t, "POST", "/v1/graphs/"+id+"/mincut:batch", "application/json",
+		[]byte(`{"seeds": [2], "want_partition": true}`), &out)
+	if code != http.StatusOK || len(out.Results) != 1 || !out.Results[0].Cached {
+		t.Fatalf("repeat batch not cached: %d %s", code, raw)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	ts := newTestServer(t, 1)
+	id := ts.uploadCycle(t, 8)
+	for _, body := range []string{
+		`{}`,                                    // no seeds
+		`{"seeds": [1], "boost": -1}`,           // negative boost
+		`{"items": [{"seed": 1, "boost": -2}]}`, // negative item boost
+		`not json`,
+	} {
+		if code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut:batch", "application/json", []byte(body), nil); code != http.StatusBadRequest {
+			t.Fatalf("batch %s: %d %s, want 400", body, code, raw)
+		}
+	}
+	if code, _ := ts.do(t, "POST", "/v1/graphs/sha256:feed/mincut:batch", "application/json", []byte(`{"seeds":[1]}`), nil); code != http.StatusNotFound {
+		t.Fatalf("batch on missing graph: %d", code)
+	}
+	var big strings.Builder
+	big.WriteString(`{"seeds": [`)
+	for i := 0; i <= maxBatchItems; i++ {
+		if i > 0 {
+			big.WriteString(",")
+		}
+		fmt.Fprintf(&big, "%d", i)
+	}
+	big.WriteString(`]}`)
+	if code, _ := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut:batch", "application/json", []byte(big.String()), nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: %d, want 400", code)
+	}
+}
+
+// TestBatchBoostSharesRunsAcrossOverlappingRanges: a boosted batch item
+// fans out into per-run sub-jobs; a later batch asking for one of those
+// derived seeds directly must be served from the shared run cache.
+func TestBatchBoostSharesRunsAcrossOverlappingRanges(t *testing.T) {
+	ts := newTestServer(t, 2)
+	id := ts.uploadCycle(t, 8)
+	var out batchBody
+	code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut:batch", "application/json",
+		[]byte(`{"items": [{"seed": 5, "boost": 4}]}`), &out)
+	if code != http.StatusOK || len(out.Results) != 1 {
+		t.Fatalf("boosted batch: %d %s", code, raw)
+	}
+	if e := out.Results[0]; e.Status != "done" || e.Fanout != 4 || *e.Value != 4 {
+		t.Fatalf("boosted entry: %+v", e)
+	}
+	if n := ts.metric(t, "mincutd_boost_subjobs_total"); n != 4 {
+		t.Fatalf("boost sub-jobs = %d, want 4", n)
+	}
+	hitsBefore := ts.metric(t, "mincutd_cache_hits_total")
+	// Runs 1 and 3 of the boost, requested as plain seeds.
+	body := fmt.Sprintf(`{"seeds": [%d, %d]}`, parcut.BoostSeed(5, 1), parcut.BoostSeed(5, 3))
+	code, raw = ts.do(t, "POST", "/v1/graphs/"+id+"/mincut:batch", "application/json", []byte(body), &out)
+	if code != http.StatusOK {
+		t.Fatalf("overlap batch: %d %s", code, raw)
+	}
+	for i, e := range out.Results {
+		if e.Status != "done" || !e.Cached {
+			t.Fatalf("overlap entry %d not served from shared runs: %+v", i, e)
+		}
+	}
+	if hits := ts.metric(t, "mincutd_cache_hits_total"); hits != hitsBefore+2 {
+		t.Fatalf("cache hits = %d, want %d", hits, hitsBefore+2)
+	}
+}
+
+// TestBatchClientDisconnectCancelsJobs: dropping a batch request
+// mid-flight must unwind its jobs — the running sub-job aborts and the
+// queued ones leave the scheduler instead of burning workers.
+func TestBatchClientDisconnectCancelsJobs(t *testing.T) {
+	ts := newTestServer(t, 1)
+	id := ts.uploadCycle(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/graphs/"+id+"/mincut:batch",
+			strings.NewReader(`{"items": [{"seed": 999, "boost": 1048576}]}`))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	ts.waitMetric(t, "mincutd_jobs_running", 1)
+	cancel()
+	<-done
+	// The parent and every sub-job must reach a terminal state and the
+	// queue must empty without the worker grinding through doomed chunks.
+	ts.waitMetricAtLeast(t, "mincutd_jobs_canceled_total", 2)
+	ts.waitMetric(t, "mincutd_queue_depth", 0)
+	ts.waitMetric(t, "mincutd_jobs_running", 0)
+	if solves := ts.metric(t, "mincutd_solve_seconds_count"); solves != 0 {
+		t.Fatalf("solver runs = %d, want 0 (no chunk ran to completion)", solves)
+	}
+}
+
+// TestMetricsExposeFanoutAndRejections: the new counters must appear in
+// the Prometheus exposition with sane values.
+func TestMetricsExposeFanoutAndRejections(t *testing.T) {
+	ts := newTestServer(t, 2)
+	id := ts.uploadCycle(t, 8)
+	var jr jobResponse
+	code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json",
+		[]byte(`{"seed": 1, "boost": 3}`), &jr)
+	if code != http.StatusOK || jr.Fanout != 3 {
+		t.Fatalf("boosted solve: %d %s (want fanout 3)", code, raw)
+	}
+	if n := ts.metric(t, "mincutd_boost_fanouts_total"); n != 1 {
+		t.Fatalf("fanouts = %d, want 1", n)
+	}
+	if n := ts.metric(t, "mincutd_boost_subjobs_total"); n != 3 {
+		t.Fatalf("sub-jobs = %d, want 3", n)
+	}
+	if n := ts.metric(t, "mincutd_jobs_rejected_total"); n != 0 {
+		t.Fatalf("rejected = %d, want 0", n)
+	}
+	if n := ts.metric(t, "mincutd_jobs_running_peak"); n < 1 {
+		t.Fatalf("running peak = %d, want >= 1", n)
+	}
+	// Submissions: 1 external solve; fan-out children are not submissions.
+	if n := ts.metric(t, "mincutd_jobs_submitted_total"); n != 1 {
+		t.Fatalf("submitted = %d, want 1", n)
 	}
 }

@@ -1,11 +1,15 @@
 // Package registry is the service layer's content-addressed graph store:
 // upload a graph once, solve it many times. Graphs are identified by the
-// SHA-256 of their canonical serialization (the package's DIMACS-like text
-// format re-emitted by parcut.Graph.Write), so the same graph uploaded
-// twice — even with different comments, whitespace, or via a different
-// input encoding — deduplicates to one entry. Memory is bounded: entries
-// are evicted least-recently-used once the total edge bytes held exceed
-// the configured capacity.
+// SHA-256 of their canonical serialization — parcut.Graph.Canonical
+// (endpoints ordered within each edge, edges sorted by (u, v, w))
+// re-emitted in the package's DIMACS-like text format — so the same graph
+// uploaded twice deduplicates to one entry even with different comments,
+// whitespace, permuted edge order, swapped edge endpoints, or via a
+// different input encoding. The canonical form is also what is stored, so
+// every solve of a given ID sees the same edge order no matter which
+// permutation was uploaded first. Memory is bounded: entries are evicted
+// least-recently-used once the total edge bytes held exceed the
+// configured capacity.
 package registry
 
 import (
@@ -94,7 +98,10 @@ func (r *Registry) Put(src io.Reader) (Info, bool, error) {
 }
 
 // PutGraph stores an already-parsed graph, deduplicating by content hash.
+// The stored copy is the graph's canonical form, not the caller's edge
+// order, so results for an ID are reproducible across permuted uploads.
 func (r *Registry) PutGraph(g *parcut.Graph) (Info, bool, error) {
+	g = g.Canonical()
 	// Hash the canonical serialization as a stream; materializing it would
 	// transiently cost hundreds of MB for graphs near the budget.
 	h := sha256.New()

@@ -147,3 +147,52 @@ func TestPutGraphMatchesTextPut(t *testing.T) {
 		t.Fatalf("PutGraph and Put disagree: %q vs %q (existed=%v)", ia.ID, ib.ID, existed)
 	}
 }
+
+// TestDedupAcrossEdgePermutations: the package promises content dedup
+// regardless of input encoding, so the same graph with permuted edge
+// order — or swapped edge endpoints — must hash to the same ID.
+func TestDedupAcrossEdgePermutations(t *testing.T) {
+	r := New(0)
+	a := text(4, [][3]int64{{0, 1, 3}, {1, 2, 1}, {2, 3, 4}, {3, 0, 2}})
+	b := text(4, [][3]int64{{2, 3, 4}, {3, 0, 2}, {0, 1, 3}, {1, 2, 1}}) // permuted
+	c := text(4, [][3]int64{{1, 0, 3}, {2, 1, 1}, {3, 2, 4}, {0, 3, 2}}) // endpoints swapped
+	ia, _, err := r.Put(strings.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{b, c} {
+		info, existed, err := r.Put(strings.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !existed || info.ID != ia.ID {
+			t.Fatalf("permuted upload got id %q existed=%v, want dedup to %q", info.ID, existed, ia.ID)
+		}
+	}
+	if s := r.Stats(); s.Graphs != 1 || s.Dedups != 2 {
+		t.Fatalf("stats = %+v, want 1 graph, 2 dedups", s)
+	}
+}
+
+// TestStoredGraphIsCanonical: whichever permutation arrives first, the
+// stored graph (and hence every solve of this ID) sees canonical edge
+// order, so results are reproducible across upload orders.
+func TestStoredGraphIsCanonical(t *testing.T) {
+	r := New(0)
+	info, _, err := r.Put(strings.NewReader(text(3, [][3]int64{{2, 1, 7}, {1, 0, 5}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, ok := r.Get(info.ID)
+	if !ok {
+		t.Fatal("stored graph missing")
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "p cut 3 2\ne 0 1 5\ne 1 2 7\n"
+	if buf.String() != want {
+		t.Fatalf("stored serialization:\n%scanonical form:\n%s", buf.String(), want)
+	}
+}

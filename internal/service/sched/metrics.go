@@ -14,11 +14,16 @@ var latencyBuckets = [...]float64{0.001, 0.01, 0.1, 1, 10, 60}
 // atomics so the hot path never takes the scheduler lock to record them.
 type counters struct {
 	submitted atomic.Int64
+	rejected  atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
 	canceled  atomic.Int64
 	cacheHits atomic.Int64
 	coalesced atomic.Int64
+
+	fanouts       atomic.Int64
+	subJobs       atomic.Int64
+	subJobsShared atomic.Int64
 
 	solveCount atomic.Int64
 	solveNanos atomic.Int64
@@ -45,31 +50,42 @@ type LatencyBucket struct {
 // Metrics is a point-in-time snapshot of the scheduler's counters and
 // gauges.
 type Metrics struct {
-	// Submitted counts every Submit call; Completed/Failed/Canceled
-	// partition the jobs that reached a terminal state.
-	Submitted, Completed, Failed, Canceled int64
+	// Submitted counts accepted Submit calls; Rejected the submissions
+	// turned away while draining. Completed/Failed/Canceled partition the
+	// jobs that reached a terminal state.
+	Submitted, Rejected, Completed, Failed, Canceled int64
 	// CacheHits counts Submit calls served without a new solver run —
 	// either a finished cached result or joining an in-flight job.
 	// Coalesced is the in-flight-join subset.
 	CacheHits, Coalesced int64
+	// Fanouts counts boosted solves decomposed into sub-jobs; SubJobs the
+	// sub-jobs requested by those fan-outs; SubJobsShared the subset
+	// served by an existing or cached run instead of a fresh one.
+	Fanouts, SubJobs, SubJobsShared int64
 	// SolveCount and SolveNanos accumulate completed solver runs and
 	// their total wall time; LatencyBuckets is the cumulative histogram.
 	SolveCount, SolveNanos int64
 	LatencyBuckets         []LatencyBucket
-	// QueueDepth and Running are current gauges; Workers is the pool size.
-	QueueDepth, Running, Workers int
+	// QueueDepth and Running are current gauges (fan-out parents, which
+	// never occupy a worker, count in neither); PeakRunning is Running's
+	// high-water mark; Workers is the pool size.
+	QueueDepth, Running, PeakRunning, Workers int
 }
 
 func (c *counters) snapshot() Metrics {
 	m := Metrics{
-		Submitted:  c.submitted.Load(),
-		Completed:  c.completed.Load(),
-		Failed:     c.failed.Load(),
-		Canceled:   c.canceled.Load(),
-		CacheHits:  c.cacheHits.Load(),
-		Coalesced:  c.coalesced.Load(),
-		SolveCount: c.solveCount.Load(),
-		SolveNanos: c.solveNanos.Load(),
+		Submitted:     c.submitted.Load(),
+		Rejected:      c.rejected.Load(),
+		Completed:     c.completed.Load(),
+		Failed:        c.failed.Load(),
+		Canceled:      c.canceled.Load(),
+		CacheHits:     c.cacheHits.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Fanouts:       c.fanouts.Load(),
+		SubJobs:       c.subJobs.Load(),
+		SubJobsShared: c.subJobsShared.Load(),
+		SolveCount:    c.solveCount.Load(),
+		SolveNanos:    c.solveNanos.Load(),
 	}
 	for i, ub := range latencyBuckets {
 		m.LatencyBuckets = append(m.LatencyBuckets, LatencyBucket{UpperBound: ub, Count: c.buckets[i].Load()})

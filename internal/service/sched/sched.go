@@ -4,6 +4,16 @@
 // seed, and options), finished results are cached, smaller graphs are
 // solved first, every job carries a context so callers can cancel or
 // time out, and Shutdown drains in-flight work before returning.
+//
+// Boosted solves fan out: a Boost=k request is decomposed into up to
+// MaxFanout sub-jobs covering disjoint run ranges (parcut.BoostSeed makes
+// the chunking exact), scheduled across the pool like any other job and
+// merged by a deterministic reduction — smallest Value, ties to the lowest
+// run index — so the merged result is bit-for-bit the sequential Boost
+// loop's. Sub-jobs are keyed like ordinary requests, so overlapping boost
+// requests and plain single-seed requests share runs through the same
+// singleflight cache, and canceling the parent cancels sub-jobs nobody
+// else is waiting on.
 package sched
 
 import (
@@ -21,12 +31,20 @@ import (
 var ErrDraining = errors.New("sched: scheduler is draining")
 
 // SolveOptions is the comparable subset of parcut.Options that, together
-// with the graph ID, keys the result cache.
+// with the graph ID, keys the result cache. Submit normalizes Boost (0
+// and 1 both mean a single run) so equivalent requests share one key.
 type SolveOptions struct {
 	Seed           int64
 	WantPartition  bool
 	Boost          int
 	ParallelPhases bool
+}
+
+func (o SolveOptions) normalized() SolveOptions {
+	if o.Boost < 1 {
+		o.Boost = 1
+	}
+	return o
 }
 
 func (o SolveOptions) parcut() parcut.Options {
@@ -55,22 +73,32 @@ const (
 	StateCanceled State = "canceled"
 )
 
-// Job is one scheduled (possibly shared) solver run. All mutable fields
-// are guarded by the owning scheduler's mutex; Done is closed exactly once
-// when the job reaches a terminal state.
+// fanout is the bookkeeping of a decomposed boost solve: the parent job
+// waits (off-worker) for its children and merges their results. children
+// is immutable after construction.
+type fanout struct {
+	children []*Job
+}
+
+// Job is one scheduled (possibly shared) solver run, or the parent of a
+// boost fan-out. All mutable fields are guarded by the owning scheduler's
+// mutex; Done is closed exactly once when the job reaches a terminal
+// state.
 type Job struct {
 	id  string
 	key Key
 	g   *parcut.Graph
 
-	prio int    // graph edge count; smaller solves first
-	seq  uint64 // FIFO tiebreak
+	prio    int    // graph edge count; smaller solves first
+	seq     uint64 // FIFO tiebreak
+	heapIdx int    // index in the queue heap; -1 once popped or removed
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 
 	waiters  int
-	detached bool // submitted without a waiter; never auto-canceled
+	detached bool    // submitted without a waiter; never auto-canceled
+	group    *fanout // non-nil for boost fan-out parents
 
 	state    State
 	res      parcut.Result
@@ -87,6 +115,16 @@ func (j *Job) ID() string { return j.id }
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// Fanout returns the number of sub-jobs a boosted solve was decomposed
+// into, 0 for ordinary jobs. It is fixed at Submit time, so reading it
+// never contends with the scheduler.
+func (j *Job) Fanout() int {
+	if j.group == nil {
+		return 0
+	}
+	return len(j.group.children)
+}
+
 // Status is a snapshot of a job visible to API clients.
 type Status struct {
 	ID           string
@@ -96,9 +134,12 @@ type Status struct {
 	Value        int64
 	InCut        []bool
 	TreesScanned int
-	Err          string
-	Created      time.Time
-	Finished     time.Time
+	// Fanout is the number of sub-jobs a boosted solve was decomposed
+	// into; 0 for ordinary jobs.
+	Fanout   int
+	Err      string
+	Created  time.Time
+	Finished time.Time
 }
 
 // Config sizes a Scheduler.
@@ -113,6 +154,11 @@ type Config struct {
 	// a count bound alone would let 1024 partitions of huge graphs dwarf
 	// the registry budget. 0 means 256 MiB.
 	HistoryBytes int64
+	// MaxFanout caps how many sub-jobs a boosted solve is decomposed
+	// into (larger boosts get chunked run ranges). 0 means
+	// max(2*Workers, 8); 1 disables fan-out, running the boost loop
+	// sequentially inside one worker.
+	MaxFanout int
 }
 
 // Scheduler owns the worker pool, the priority queue, and the result
@@ -121,6 +167,7 @@ type Scheduler struct {
 	workers      int
 	history      int
 	historyBytes int64
+	maxFanout    int
 
 	baseCtx    context.Context
 	cancelBase context.CancelCauseFunc
@@ -134,6 +181,8 @@ type Scheduler struct {
 	resBytes int64        // partition bytes pinned by the history
 	nextSeq  uint64
 	draining bool
+	running  int // jobs currently on a worker (fan-out parents excluded)
+	peakRun  int // high-water mark of running
 
 	wg sync.WaitGroup
 	m  counters
@@ -150,11 +199,18 @@ func New(cfg Config) *Scheduler {
 	if cfg.HistoryBytes < 1 {
 		cfg.HistoryBytes = 256 << 20
 	}
+	if cfg.MaxFanout < 1 {
+		cfg.MaxFanout = 2 * cfg.Workers
+		if cfg.MaxFanout < 8 {
+			cfg.MaxFanout = 8
+		}
+	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Scheduler{
 		workers:      cfg.Workers,
 		history:      cfg.History,
 		historyBytes: cfg.HistoryBytes,
+		maxFanout:    cfg.MaxFanout,
 		baseCtx:      ctx,
 		cancelBase:   cancel,
 		byID:         make(map[string]*Job),
@@ -173,35 +229,56 @@ func New(cfg Config) *Scheduler {
 // whether the request was a cache hit (no new solver run). Unless detached,
 // the caller must follow up with exactly one Wait call on the returned job;
 // detached submissions run even if nobody waits.
+//
+// A Boost > 1 request becomes a fan-out parent: its sub-jobs occupy
+// workers, the parent itself never does. The parent reports StateRunning
+// while its sub-jobs are in flight.
 func (s *Scheduler) Submit(key Key, g *parcut.Graph, detached bool) (*Job, bool, error) {
+	key.Opt = key.Opt.normalized()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.m.submitted.Add(1)
 	if s.draining {
+		s.m.rejected.Add(1)
 		return nil, false, ErrDraining
 	}
+	s.m.submitted.Add(1)
 	// A still-unfinished job whose context is already canceled (abandoned
 	// waiters, Cancel) is doomed; joining it would hand this fresh request
 	// a spurious cancellation error, so start over instead (the doomed job
 	// skips its byKey cleanup once it sees it was replaced). Finished jobs
-	// always have a canceled context — run() releases it — so the check
+	// always have a canceled context — publish releases it — so the check
 	// must not exclude them from cache hits.
-	if prev, ok := s.byKey[key]; ok {
-		doomed := prev.ctx.Err() != nil && (prev.state == StateQueued || prev.state == StateRunning)
-		if !doomed {
-			s.m.cacheHits.Add(1)
-			if prev.state == StateQueued || prev.state == StateRunning {
-				s.m.coalesced.Add(1)
-			}
-			if !detached {
-				prev.waiters++
-			}
-			if detached {
-				prev.detached = true
-			}
-			return prev, true, nil
+	if prev, ok := s.byKey[key]; ok && !doomed(prev) {
+		s.m.cacheHits.Add(1)
+		if prev.state == StateQueued || prev.state == StateRunning {
+			s.m.coalesced.Add(1)
 		}
+		if !detached {
+			prev.waiters++
+		}
+		if detached {
+			prev.detached = true
+		}
+		return prev, true, nil
 	}
+	if key.Opt.Boost > 1 && s.maxFanout > 1 {
+		return s.newFanoutLocked(key, g, detached), false, nil
+	}
+	j := s.newJobLocked(key, g, detached)
+	heap.Push(&s.queue, j)
+	s.cond.Signal()
+	return j, false, nil
+}
+
+// doomed reports whether j is unfinished but already canceled, so a fresh
+// request must not join it.
+func doomed(j *Job) bool {
+	return j.ctx.Err() != nil && (j.state == StateQueued || j.state == StateRunning)
+}
+
+// newJobLocked allocates and registers a queued job (without pushing it to
+// the heap — fan-out parents are never queued).
+func (s *Scheduler) newJobLocked(key Key, g *parcut.Graph, detached bool) *Job {
 	s.nextSeq++
 	jctx, jcancel := context.WithCancelCause(s.baseCtx)
 	j := &Job{
@@ -210,6 +287,7 @@ func (s *Scheduler) Submit(key Key, g *parcut.Graph, detached bool) (*Job, bool,
 		g:        g,
 		prio:     g.M(),
 		seq:      s.nextSeq,
+		heapIdx:  -1,
 		ctx:      jctx,
 		cancel:   jcancel,
 		detached: detached,
@@ -222,9 +300,132 @@ func (s *Scheduler) Submit(key Key, g *parcut.Graph, detached bool) (*Job, bool,
 	}
 	s.byID[j.id] = j
 	s.byKey[key] = j
+	return j
+}
+
+// newFanoutLocked decomposes a Boost=k solve into up to maxFanout
+// sub-jobs covering disjoint run ranges and registers the parent that
+// merges them. Sub-jobs go through the same singleflight keying as
+// external requests, so overlapping boost requests share runs. The merge
+// goroutine is registered on the scheduler's WaitGroup so Shutdown waits
+// for parents, not just workers.
+func (s *Scheduler) newFanoutLocked(key Key, g *parcut.Graph, detached bool) *Job {
+	parent := s.newJobLocked(key, g, detached)
+	parent.state = StateRunning // its sub-jobs are in flight from the start
+	parent.group = &fanout{}
+	s.m.fanouts.Add(1)
+
+	k := key.Opt.Boost
+	chunks := s.maxFanout
+	if k < chunks {
+		chunks = k
+	}
+	base, rem := k/chunks, k%chunks
+	start := 0
+	for i := 0; i < chunks; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		childKey := Key{GraphID: key.GraphID, Opt: SolveOptions{
+			Seed:           parcut.BoostSeed(key.Opt.Seed, start),
+			WantPartition:  key.Opt.WantPartition,
+			Boost:          size,
+			ParallelPhases: key.Opt.ParallelPhases,
+		}}
+		parent.group.children = append(parent.group.children, s.submitChildLocked(childKey, g))
+		start += size
+	}
+	// The parent never solves; drop its graph reference now so only the
+	// children (and the registry) pin it.
+	parent.g = nil
+	s.cond.Broadcast()
+	s.wg.Add(1)
+	go s.merge(parent)
+	return parent
+}
+
+// submitChildLocked is Submit's internal sibling for fan-out sub-jobs: the
+// parent counts as one waiter, and the sub-job counters move instead of
+// the external submission counters.
+func (s *Scheduler) submitChildLocked(key Key, g *parcut.Graph) *Job {
+	s.m.subJobs.Add(1)
+	if prev, ok := s.byKey[key]; ok && !doomed(prev) {
+		s.m.subJobsShared.Add(1)
+		prev.waiters++
+		return prev
+	}
+	j := s.newJobLocked(key, g, false)
 	heap.Push(&s.queue, j)
-	s.cond.Signal()
-	return j, false, nil
+	return j
+}
+
+// merge waits for a fan-out parent's children and publishes the reduced
+// result: smallest Value, ties broken by run index (children are held in
+// run order and each child reduces its own chunk the same way), matching
+// the sequential Boost loop exactly. If the parent is canceled, the
+// per-child waits give up, which drops the parent's waiter registration
+// on every child and thereby cancels the sub-jobs nobody else wants.
+func (s *Scheduler) merge(parent *Job) {
+	defer s.wg.Done()
+	children := parent.group.children
+	type sub struct {
+		res parcut.Result
+		err error
+	}
+	results := make([]sub, len(children))
+	mctx, mcancel := context.WithCancelCause(parent.ctx)
+	defer mcancel(nil)
+	var wg sync.WaitGroup
+	for i, c := range children {
+		wg.Add(1)
+		go func(i int, c *Job) {
+			defer wg.Done()
+			res, err := s.Wait(mctx, c)
+			results[i] = sub{res, err}
+			if err != nil {
+				// One failed run fails the whole boost; stop waiting on
+				// (and thereby release) the siblings.
+				mcancel(err)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	var out parcut.Result
+	var err error
+	for i, r := range results {
+		if r.err != nil {
+			// Prefer a real solver failure over the sibling cancellations
+			// it triggered.
+			if err == nil || (isCancellation(err) && !isCancellation(r.err)) {
+				err = r.err
+			}
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if i == 0 || r.res.Value < out.Value {
+			out = parcut.Result{Value: r.res.Value, InCut: r.res.InCut, TreesScanned: out.TreesScanned + r.res.TreesScanned}
+		} else {
+			out.TreesScanned += r.res.TreesScanned
+		}
+	}
+	if err != nil {
+		out = parcut.Result{}
+		// Wait's errors carry the cancellation *cause* (a plain message),
+		// not context.Canceled itself; re-wrap so the parent classifies as
+		// canceled exactly when its own context was ended.
+		if ctxErr := parent.ctx.Err(); ctxErr != nil && !isCancellation(err) {
+			err = fmt.Errorf("sched: boost fan-out canceled (%v): %w", context.Cause(parent.ctx), ctxErr)
+		}
+	}
+	s.publish(parent, out, err)
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Wait blocks until j finishes or ctx is done, whichever is first. When
@@ -249,31 +450,56 @@ func (s *Scheduler) Wait(ctx context.Context, j *Job) (parcut.Result, error) {
 // abandon check and the cancel and then see its fresh request canceled.
 // (context cancel functions only close done channels and propagate to
 // children — they never call back into the scheduler, so holding the
-// lock is safe.)
+// lock is safe.) A job abandoned while still queued is removed from the
+// heap and published right here instead of burning a worker pop.
 func (s *Scheduler) dropWaiter(j *Job) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if j.waiters > 0 {
 		j.waiters--
 	}
+	aborted := false
 	if j.waiters == 0 && !j.detached &&
 		(j.state == StateQueued || j.state == StateRunning) {
 		j.cancel(errors.New("sched: all waiters gone"))
+		aborted = s.abortQueuedLocked(j)
+	}
+	s.mu.Unlock()
+	if aborted {
+		finishPublish(j)
 	}
 }
 
 // Cancel aborts the job with the given ID. It reports whether the job
-// exists and had not already finished; the job still transitions through
-// the normal terminal bookkeeping on its worker.
+// exists and had not already finished. A running job (or fan-out parent)
+// transitions through its worker or merge goroutine as before; a job
+// still in the queue is removed and published immediately, so queue depth
+// and worker time are not spent on doomed work.
 func (s *Scheduler) Cancel(id string) bool {
 	s.mu.Lock()
 	j, ok := s.byID[id]
-	live := ok && (j.state == StateQueued || j.state == StateRunning)
-	s.mu.Unlock()
-	if !live {
+	if !ok || (j.state != StateQueued && j.state != StateRunning) {
+		s.mu.Unlock()
 		return false
 	}
 	j.cancel(errors.New("sched: canceled by request"))
+	aborted := s.abortQueuedLocked(j)
+	s.mu.Unlock()
+	if aborted {
+		finishPublish(j)
+	}
+	return true
+}
+
+// abortQueuedLocked eagerly removes a canceled-but-still-queued job from
+// the priority heap and records its terminal state. The caller must hold
+// s.mu, must already have canceled j's context, and — when true is
+// returned — must call finishPublish(j) after unlocking.
+func (s *Scheduler) abortQueuedLocked(j *Job) bool {
+	if j.state != StateQueued || j.heapIdx < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, j.heapIdx)
+	s.publishLocked(j, parcut.Result{}, fmt.Errorf("sched: canceled while queued (%v): %w", context.Cause(j.ctx), j.ctx.Err()))
 	return true
 }
 
@@ -297,6 +523,9 @@ func (s *Scheduler) statusLocked(j *Job) Status {
 		Created:  j.created,
 		Finished: j.finished,
 	}
+	if j.group != nil {
+		st.Fanout = len(j.group.children)
+	}
 	if j.state == StateDone {
 		st.Value = j.res.Value
 		st.InCut = j.res.InCut
@@ -313,22 +542,18 @@ func (s *Scheduler) Metrics() Metrics {
 	m := s.m.snapshot()
 	s.mu.Lock()
 	m.QueueDepth = s.queue.Len()
-	running := 0
-	for _, j := range s.byID {
-		if j.state == StateRunning {
-			running++
-		}
-	}
+	m.Running = s.running
+	m.PeakRunning = s.peakRun
 	s.mu.Unlock()
-	m.Running = running
 	m.Workers = s.workers
 	return m
 }
 
 // Shutdown stops accepting new jobs and waits for queued and running work
-// to finish. If ctx expires first, every outstanding job is canceled and
-// Shutdown waits (briefly, since the solver aborts between phases) for
-// the workers to exit, then returns ctx's error.
+// (including fan-out merges) to finish. If ctx expires first, every
+// outstanding job is canceled and Shutdown waits (briefly, since the
+// solver aborts between phases) for the workers to exit, then returns
+// ctx's error.
 func (s *Scheduler) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -364,6 +589,10 @@ func (s *Scheduler) worker() {
 		}
 		j := heap.Pop(&s.queue).(*Job)
 		j.state = StateRunning
+		s.running++
+		if s.running > s.peakRun {
+			s.peakRun = s.running
+		}
 		s.mu.Unlock()
 		s.run(j)
 	}
@@ -382,15 +611,39 @@ func (s *Scheduler) run(j *Job) {
 			s.m.observeSolve(time.Since(start))
 		}
 	}
+	s.publish(j, res, err)
+}
 
+// publish records j's terminal state and wakes its waiters.
+func (s *Scheduler) publish(j *Job, res parcut.Result, err error) {
 	s.mu.Lock()
+	s.publishLocked(j, res, err)
+	s.mu.Unlock()
+	finishPublish(j)
+}
+
+// finishPublish completes a publishLocked outside the lock: it wakes the
+// waiters and releases the job's context resources.
+func finishPublish(j *Job) {
+	close(j.done)
+	j.cancel(nil)
+}
+
+// publishLocked moves j to its terminal state and does the cache and
+// history bookkeeping. The caller must hold s.mu and must call
+// finishPublish(j) after unlocking (done is closed outside the lock so
+// waiters that race with the publish never contend on it).
+func (s *Scheduler) publishLocked(j *Job, res parcut.Result, err error) {
+	if j.state == StateRunning && j.group == nil {
+		s.running--
+	}
 	j.res, j.err = res, err
 	j.finished = time.Now()
 	switch {
 	case err == nil:
 		j.state = StateDone
 		s.m.completed.Add(1)
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case isCancellation(err):
 		j.state = StateCanceled
 		s.m.canceled.Add(1)
 	default:
@@ -419,14 +672,12 @@ func (s *Scheduler) run(j *Job) {
 			}
 		}
 	}
-	s.mu.Unlock()
-	close(j.done)
-	j.cancel(nil)
 }
 
 // jobHeap orders queued jobs by graph size, then submission order: small
 // graphs jump the queue because their solves are fastest, which minimizes
-// mean latency under mixed load.
+// mean latency under mixed load. Each job tracks its heap index so
+// cancellation can remove it eagerly.
 type jobHeap []*Job
 
 func (h jobHeap) Len() int { return len(h) }
@@ -436,13 +687,22 @@ func (h jobHeap) Less(a, b int) bool {
 	}
 	return h[a].seq < h[b].seq
 }
-func (h jobHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
-func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h jobHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].heapIdx = a
+	h[b].heapIdx = b
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
 func (h *jobHeap) Pop() any {
 	old := *h
 	n := len(old)
 	j := old[n-1]
 	old[n-1] = nil
+	j.heapIdx = -1
 	*h = old[:n-1]
 	return j
 }

@@ -370,3 +370,224 @@ func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
 		t.Fatalf("straggler state = %s, want canceled", st.State)
 	}
 }
+
+// medium builds a graph whose single solve takes long enough (tens of
+// milliseconds — orders of magnitude above a queue pop) that fan-out
+// sub-jobs demonstrably overlap on a multi-worker pool.
+func medium() *parcut.Graph { return parcut.RandomGraph(150, 600, 100, 42) }
+
+// TestBoostFanOutMatchesSequential is the acceptance test for the boost
+// fan-out: a Boost=8 solve on a 4-worker scheduler must decompose into
+// sub-jobs that run concurrently on at least two workers, and the merged
+// result must be bit-for-bit the sequential Boost loop's.
+func TestBoostFanOutMatchesSequential(t *testing.T) {
+	g := medium()
+	opt := parcut.Options{Seed: 5, Boost: 8, WantPartition: true}
+	want, err := parcut.MinCut(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Workers: 4})
+	defer shutdown(t, s)
+	j, hit, err := s.Submit(Key{GraphID: "m", Opt: SolveOptions{Seed: 5, Boost: 8, WantPartition: true}}, g, false)
+	if err != nil || hit {
+		t.Fatalf("Submit: hit=%v err=%v", hit, err)
+	}
+	st, ok := s.Job(j.ID())
+	if !ok || st.Fanout != 8 || st.State != StateRunning {
+		t.Fatalf("parent status = %+v ok=%v, want fanout 8 running", st, ok)
+	}
+	got, err := s.Wait(context.Background(), j)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got.Value != want.Value || got.TreesScanned != want.TreesScanned {
+		t.Fatalf("fan-out result %+v, sequential %+v", got, want)
+	}
+	if len(got.InCut) != len(want.InCut) {
+		t.Fatalf("partition length %d vs %d", len(got.InCut), len(want.InCut))
+	}
+	for v := range got.InCut {
+		if got.InCut[v] != want.InCut[v] {
+			t.Fatalf("partitions differ at vertex %d", v)
+		}
+	}
+	m := s.Metrics()
+	if m.Fanouts != 1 || m.SubJobs != 8 || m.SubJobsShared != 0 {
+		t.Fatalf("fan-out metrics = %+v, want 1 fanout, 8 fresh sub-jobs", m)
+	}
+	if m.SolveCount != 8 {
+		t.Fatalf("SolveCount = %d, want 8 single-run solves", m.SolveCount)
+	}
+	if m.PeakRunning < 2 {
+		t.Fatalf("PeakRunning = %d, want >= 2 (sub-jobs never overlapped)", m.PeakRunning)
+	}
+}
+
+// TestBoostChunkingComposes: when Boost exceeds MaxFanout, run ranges are
+// chunked; BoostSeed's additivity must keep the merged result identical
+// to the sequential loop.
+func TestBoostChunkingComposes(t *testing.T) {
+	g := cycle(t, 16)
+	opt := parcut.Options{Seed: 9, Boost: 8, WantPartition: true}
+	want, err := parcut.MinCut(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 2, MaxFanout: 3}) // chunks of 3, 3, 2 runs
+	defer shutdown(t, s)
+	j, _, err := s.Submit(Key{GraphID: "c", Opt: SolveOptions{Seed: 9, Boost: 8, WantPartition: true}}, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Wait(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value || got.TreesScanned != want.TreesScanned {
+		t.Fatalf("chunked result %+v, sequential %+v", got, want)
+	}
+	for v := range got.InCut {
+		if got.InCut[v] != want.InCut[v] {
+			t.Fatalf("partitions differ at vertex %d", v)
+		}
+	}
+	if m := s.Metrics(); m.SubJobs != 3 {
+		t.Fatalf("SubJobs = %d, want 3 chunks", m.SubJobs)
+	}
+}
+
+// TestBoostSubJobsShareRunsWithPlainRequests: a plain request for one of
+// a boost's derived seeds must be served by the same run, and vice versa.
+func TestBoostSubJobsShareRunsWithPlainRequests(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdown(t, s)
+	g := cycle(t, 8)
+	// Solve run 1's seed as a plain request first.
+	plain, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: parcut.BoostSeed(3, 1)}}, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), plain); err != nil {
+		t.Fatal(err)
+	}
+	// The Boost=2 solve needs runs 0 and 1; run 1 is already cached.
+	boosted, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 3, Boost: 2}}, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), boosted); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.SubJobs != 2 || m.SubJobsShared != 1 {
+		t.Fatalf("sub-job metrics = %+v, want 2 requested / 1 shared", m)
+	}
+	if m.SolveCount != 2 { // plain run + boost run 0; run 1 reused
+		t.Fatalf("SolveCount = %d, want 2", m.SolveCount)
+	}
+}
+
+// TestCancelParentCancelsSubJobs: canceling a fan-out parent must unwind
+// its children — the running one aborts, the queued ones leave the heap
+// without ever reaching a worker.
+func TestCancelParentCancelsSubJobs(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	parent, _, err := s.Submit(Key{GraphID: "slow", Opt: SolveOptions{Seed: 7, Boost: 4}}, slow(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "first sub-job running", func() bool { return s.Metrics().Running >= 1 })
+	if !s.Cancel(parent.ID()) {
+		t.Fatal("Cancel(parent) = false")
+	}
+	waitUntil(t, "parent canceled", func() bool {
+		st, _ := s.Job(parent.ID())
+		return st.State == StateCanceled
+	})
+	m := s.Metrics()
+	if m.QueueDepth != 0 {
+		t.Fatalf("QueueDepth = %d after parent cancel, want 0", m.QueueDepth)
+	}
+	if m.SolveCount != 0 {
+		t.Fatalf("SolveCount = %d, want 0 (no sub-job ran to completion)", m.SolveCount)
+	}
+}
+
+// TestCancelQueuedJobLeavesHeapEagerly: a canceled queued job must leave
+// the priority heap (and the queue-depth gauge) immediately instead of
+// waiting for a worker to pop and discard it.
+func TestCancelQueuedJobLeavesHeapEagerly(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	unblock := block(t, s)
+	defer unblock()
+
+	// The blocker's own queued sub-jobs contribute to the depth; only the
+	// victim's contribution matters here.
+	before := s.Metrics().QueueDepth
+	j, _, err := s.Submit(Key{GraphID: "victim", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Metrics().QueueDepth; d != before+1 {
+		t.Fatalf("QueueDepth = %d before cancel, want %d (the victim queued)", d, before+1)
+	}
+	if !s.Cancel(j.ID()) {
+		t.Fatal("Cancel = false for a queued job")
+	}
+	// Eager: no worker has freed up, yet the depth already dropped and the
+	// job is terminal.
+	if d := s.Metrics().QueueDepth; d != before {
+		t.Fatalf("QueueDepth = %d after cancel, want %d", d, before)
+	}
+	st, ok := s.Job(j.ID())
+	if !ok || st.State != StateCanceled || st.Err == "" {
+		t.Fatalf("victim status = %+v ok=%v, want canceled with error", st, ok)
+	}
+	if m := s.Metrics(); m.Canceled != 1 {
+		t.Fatalf("Canceled = %d, want 1", m.Canceled)
+	}
+}
+
+// TestDrainRejectionsAreNotCountedAsSubmitted: the submitted counter must
+// only move for accepted submissions; drain rejections get their own.
+func TestDrainRejectionsAreNotCountedAsSubmitted(t *testing.T) {
+	s := New(Config{Workers: 1})
+	g := cycle(t, 8)
+	if _, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 1}}, g, true); err != nil {
+		t.Fatal(err)
+	}
+	shutdown(t, s)
+	if _, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 2}}, g, false); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit while draining = %v, want ErrDraining", err)
+	}
+	m := s.Metrics()
+	if m.Submitted != 1 || m.Rejected != 1 {
+		t.Fatalf("Submitted = %d, Rejected = %d; want 1 and 1", m.Submitted, m.Rejected)
+	}
+}
+
+// TestBoostZeroAndOneShareAKey: 0 and 1 both mean a single run, so the
+// two spellings must hit one cache entry.
+func TestBoostZeroAndOneShareAKey(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	g := cycle(t, 8)
+	a, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 4, Boost: 0}}, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	b, hit, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 4, Boost: 1}}, g, false)
+	if err != nil || !hit || a != b {
+		t.Fatalf("Boost=1 resubmit: hit=%v err=%v", hit, err)
+	}
+	if _, err := s.Wait(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -88,6 +88,16 @@ func (G *Graph) CutEdges(inCut []bool) []CutEdge {
 // Write serializes the graph in the package's DIMACS-like text format.
 func (G *Graph) Write(w io.Writer) error { return graph.Write(w, G.g) }
 
+// Canonical returns a copy of the graph in canonical edge order: each
+// edge stored with U <= V and the edge list sorted by (U, V, W). Two
+// graphs that differ only in edge input order or endpoint order have
+// identical Canonical forms — and therefore identical Write output — so
+// hashing the canonical serialization content-addresses the graph itself
+// rather than one particular encoding of it.
+func (G *Graph) Canonical() *Graph {
+	return &Graph{g: G.g.Canonical()}
+}
+
 // ReadGraph parses a graph written by Write.
 func ReadGraph(r io.Reader) (*Graph, error) {
 	g, err := graph.Read(r)
@@ -137,6 +147,21 @@ func MinCut(G *Graph, opt Options) (Result, error) {
 	return MinCutContext(context.Background(), G, opt)
 }
 
+// BoostSeed returns the seed that boost run number run (0-based) of a
+// solve with Options.Seed == seed uses: run 0 keeps the seed itself and
+// later runs add fixed multiples of an odd constant. It is exposed so
+// callers can decompose a Boost=k solve into independent smaller solves
+// that are bit-for-bit identical to the sequential Boost loop — run i of
+// MinCut(Options{Seed: s, Boost: k}) equals run 0 of
+// MinCut(Options{Seed: BoostSeed(s, i), Boost: 1}).
+//
+// The derivation is additive, so chunking composes:
+// BoostSeed(BoostSeed(s, a), b) == BoostSeed(s, a+b); a solve of runs
+// [a, a+c) is exactly Options{Seed: BoostSeed(s, a), Boost: c}.
+func BoostSeed(seed int64, run int) int64 {
+	return seed + int64(run)*0x9e3779b9
+}
+
 // MinCutContext is MinCut with cooperative cancellation. The context is
 // checked between boost runs, between spanning-tree scans, and between
 // bough phases inside each scan, so canceling it (or letting its deadline
@@ -161,7 +186,7 @@ func MinCutContext(ctx context.Context, G *Graph, opt Options) (Result, error) {
 			return Result{}, fmt.Errorf("parcut: canceled: %w", err)
 		}
 		r, err := core.MinCutContext(ctx, G.g, core.Options{
-			Seed:           opt.Seed + int64(run)*0x9e3779b9,
+			Seed:           BoostSeed(opt.Seed, run),
 			WantPartition:  opt.WantPartition,
 			ParallelPhases: opt.ParallelPhases,
 			Meter:          m,
