@@ -117,7 +117,7 @@ func BenchmarkMinPathBatch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		s := minpath.New(tr, nil)
+		s := minpath.New(tr, nil, nil)
 		w0 := make([]int64, n)
 		k := 2 * n
 		ops := benchPathOps(n, k, 13)
@@ -125,7 +125,7 @@ func BenchmarkMinPathBatch(b *testing.B) {
 			var meter wd.Meter
 			for i := 0; i < b.N; i++ {
 				meter.Reset()
-				s.RunBatch(w0, ops, &meter)
+				s.RunBatch(w0, ops, nil, &meter)
 			}
 			b.ReportMetric(float64(meter.Work())/float64(k), "work/op")
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/op-single")
@@ -149,7 +149,7 @@ func BenchmarkDecompose(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			phases := 0
 			for i := 0; i < b.N; i++ {
-				d := decomp.Decompose(tr, nil)
+				d := decomp.Decompose(tr, nil, nil)
 				phases = d.NumPhases
 			}
 			b.ReportMetric(float64(phases), "phases")
@@ -168,7 +168,7 @@ func BenchmarkTwoRespect(b *testing.B) {
 			var meter wd.Meter
 			for i := 0; i < b.N; i++ {
 				meter.Reset()
-				if _, err := respect.Scan(g, parent, &meter); err != nil {
+				if _, err := respect.Scan(g, parent, nil, &meter); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -185,7 +185,7 @@ func BenchmarkPacking(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			trees := 0
 			for i := 0; i < b.N; i++ {
-				res, err := packing.SampleTrees(g, packing.Options{Seed: int64(i)}, nil)
+				res, err := packing.SampleTrees(g, packing.Options{Seed: int64(i)}, nil, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -227,12 +227,12 @@ func BenchmarkQueryMergeVsBinarySearch(b *testing.B) {
 	ops := benchPrefixOps(n, k, 3)
 	b.Run("merge-broadcast", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			minprefix.RunBatch(w0, ops, nil)
+			minprefix.RunBatch(w0, ops, nil, nil)
 		}
 	})
 	b.Run("binary-search", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			minprefix.RunBatchBinarySearch(w0, ops, nil)
+			minprefix.RunBatchBinarySearch(w0, ops, nil, nil)
 		}
 	})
 }
@@ -248,12 +248,12 @@ func BenchmarkBoughFinding(b *testing.B) {
 	next[n-1] = listrank.Nil
 	b.Run("pointer-jumping", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			listrank.Rank(next, nil)
+			listrank.Rank(next, nil, nil)
 		}
 	})
 	b.Run("random-mate", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			listrank.RankRandomMate(next, int64(i), nil)
+			listrank.RankRandomMate(next, int64(i), nil, nil)
 		}
 	})
 }

@@ -36,8 +36,9 @@ func main() {
 	cacheBytes := flag.Int64("graph-cache-bytes", 1<<30, "graph registry budget in edge bytes (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
 	boostFanout := flag.Int("boost-fanout", 0, "max sub-jobs per boosted solve (0 = max(2*workers, 8), 1 = sequential boost)")
+	solvePar := flag.Int("solve-parallelism", 0, "executor width per solver worker (0 = ceil(GOMAXPROCS/workers), partitioning the machine across workers)")
 	flag.Parse()
-	if err := run(*addr, *workers, *cacheBytes, *drainTimeout, *boostFanout, nil); err != nil {
+	if err := run(*addr, *workers, *cacheBytes, *drainTimeout, *boostFanout, *solvePar, nil); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -46,9 +47,9 @@ func main() {
 // termination signal completes the drain. If ready is non-nil, the bound
 // address is sent on it once the server accepts connections (used by
 // tests, which listen on port 0).
-func run(addr string, workers int, cacheBytes int64, drainTimeout time.Duration, boostFanout int, ready chan<- string) error {
+func run(addr string, workers int, cacheBytes int64, drainTimeout time.Duration, boostFanout, solvePar int, ready chan<- string) error {
 	reg := registry.New(cacheBytes)
-	sch := sched.New(sched.Config{Workers: workers, MaxFanout: boostFanout})
+	sch := sched.New(sched.Config{Workers: workers, MaxFanout: boostFanout, SolveParallelism: solvePar})
 	api := httpapi.New(reg, sch)
 	srv := &http.Server{Handler: api.Handler()}
 

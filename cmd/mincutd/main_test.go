@@ -20,7 +20,7 @@ func TestSigtermDrainsInFlightJobs(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", 1, 0, time.Minute, 0, ready)
+		done <- run("127.0.0.1:0", 1, 0, time.Minute, 0, 0, ready)
 	}()
 	var base string
 	select {

@@ -9,14 +9,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"time"
 
+	parcut "repro"
 	"repro/internal/baseline"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -25,12 +28,16 @@ import (
 	"repro/internal/listrank"
 	"repro/internal/minpath"
 	"repro/internal/minprefix"
+	"repro/internal/par"
 	"repro/internal/respect"
 	"repro/internal/tree"
 	"repro/internal/wd"
 )
 
-var quick = flag.Bool("quick", false, "smaller grids (sanity runs)")
+var (
+	quick      = flag.Bool("quick", false, "smaller grids (sanity runs)")
+	scalingOut = flag.String("scaling-out", "", "write the scaling experiment's per-width timings as JSON to this file")
+)
 
 func main() {
 	log.SetFlags(0)
@@ -47,9 +54,10 @@ func main() {
 		"cache":      expCache,
 		"agree":      expAgree,
 		"ablation":   expAblation,
+		"scaling":    expScaling,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "depth", "minpath", "decomp", "tworespect", "packing", "cache", "agree", "ablation"} {
+		for _, name := range []string{"table1", "depth", "minpath", "decomp", "tworespect", "packing", "cache", "agree", "ablation", "scaling"} {
 			experiments[name]()
 		}
 		return
@@ -141,10 +149,10 @@ func expDepth() {
 	n := sizes[len(sizes)-1]
 	g := gen.RandomConnected(n, 4*n, 100, 42)
 	timeAt := func(p int) float64 {
-		old := runtime.GOMAXPROCS(p)
-		defer runtime.GOMAXPROCS(old)
+		pool := par.NewPool(p)
+		defer pool.Close()
 		start := time.Now()
-		if _, err := core.MinCut(g, core.Options{Seed: 7}); err != nil {
+		if _, err := core.MinCut(g, core.Options{Seed: 7, Pool: pool}); err != nil {
 			log.Fatal(err)
 		}
 		return time.Since(start).Seconds()
@@ -160,15 +168,15 @@ func expDepth() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := minpath.New(tr, nil)
+	s := minpath.New(tr, nil, nil)
 	w0 := make([]int64, tn)
 	ops := randomPathOps(tn, 4*tn, 23)
 	batchAt := func(p int) float64 {
-		old := runtime.GOMAXPROCS(p)
-		defer runtime.GOMAXPROCS(old)
+		pool := par.NewPool(p)
+		defer pool.Close()
 		start := time.Now()
 		for r := 0; r < 3; r++ {
-			s.RunBatch(w0, ops, nil)
+			s.RunBatch(w0, ops, pool, nil)
 		}
 		return time.Since(start).Seconds() / 3
 	}
@@ -194,13 +202,13 @@ func expMinPath() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		s := minpath.New(tr, nil)
+		s := minpath.New(tr, nil, nil)
 		w0 := make([]int64, n)
 		for _, k := range []int{n / 2, 2 * n} {
 			ops := randomPathOps(n, k, 13)
 			var meter wd.Meter
 			start := time.Now()
-			s.RunBatch(w0, ops, &meter)
+			s.RunBatch(w0, ops, nil, &meter)
 			el := time.Since(start)
 			fmt.Printf("| %d | %d | %.1f | %.0f | %.0f | %.0f |\n",
 				n, k, el.Seconds()*1000, float64(el.Nanoseconds())/float64(k),
@@ -233,7 +241,7 @@ func expDecomp() {
 				log.Fatal(err)
 			}
 			start := time.Now()
-			d := decomp.Decompose(tr, nil)
+			d := decomp.Decompose(tr, nil, nil)
 			el := time.Since(start).Seconds() * 1000
 			fmt.Printf("| %s | %d | %d | %.0f | %d | %.1f |\n",
 				sh.name, n, d.NumPhases, lg(n)+1, len(d.Paths), el)
@@ -257,7 +265,7 @@ func expTwoRespect() {
 		parent := gen.SpanningTreeParent(g, 6)
 		var meter wd.Meter
 		start := time.Now()
-		if _, err := respect.Scan(g, parent, &meter); err != nil {
+		if _, err := respect.Scan(g, parent, nil, &meter); err != nil {
 			log.Fatal(err)
 		}
 		el := time.Since(start).Seconds() * 1000
@@ -386,10 +394,10 @@ func expAblation() {
 		}
 	}
 	start := time.Now()
-	minprefix.RunBatch(w0, ops, nil)
+	minprefix.RunBatch(w0, ops, nil, nil)
 	tMerge := time.Since(start)
 	start = time.Now()
-	minprefix.RunBatchBinarySearch(w0, ops, nil)
+	minprefix.RunBatchBinarySearch(w0, ops, nil, nil)
 	tBS := time.Since(start)
 	fmt.Printf("list n=%d, batch k=%d: merge+broadcast %.1fms, binary-search %.1fms (%.2fx)\n",
 		n, k, tMerge.Seconds()*1000, tBS.Seconds()*1000,
@@ -406,13 +414,13 @@ func expAblation() {
 	}
 	next[nn-1] = listrank.Nil
 	start = time.Now()
-	listrank.Rank(next, nil)
+	listrank.Rank(next, nil, nil)
 	tJump := time.Since(start)
 	start = time.Now()
-	listrank.RankRandomMate(next, 5, nil)
+	listrank.RankRandomMate(next, 5, nil, nil)
 	tMate := time.Since(start)
 	start = time.Now()
-	listrank.RankDeterministic(next, nil)
+	listrank.RankDeterministic(next, nil, nil)
 	tDet := time.Since(start)
 	fmt.Printf("n=%d: pointer jumping %.1fms (O(n log n) work), random-mate %.1fms (O(n) work, Las Vegas), 3-coloring %.1fms (O(n log* n)-ish work, deterministic)\n",
 		nn, tJump.Seconds()*1000, tMate.Seconds()*1000, tDet.Seconds()*1000)
@@ -426,18 +434,100 @@ func expAblation() {
 	parent := gen.SpanningTreeParent(g, 9)
 	var mSeq, mPar wd.Meter
 	start = time.Now()
-	if _, err := respect.Scan(g, parent, &mSeq); err != nil {
+	if _, err := respect.Scan(g, parent, nil, &mSeq); err != nil {
 		log.Fatal(err)
 	}
 	tSeq := time.Since(start)
 	start = time.Now()
-	if _, err := respect.ScanParallelPhases(g, parent, &mPar); err != nil {
+	if _, err := respect.ScanParallelPhases(g, parent, nil, &mPar); err != nil {
 		log.Fatal(err)
 	}
 	tPar := time.Since(start)
 	fmt.Printf("n=%d m=%d: sequential phases %0.fms (model depth %d), concurrent phases %0.fms (model depth %d, %.1fx shallower)\n",
 		gn, 4*gn, tSeq.Seconds()*1000, mSeq.Depth(), tPar.Seconds()*1000, mPar.Depth(),
 		float64(mSeq.Depth())/float64(mPar.Depth()))
+}
+
+// expScaling — E12: wall-clock scaling of the full solver against the
+// executor width, driven through the public Options.Parallelism knob (the
+// algorithm's own parallelism, not the Go runtime's): each width runs on a
+// dedicated pool of exactly that many lanes, with GOMAXPROCS untouched.
+// The per-width results must be identical — the experiment double-checks
+// the solver's width-determinism invariant while it measures.
+func expScaling() {
+	header("E12 (scaling): full solver wall clock vs executor width")
+	n := 2048
+	reps := 3
+	if *quick {
+		n, reps = 512, 1
+	}
+	m := 4 * n
+	const seed = 7
+	g := parcut.RandomGraph(n, m, 100, 42)
+
+	widths := []int{1}
+	for w := 2; w < runtime.NumCPU(); w *= 2 {
+		widths = append(widths, w)
+	}
+	if last := widths[len(widths)-1]; last != runtime.NumCPU() {
+		widths = append(widths, runtime.NumCPU())
+	}
+
+	type widthRow struct {
+		Width   int     `json:"width"`
+		Millis  float64 `json:"ms"`
+		Speedup float64 `json:"speedup"`
+		Value   int64   `json:"value"`
+	}
+	rows := make([]widthRow, 0, len(widths))
+	fmt.Println("| width | ms | speedup vs width 1 | value |")
+	fmt.Println("|-------|----|--------------------|-------|")
+	var baseMS float64
+	var refValue int64
+	for i, w := range widths {
+		exec := parcut.NewExecutor(w)
+		best := math.Inf(1)
+		var res parcut.Result
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			got, err := parcut.MinCut(g, parcut.Options{Seed: seed, Executor: exec})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if el := time.Since(start).Seconds() * 1000; el < best {
+				best = el
+			}
+			res = got
+		}
+		exec.Close()
+		if i == 0 {
+			baseMS = best
+			refValue = res.Value
+		} else if res.Value != refValue {
+			log.Fatalf("scaling: width %d produced value %d, width 1 produced %d (determinism violated)", w, res.Value, refValue)
+		}
+		rows = append(rows, widthRow{Width: w, Millis: best, Speedup: baseMS / best, Value: res.Value})
+		fmt.Printf("| %d | %.1f | %.2fx | %d |\n", w, best, baseMS/best, res.Value)
+	}
+	if *scalingOut == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(struct {
+		Experiment string     `json:"experiment"`
+		N          int        `json:"n"`
+		M          int        `json:"m"`
+		Seed       int64      `json:"seed"`
+		Reps       int        `json:"reps"`
+		NumCPU     int        `json:"num_cpu"`
+		Widths     []widthRow `json:"widths"`
+	}{"scaling", n, m, seed, reps, runtime.NumCPU(), rows}, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*scalingOut, append(blob, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *scalingOut)
 }
 
 // --- helpers ---

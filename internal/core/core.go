@@ -32,6 +32,10 @@ type Options struct {
 	// concurrently per tree (the paper's §4.3 schedule): lower depth,
 	// O(m log n) memory instead of O(m).
 	ParallelPhases bool
+	// Pool is the executor every parallel primitive of the computation
+	// runs on; nil means the shared default pool (width GOMAXPROCS).
+	// Results are identical at every pool width.
+	Pool *par.Pool
 	// Meter, when non-nil, accumulates Work-Depth model costs.
 	Meter *wd.Meter
 }
@@ -68,14 +72,15 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 		return Result{}, fmt.Errorf("core: minimum cut needs at least 2 vertices, have %d", n)
 	}
 	m := opt.Meter
+	pool := opt.Pool
 	// Disconnected graphs have a minimum cut of 0 (paper §1.1.1).
-	_, labels, comps := mst.ForestWithLabels(n, g.Edges(), nil, m)
+	_, labels, comps := mst.ForestWithLabels(n, g.Edges(), nil, pool, m)
 	if comps > 1 {
 		res := Result{Value: 0}
 		if opt.WantPartition {
 			inCut := make([]bool, n)
 			ref := labels[0]
-			par.For(n, func(v int) { inCut[v] = labels[v] == ref })
+			pool.For(n, func(v int) { inCut[v] = labels[v] == ref })
 			res.InCut = inCut
 		}
 		return res, nil
@@ -83,7 +88,7 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 	// The minimum weighted degree is both the packing's starting upper
 	// bound and a legitimate cut candidate (a singleton).
 	deg := g.WeightedDegrees()
-	minDeg, minDegV := par.MinInt64(deg)
+	minDeg, minDegV := pool.MinInt64(deg)
 	m.Add(int64(n), wd.CeilLog2(n))
 
 	if err := ctx.Err(); err != nil {
@@ -93,7 +98,7 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 	if popt.Seed == 0 {
 		popt.Seed = opt.Seed + 1
 	}
-	pk, err := packing.SampleTrees(g, popt, m)
+	pk, err := packing.SampleTrees(g, popt, pool, m)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: tree packing failed: %v", err)
 	}
@@ -105,7 +110,7 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 	}
 	outs := make([]scanOut, len(pk.Trees))
 	locals := make([]*wd.Meter, len(pk.Trees))
-	par.ForGrain(len(pk.Trees), 1, func(i int) {
+	pool.ForGrain(len(pk.Trees), 1, func(i int) {
 		// Cancellation checkpoint between trees: a canceled context skips
 		// every scan that has not started yet.
 		if err := ctx.Err(); err != nil {
@@ -118,16 +123,16 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 			edges[j] = [2]int32{e.U, e.V}
 		}
 		locals[i] = new(wd.Meter)
-		parent, err := tree.RootEdgeList(n, edges, 0, locals[i])
+		parent, err := tree.RootEdgeList(n, edges, 0, pool, locals[i])
 		if err != nil {
 			outs[i].err = err
 			return
 		}
 		var f respect.Finding
 		if opt.ParallelPhases {
-			f, err = respect.ScanParallelPhasesContext(ctx, g, parent, locals[i])
+			f, err = respect.ScanParallelPhasesContext(ctx, g, parent, pool, locals[i])
 		} else {
-			f, err = respect.ScanContext(ctx, g, parent, locals[i])
+			f, err = respect.ScanContext(ctx, g, parent, pool, locals[i])
 		}
 		outs[i] = scanOut{finding: f, parent: parent, err: err}
 	})
@@ -150,7 +155,7 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 			inCut[minDegV] = true
 			best.InCut = inCut
 		} else {
-			inCut, err := respect.Witness(g, outs[bestTree].parent, outs[bestTree].finding, m)
+			inCut, err := respect.Witness(g, outs[bestTree].parent, outs[bestTree].finding, pool, m)
 			if err != nil {
 				return Result{}, fmt.Errorf("core: witness extraction failed: %v", err)
 			}
@@ -164,8 +169,8 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 // smallest cut of g crossing at most two edges of the given spanning tree,
 // rooted anywhere. The tree is given as a parent array with the root
 // marked by -1.
-func ConstrainedMinCut(g *graph.Graph, parent []int32, wantPartition bool, m *wd.Meter) (Result, error) {
-	r, err := respect.TwoRespect(g, parent, wantPartition, m)
+func ConstrainedMinCut(g *graph.Graph, parent []int32, wantPartition bool, pool *par.Pool, m *wd.Meter) (Result, error) {
+	r, err := respect.TwoRespect(g, parent, wantPartition, pool, m)
 	if err != nil {
 		return Result{}, err
 	}

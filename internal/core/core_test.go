@@ -182,7 +182,7 @@ func TestConstrainedMinCut(t *testing.T) {
 		}
 	}
 	parent := []int32{tree.None, 0, 0, 0}
-	res, err := ConstrainedMinCut(g, parent, true, nil)
+	res, err := ConstrainedMinCut(g, parent, true, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

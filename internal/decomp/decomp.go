@@ -39,7 +39,7 @@ type Decomposition struct {
 }
 
 // Decompose peels the whole tree and returns the full decomposition.
-func Decompose(t *tree.Tree, m *wd.Meter) *Decomposition {
+func Decompose(t *tree.Tree, pool *par.Pool, m *wd.Meter) *Decomposition {
 	n := t.N()
 	d := &Decomposition{
 		Tree:    t,
@@ -49,7 +49,7 @@ func Decompose(t *tree.Tree, m *wd.Meter) *Decomposition {
 	}
 	alive := make([]bool, n)
 	count := make([]int32, n) // remaining children per vertex
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		alive[v] = true
 		count[v] = t.NumChildren(int32(v))
 	})
@@ -62,7 +62,7 @@ func Decompose(t *tree.Tree, m *wd.Meter) *Decomposition {
 		if phase > int32(wd.CeilLog2(n))+2 {
 			panic(fmt.Sprintf("decomp: phase bound exceeded (n=%d, phase=%d)", n, phase))
 		}
-		members, paths, fronts := peelPhase(t, alive, count, st, d, m)
+		members, paths, fronts := peelPhase(t, alive, count, st, d, pool, m)
 		if len(members) == 0 {
 			panic("decomp: phase made no progress")
 		}
@@ -84,11 +84,11 @@ func Decompose(t *tree.Tree, m *wd.Meter) *Decomposition {
 // first) and the membership indicator, leaving t conceptually unmodified.
 // This is the per-phase step the two-respecting cut search drives itself
 // (§4.3 re-contracts the graph between phases).
-func Boughs(t *tree.Tree, m *wd.Meter) (paths [][]int32, member []bool) {
+func Boughs(t *tree.Tree, pool *par.Pool, m *wd.Meter) (paths [][]int32, member []bool) {
 	n := t.N()
 	alive := make([]bool, n)
 	count := make([]int32, n)
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		alive[v] = true
 		count[v] = t.NumChildren(int32(v))
 	})
@@ -100,7 +100,7 @@ func Boughs(t *tree.Tree, m *wd.Meter) (paths [][]int32, member []bool) {
 		PhaseOf: make([]int32, n),
 	}
 	st := newPhaseState(n)
-	members, ps, _ := peelPhase(t, alive, count, st, d, m)
+	members, ps, _ := peelPhase(t, alive, count, st, d, pool, m)
 	member = make([]bool, n)
 	for _, v := range members {
 		member[v] = true
@@ -134,13 +134,13 @@ func newPhaseState(n int) *phaseState {
 // the removed vertices, the new paths (front first), and the front vertex
 // of each path.
 func peelPhase(t *tree.Tree, alive []bool, count []int32, st *phaseState,
-	d *Decomposition, m *wd.Meter) (members []int32, paths [][]int32, fronts []int32) {
+	d *Decomposition, pool *par.Pool, m *wd.Meter) (members []int32, paths [][]int32, fronts []int32) {
 
 	n := t.N()
 	// bad[i+1] = 1 when the vertex at preorder position i is alive and
 	// branching; a vertex is a bough member iff its alive subtree contains
 	// no branching vertex (subtree = preorder interval).
-	par.For(n, func(i int) {
+	pool.For(n, func(i int) {
 		v := t.Pre[i]
 		if alive[v] && count[v] >= 2 {
 			st.bad[i+1] = 1
@@ -148,8 +148,8 @@ func peelPhase(t *tree.Tree, alive []bool, count []int32, st *phaseState,
 			st.bad[i+1] = 0
 		}
 	})
-	par.InclusiveSum(st.bad, st.bad)
-	par.For(n, func(vi int) {
+	pool.InclusiveSum(st.bad, st.bad)
+	pool.For(n, func(vi int) {
 		v := int32(vi)
 		st.member[v] = alive[v] && st.bad[t.Out[v]] == st.bad[t.In[v]]
 	})
@@ -158,7 +158,7 @@ func peelPhase(t *tree.Tree, alive []bool, count []int32, st *phaseState,
 	// same bough iff the parent is itself a member. Order each bough by
 	// list ranking (distance to the bough top = position from the front)
 	// and find tops by pointer doubling.
-	par.For(n, func(vi int) {
+	pool.For(n, func(vi int) {
 		v := int32(vi)
 		st.next[v] = listrank.Nil
 		st.jump[v] = v
@@ -171,11 +171,11 @@ func peelPhase(t *tree.Tree, alive []bool, count []int32, st *phaseState,
 		}
 	})
 	m.Add(int64(n), 1)
-	rank := listrank.Rank(st.next, m)
+	rank := listrank.Rank(st.next, pool, m)
 	rounds := wd.CeilLog2(n) + 1
 	jump, jump2 := st.jump, st.jump2
 	for r := int64(0); r < rounds; r++ {
-		par.For(n, func(v int) {
+		pool.For(n, func(v int) {
 			jump2[v] = jump[jump[v]]
 		})
 		jump, jump2 = jump2, jump
@@ -183,7 +183,7 @@ func peelPhase(t *tree.Tree, alive []bool, count []int32, st *phaseState,
 	m.Add(int64(n)*rounds, rounds)
 	top := jump
 	// Count bough sizes at the tops, then assign path ids to tops.
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		if st.member[v] {
 			st.cnt[top[v]].Add(1)
 		}
@@ -199,7 +199,7 @@ func peelPhase(t *tree.Tree, alive []bool, count []int32, st *phaseState,
 	}
 	// Scatter members into their paths by rank (rank = distance to top =
 	// position from the front) and remove them from the tree.
-	par.For(n, func(vi int) {
+	pool.For(n, func(vi int) {
 		v := int32(vi)
 		if !st.member[v] {
 			return

@@ -101,7 +101,7 @@ func TestFigure11Boughs(t *testing.T) {
 	//    7
 	parent := []int32{tree.None, 0, 1, 1, 2, 2, 3, 4}
 	tr := mustTree(t, parent)
-	paths, member := Boughs(tr, nil)
+	paths, member := Boughs(tr, nil, nil)
 	// Boughs: {6,3} is not a bough (3's parent 1 has 2 children, and 3 has
 	// only child 6 => subtree of 3 is chain {3,6}: 3 IS a bough member).
 	// Members: 7,4 form a chain (4's subtree {4,7}), 5 alone, 3,6 chain.
@@ -138,7 +138,7 @@ func TestDecomposePath(t *testing.T) {
 		parent[i] = int32(i - 1)
 	}
 	tr := mustTree(t, parent)
-	d := Decompose(tr, nil)
+	d := Decompose(tr, nil, nil)
 	if d.NumPhases != 1 || len(d.Paths) != 1 {
 		t.Fatalf("path tree: phases=%d paths=%d", d.NumPhases, len(d.Paths))
 	}
@@ -156,7 +156,7 @@ func TestDecomposeStar(t *testing.T) {
 		parent[i] = 0
 	}
 	tr := mustTree(t, parent)
-	d := Decompose(tr, nil)
+	d := Decompose(tr, nil, nil)
 	if d.NumPhases != 2 {
 		t.Fatalf("star phases=%d want 2", d.NumPhases)
 	}
@@ -173,7 +173,7 @@ func TestDecomposeCompleteBinary(t *testing.T) {
 		parent[i] = int32((i - 1) / 2)
 	}
 	tr := mustTree(t, parent)
-	d := Decompose(tr, nil)
+	d := Decompose(tr, nil, nil)
 	validate(t, tr, d)
 	if d.NumPhases < depth/2 {
 		t.Fatalf("suspiciously few phases: %d", d.NumPhases)
@@ -182,7 +182,7 @@ func TestDecomposeCompleteBinary(t *testing.T) {
 
 func TestDecomposeSingle(t *testing.T) {
 	tr := mustTree(t, []int32{tree.None})
-	d := Decompose(tr, nil)
+	d := Decompose(tr, nil, nil)
 	if d.NumPhases != 1 || len(d.Paths) != 1 || len(d.Paths[0]) != 1 {
 		t.Fatalf("single vertex decomposition wrong: %+v", d)
 	}
@@ -193,7 +193,7 @@ func TestDecomposeRandom(t *testing.T) {
 		n := 2 + int(seed*709)%1200
 		tr := mustTree(t, randomParent(n, seed))
 		var m wd.Meter
-		d := Decompose(tr, &m)
+		d := Decompose(tr, nil, &m)
 		validate(t, tr, d)
 		if m.Work() == 0 {
 			t.Error("meter not updated")
@@ -204,8 +204,8 @@ func TestDecomposeRandom(t *testing.T) {
 func TestBoughsMatchDecomposePhase1(t *testing.T) {
 	for seed := int64(20); seed < 25; seed++ {
 		tr := mustTree(t, randomParent(300, seed))
-		d := Decompose(tr, nil)
-		_, member := Boughs(tr, nil)
+		d := Decompose(tr, nil, nil)
+		_, member := Boughs(tr, nil, nil)
 		for v := 0; v < tr.N(); v++ {
 			if member[v] != (d.PhaseOf[v] == 1) {
 				t.Fatalf("seed %d: vertex %d bough membership %v but phase %d", seed, v, member[v], d.PhaseOf[v])

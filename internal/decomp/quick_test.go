@@ -31,7 +31,7 @@ func TestDecomposePhaseBound(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		d := Decompose(tr, nil)
+		d := Decompose(tr, nil, nil)
 		if d.NumPhases > int(wd.CeilLog2(n))+1 {
 			return false
 		}

@@ -100,13 +100,19 @@ func (g *Graph) WeightedDegrees() []int64 {
 
 // CutValue returns the total weight of edges crossing the cut described by
 // inCut (vertices with inCut[v] true form one side). It is the reference
-// cut evaluator used by tests and by witness verification.
+// cut evaluator used by tests and by witness verification. It runs on the
+// shared default pool; solver code holding an executor uses CutValueOn.
 func (g *Graph) CutValue(inCut []bool) int64 {
+	return g.CutValueOn(nil, inCut)
+}
+
+// CutValueOn is CutValue on an explicit pool (nil = default).
+func (g *Graph) CutValueOn(pool *par.Pool, inCut []bool) int64 {
 	if len(inCut) != g.n {
 		panic("graph: CutValue partition length mismatch")
 	}
 	var total atomic.Int64
-	par.ForChunk(len(g.edges), par.Grain, func(lo, hi int) {
+	pool.ForChunk(len(g.edges), par.Grain, func(lo, hi int) {
 		var s int64
 		for _, e := range g.edges[lo:hi] {
 			if inCut[e.U] != inCut[e.V] {
@@ -163,8 +169,14 @@ type Adj struct {
 // Degree returns the number of incident non-loop half-edges of v.
 func (a *Adj) Degree(v int) int { return int(a.Off[v+1] - a.Off[v]) }
 
-// BuildAdj constructs the CSR adjacency of g in parallel.
+// BuildAdj constructs the CSR adjacency of g in parallel on the default
+// pool.
 func (g *Graph) BuildAdj() *Adj {
+	return g.BuildAdjOn(nil)
+}
+
+// BuildAdjOn is BuildAdj on an explicit pool (nil = default).
+func (g *Graph) BuildAdjOn(pool *par.Pool) *Adj {
 	n, m := g.n, len(g.edges)
 	counts := make([]int64, n+1)
 	for _, e := range g.edges {
@@ -174,7 +186,7 @@ func (g *Graph) BuildAdj() *Adj {
 		counts[e.U+1]++
 		counts[e.V+1]++
 	}
-	par.InclusiveSum(counts, counts)
+	pool.InclusiveSum(counts, counts)
 	total := counts[n]
 	a := &Adj{
 		Off:     make([]int32, n+1),

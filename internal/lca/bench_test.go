@@ -8,13 +8,13 @@ import (
 func BenchmarkBuild64k(b *testing.B) {
 	tr := randomTree(1<<16, 1)
 	for i := 0; i < b.N; i++ {
-		New(tr, nil)
+		New(tr, nil, nil)
 	}
 }
 
 func BenchmarkQuery(b *testing.B) {
 	tr := randomTree(1<<16, 2)
-	l := New(tr, nil)
+	l := New(tr, nil, nil)
 	rng := rand.New(rand.NewSource(3))
 	us := make([]int32, 1024)
 	vs := make([]int32, 1024)
@@ -30,7 +30,7 @@ func BenchmarkQuery(b *testing.B) {
 
 func BenchmarkQueryBatch64k(b *testing.B) {
 	tr := randomTree(1<<16, 4)
-	l := New(tr, nil)
+	l := New(tr, nil, nil)
 	rng := rand.New(rand.NewSource(5))
 	k := 1 << 16
 	us := make([]int32, k)

@@ -17,6 +17,7 @@ const blockShift = 5 // 32-entry blocks for the block-RMQ layer
 // LCA is a lowest-common-ancestor index over a Tree.
 type LCA struct {
 	t     *tree.Tree
+	pool  *par.Pool
 	euler []int32 // vertex visit sequence, length 2n-1
 	first []int32 // first occurrence of each vertex in euler
 	edep  []int32 // depth of euler[i]
@@ -29,13 +30,13 @@ type LCA struct {
 // preorder intervals: vertex v enters the tour at position 2·In[v]−Depth[v]
 // and its parent re-appears at 2·Out[v]−Depth[v]−1 when v's subtree
 // completes, which together cover all 2n−1 positions.
-func New(t *tree.Tree, m *wd.Meter) *LCA {
+func New(t *tree.Tree, pool *par.Pool, m *wd.Meter) *LCA {
 	n := t.N()
-	l := &LCA{t: t}
+	l := &LCA{t: t, pool: pool}
 	L := 2*n - 1
 	l.euler = make([]int32, L)
 	l.first = make([]int32, n)
-	par.For(n, func(vi int) {
+	pool.For(n, func(vi int) {
 		v := int32(vi)
 		enter := 2*t.In[v] - t.Depth[v]
 		l.first[v] = enter
@@ -45,14 +46,14 @@ func New(t *tree.Tree, m *wd.Meter) *LCA {
 		}
 	})
 	l.edep = make([]int32, L)
-	par.For(L, func(i int) {
+	pool.For(L, func(i int) {
 		l.edep[i] = t.Depth[l.euler[i]]
 	})
 	m.Add(int64(2*L), 2)
 	// Block minima.
 	nb := (L + (1 << blockShift) - 1) >> blockShift
 	row0 := make([]int32, nb)
-	par.For(nb, func(b int) {
+	pool.For(nb, func(b int) {
 		lo := b << blockShift
 		hi := lo + (1 << blockShift)
 		if hi > L {
@@ -71,7 +72,7 @@ func New(t *tree.Tree, m *wd.Meter) *LCA {
 		prev := l.blockMin[len(l.blockMin)-1]
 		cur := make([]int32, nb-size+1)
 		half := size / 2
-		par.For(len(cur), func(b int) {
+		pool.For(len(cur), func(b int) {
 			x, y := prev[b], prev[b+half]
 			if l.edep[y] < l.edep[x] {
 				x = y
@@ -135,12 +136,13 @@ func (l *LCA) scan(lo, hi int32) int32 {
 	return best
 }
 
-// QueryBatch computes out[i] = LCA(us[i], vs[i]) for all pairs in parallel.
+// QueryBatch computes out[i] = LCA(us[i], vs[i]) for all pairs in
+// parallel, on the pool the index was built with.
 func (l *LCA) QueryBatch(us, vs, out []int32, m *wd.Meter) {
 	if len(us) != len(vs) || len(us) != len(out) {
 		panic("lca: QueryBatch length mismatch")
 	}
-	par.For(len(us), func(i int) {
+	l.pool.For(len(us), func(i int) {
 		out[i] = l.Query(us[i], vs[i])
 	})
 	m.Add(int64(len(us)), 1)

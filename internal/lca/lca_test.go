@@ -47,7 +47,7 @@ func TestLCASmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l := New(tr, nil)
+	l := New(tr, nil, nil)
 	cases := [][3]int32{
 		{3, 4, 1}, {3, 5, 0}, {1, 4, 1}, {0, 5, 0}, {5, 5, 5}, {2, 5, 2}, {4, 2, 0},
 	}
@@ -62,7 +62,7 @@ func TestLCAMatchesNaiveOnRandomTrees(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		n := 2 + int(seed*211)%800
 		tr := randomTree(n, seed)
-		l := New(tr, nil)
+		l := New(tr, nil, nil)
 		rng := rand.New(rand.NewSource(seed + 50))
 		for q := 0; q < 500; q++ {
 			u := int32(rng.Intn(n))
@@ -83,7 +83,7 @@ func TestLCAOnPath(t *testing.T) {
 		parent[i] = int32(i - 1)
 	}
 	tr, _ := tree.FromParent(parent)
-	l := New(tr, nil)
+	l := New(tr, nil, nil)
 	for _, c := range [][3]int32{{0, 299, 0}, {100, 200, 100}, {250, 250, 250}} {
 		if got := l.Query(c[0], c[1]); got != c[2] {
 			t.Errorf("path LCA(%d,%d)=%d want %d", c[0], c[1], got, c[2])
@@ -93,7 +93,7 @@ func TestLCAOnPath(t *testing.T) {
 
 func TestQueryBatch(t *testing.T) {
 	tr := randomTree(500, 9)
-	l := New(tr, nil)
+	l := New(tr, nil, nil)
 	rng := rand.New(rand.NewSource(10))
 	k := 2000
 	us := make([]int32, k)
@@ -113,7 +113,7 @@ func TestQueryBatch(t *testing.T) {
 
 func TestSingleVertex(t *testing.T) {
 	tr, _ := tree.FromParent([]int32{tree.None})
-	l := New(tr, nil)
+	l := New(tr, nil, nil)
 	if got := l.Query(0, 0); got != 0 {
 		t.Fatalf("LCA(0,0)=%d", got)
 	}

@@ -17,7 +17,7 @@ import (
 // (adjacent nodes along next get different colors), deterministically.
 // color and color2 are caller-provided scratch; pred is the predecessor
 // array maintained by the contraction.
-func threeColor(live []int32, nxt, pred, color, color2 []int32, m *wd.Meter) {
+func threeColor(live []int32, nxt, pred, color, color2 []int32, pool *par.Pool, m *wd.Meter) {
 	// Start from unique colors (node ids).
 	for _, v := range live {
 		color[v] = v
@@ -27,7 +27,7 @@ func threeColor(live []int32, nxt, pred, color, color2 []int32, m *wd.Meter) {
 	// write new). O(log* n) rounds shrink the palette to {0..5}.
 	maxColor := int32(len(color))
 	for maxColor >= 6 {
-		par.ForGrain(len(live), 4096, func(i int) {
+		pool.ForGrain(len(live), 4096, func(i int) {
 			v := live[i]
 			s := nxt[v]
 			var k int32
@@ -57,7 +57,7 @@ func threeColor(live []int32, nxt, pred, color, color2 []int32, m *wd.Meter) {
 	// its members can simultaneously pick the smallest color unused by
 	// their neighbors.
 	for c := int32(3); c <= 5; c++ {
-		par.ForGrain(len(live), 4096, func(i int) {
+		pool.ForGrain(len(live), 4096, func(i int) {
 			v := live[i]
 			if color[v] != c {
 				return
@@ -84,7 +84,7 @@ func threeColor(live []int32, nxt, pred, color, color2 []int32, m *wd.Meter) {
 // per round, 3-color the remaining lists and splice out the largest color
 // class of interior nodes. Work O(n log n log* n), depth O(log n log* n),
 // fully deterministic (the paper's derandomization of Lemma 8).
-func RankDeterministic(next []int32, m *wd.Meter) []int32 {
+func RankDeterministic(next []int32, pool *par.Pool, m *wd.Meter) []int32 {
 	n := len(next)
 	nxt := make([]int32, n)
 	pred := make([]int32, n)
@@ -106,7 +106,7 @@ func RankDeterministic(next []int32, m *wd.Meter) []int32 {
 	var rounds [][]splice
 	const seqThreshold = 512
 	for len(live) > seqThreshold {
-		threeColor(live, nxt, pred, color, color2, m)
+		threeColor(live, nxt, pred, color, color2, pool, m)
 		// Count interior candidates per color; splice the largest class.
 		var counts [3]int
 		for _, v := range live {
@@ -142,13 +142,13 @@ func RankDeterministic(next []int32, m *wd.Meter) []int32 {
 		rounds = append(rounds, removed)
 		m.Add(int64(len(keep)+len(removed)), 1)
 	}
-	rank := finishRanking(n, nxt, pred, dist, rounds, m)
+	rank := finishRanking(n, nxt, pred, dist, rounds, pool, m)
 	return rank
 }
 
 // finishRanking sequentially ranks the contracted lists and reintroduces
 // spliced nodes round by round (shared with the random-mate engine).
-func finishRanking(n int, nxt, pred, dist []int32, rounds [][]splice, m *wd.Meter) []int32 {
+func finishRanking(n int, nxt, pred, dist []int32, rounds [][]splice, pool *par.Pool, m *wd.Meter) []int32 {
 	rank := make([]int32, n)
 	for i := 0; i < n; i++ {
 		if pred[i] == Nil && nxt[i] != Nil {
@@ -167,7 +167,7 @@ func finishRanking(n int, nxt, pred, dist []int32, rounds [][]splice, m *wd.Mete
 	}
 	for r := len(rounds) - 1; r >= 0; r-- {
 		removed := rounds[r]
-		par.For(len(removed), func(k int) {
+		pool.For(len(removed), func(k int) {
 			sp := removed[k]
 			rank[sp.node] = rank[sp.succ] + sp.dist
 		})

@@ -9,7 +9,7 @@ import (
 func TestDeterministicSimple(t *testing.T) {
 	next := buildLists(6, []int32{3, 1, 5}, []int32{0, 2})
 	want := []int32{1, 1, 0, 2, 0, 0}
-	got := RankDeterministic(next, nil)
+	got := RankDeterministic(next, nil, nil)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("rank[%d]=%d want %d", i, got[i], want[i])
@@ -23,7 +23,7 @@ func TestDeterministicMatchesSequentialOnRandomForests(t *testing.T) {
 		k := 1 + int(seed)%5
 		next := randomLists(n, k, seed)
 		want := RankSeq(next)
-		got := RankDeterministic(next, nil)
+		got := RankDeterministic(next, nil, nil)
 		for i := 0; i < n; i++ {
 			if got[i] != want[i] {
 				t.Fatalf("seed %d: rank[%d]=%d want %d", seed, i, got[i], want[i])
@@ -40,7 +40,7 @@ func TestDeterministicLongList(t *testing.T) {
 	}
 	next := buildLists(n, l)
 	var m wd.Meter
-	got := RankDeterministic(next, &m)
+	got := RankDeterministic(next, nil, &m)
 	for i := 0; i < n; i += 997 {
 		if got[i] != int32(n-1-i) {
 			t.Fatalf("rank[%d]=%d want %d", i, got[i], n-1-i)
@@ -53,8 +53,8 @@ func TestDeterministicLongList(t *testing.T) {
 
 func TestDeterministicIsDeterministic(t *testing.T) {
 	next := randomLists(5000, 3, 42)
-	a := RankDeterministic(next, nil)
-	b := RankDeterministic(next, nil)
+	a := RankDeterministic(next, nil, nil)
+	b := RankDeterministic(next, nil, nil)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("two runs differ")
@@ -84,7 +84,7 @@ func TestThreeColorProper(t *testing.T) {
 	}
 	color := make([]int32, n)
 	color2 := make([]int32, n)
-	threeColor(live, next, pred, color, color2, nil)
+	threeColor(live, next, pred, color, color2, nil, nil)
 	for _, v := range live {
 		if color[v] < 0 || color[v] > 2 {
 			t.Fatalf("node %d has color %d outside {0,1,2}", v, color[v])

@@ -23,7 +23,7 @@ const Nil = int32(-1)
 // Rank returns, for each node i, the number of nodes strictly after i in
 // its list (tails get 0). next describes disjoint singly linked lists;
 // next[i] == Nil ends a list. Pointer jumping, deterministic.
-func Rank(next []int32, m *wd.Meter) []int32 {
+func Rank(next []int32, pool *par.Pool, m *wd.Meter) []int32 {
 	n := len(next)
 	rank := make([]int32, n)
 	nxt := make([]int32, n)
@@ -50,7 +50,7 @@ func Rank(next []int32, m *wd.Meter) []int32 {
 		if !alive {
 			break
 		}
-		par.For(n, func(i int) {
+		pool.For(n, func(i int) {
 			s := nxt[i]
 			if s == Nil {
 				rank2[i] = rank[i]
@@ -77,7 +77,7 @@ type splice struct {
 // RankRandomMate ranks with random-mate independent-set contraction
 // seeded by seed (Las Vegas: the result is always exact; only the running
 // time is random).
-func RankRandomMate(next []int32, seed int64, m *wd.Meter) []int32 {
+func RankRandomMate(next []int32, seed int64, pool *par.Pool, m *wd.Meter) []int32 {
 	n := len(next)
 	nxt := make([]int32, n)
 	pred := make([]int32, n)
@@ -131,7 +131,7 @@ func RankRandomMate(next []int32, seed int64, m *wd.Meter) []int32 {
 		m.Add(int64(len(keep)+len(removed)), 1)
 	}
 	m.Add(int64(len(live)), int64(seqThreshold))
-	return finishRanking(n, nxt, pred, dist, rounds, m)
+	return finishRanking(n, nxt, pred, dist, rounds, pool, m)
 }
 
 // RankSeq is the sequential reference implementation used by tests.

@@ -46,8 +46,8 @@ func TestRankSimple(t *testing.T) {
 	next := buildLists(6, []int32{3, 1, 5}, []int32{0, 2})
 	want := []int32{1, 1, 0, 2, 0, 0}
 	for name, got := range map[string][]int32{
-		"jump": Rank(next, nil),
-		"mate": RankRandomMate(next, 1, nil),
+		"jump": Rank(next, nil, nil),
+		"mate": RankRandomMate(next, 1, nil, nil),
 		"seq":  RankSeq(next),
 	} {
 		for i := range want {
@@ -66,7 +66,7 @@ func TestRankSingleLongList(t *testing.T) {
 	}
 	next := buildLists(n, l)
 	var m wd.Meter
-	got := Rank(next, &m)
+	got := Rank(next, nil, &m)
 	for i := 0; i < n; i++ {
 		if got[i] != int32(n-1-i) {
 			t.Fatalf("rank[%d]=%d want %d", i, got[i], n-1-i)
@@ -87,8 +87,8 @@ func TestEnginesAgreeOnRandomForests(t *testing.T) {
 		k := 1 + int(seed)%7
 		next := randomLists(n, k, seed)
 		want := RankSeq(next)
-		jump := Rank(next, nil)
-		mate := RankRandomMate(next, seed*13+5, nil)
+		jump := Rank(next, nil, nil)
+		mate := RankRandomMate(next, seed*13+5, nil, nil)
 		for i := 0; i < n; i++ {
 			if jump[i] != want[i] {
 				t.Fatalf("seed %d: jump rank[%d]=%d want %d", seed, i, jump[i], want[i])
@@ -101,11 +101,11 @@ func TestEnginesAgreeOnRandomForests(t *testing.T) {
 }
 
 func TestRankEmptyAndSingletons(t *testing.T) {
-	if got := Rank(nil, nil); len(got) != 0 {
+	if got := Rank(nil, nil, nil); len(got) != 0 {
 		t.Error("empty input")
 	}
 	next := []int32{Nil, Nil, Nil}
-	for _, got := range [][]int32{Rank(next, nil), RankRandomMate(next, 3, nil), RankSeq(next)} {
+	for _, got := range [][]int32{Rank(next, nil, nil), RankRandomMate(next, 3, nil, nil), RankSeq(next)} {
 		for i, r := range got {
 			if r != 0 {
 				t.Errorf("singleton %d has rank %d", i, r)
@@ -118,7 +118,7 @@ func TestRandomMateDoesNotMutateInput(t *testing.T) {
 	next := randomLists(1000, 3, 9)
 	saved := make([]int32, len(next))
 	copy(saved, next)
-	RankRandomMate(next, 4, nil)
+	RankRandomMate(next, 4, nil, nil)
 	for i := range next {
 		if next[i] != saved[i] {
 			t.Fatal("input successor array mutated")

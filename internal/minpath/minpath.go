@@ -40,8 +40,8 @@ type Structure struct {
 }
 
 // New decomposes the tree (Lemma 7) and returns a reusable structure.
-func New(t *tree.Tree, m *wd.Meter) *Structure {
-	return &Structure{T: t, D: decomp.Decompose(t, m)}
+func New(t *tree.Tree, pool *par.Pool, m *wd.Meter) *Structure {
+	return &Structure{T: t, D: decomp.Decompose(t, pool, m)}
 }
 
 // expOp is one Minimum Prefix operation produced by expanding a tree op.
@@ -57,7 +57,7 @@ type expOp struct {
 // returning a slice with one entry per op (query results at query
 // positions, 0 elsewhere). The weights conceptually revert for the next
 // batch: RunBatch does not mutate w0.
-func (s *Structure) RunBatch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
+func (s *Structure) RunBatch(w0 []int64, ops []Op, pool *par.Pool, m *wd.Meter) []int64 {
 	n := s.T.N()
 	if len(w0) != n {
 		panic(fmt.Sprintf("minpath: %d weights for %d vertices", len(w0), n))
@@ -71,7 +71,7 @@ func (s *Structure) RunBatch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
 	// Pass 1: count each op's expansion length (segments crossed on the
 	// way to the root, at most NumPhases by Lemma 7).
 	off := make([]int64, k+1)
-	par.For(k, func(i int) {
+	pool.For(k, func(i int) {
 		v := ops[i].Vertex
 		if v < 0 || int(v) >= n {
 			panic(fmt.Sprintf("minpath: op %d vertex %d out of range", i, v))
@@ -83,11 +83,11 @@ func (s *Structure) RunBatch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
 		}
 		off[i+1] = c
 	})
-	total := par.InclusiveSum(off[1:], off[1:]) // off[i], off[i+1) brackets op i
+	total := pool.InclusiveSum(off[1:], off[1:]) // off[i], off[i+1) brackets op i
 	m.Add(int64(k)*int64(d.NumPhases), int64(d.NumPhases)+wd.CeilLog2(k))
 	// Pass 2: materialize the expansions in op (= time) order.
 	exp := make([]expOp, total)
-	par.For(k, func(i int) {
+	pool.For(k, func(i int) {
 		v := ops[i].Vertex
 		at := off[i]
 		for v != tree.None {
@@ -112,7 +112,7 @@ func (s *Structure) RunBatch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
 	for _, e := range exp {
 		segCount[e.seg+1]++
 	}
-	par.InclusiveSum(segCount, segCount)
+	pool.InclusiveSum(segCount, segCount)
 	sorted := make([]expOp, total)
 	cursor := make([]int64, numSegs)
 	copy(cursor, segCount[:numSegs])
@@ -131,7 +131,7 @@ func (s *Structure) RunBatch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
 		}
 	}
 	bounds = append(bounds, total)
-	par.ForGrain(len(bounds)-1, 1, func(bi int) {
+	pool.ForGrain(len(bounds)-1, 1, func(bi int) {
 		lo, hi := bounds[bi], bounds[bi+1]
 		seg := sorted[lo].seg
 		path := d.Paths[seg]
@@ -143,14 +143,14 @@ func (s *Structure) RunBatch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
 		for i := lo; i < hi; i++ {
 			sub[i-lo] = minprefix.Op{Query: sorted[i].query, Leaf: sorted[i].leaf, X: sorted[i].x}
 		}
-		subRes := minprefix.RunBatch(weights, sub, m)
+		subRes := minprefix.RunBatch(weights, sub, pool, m)
 		for i := lo; i < hi; i++ {
 			expRes[sorted[i].expIdx] = subRes[i-lo]
 		}
 	})
 	// Reduce each query's expansion results to their minimum (§3.4: "the
 	// smallest result of the O(log n) MinPrefix queries").
-	par.For(k, func(i int) {
+	pool.For(k, func(i int) {
 		if !ops[i].Query {
 			return
 		}

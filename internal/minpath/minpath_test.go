@@ -47,8 +47,8 @@ func randomOps(n, k int, seed int64) []Op {
 func checkBatch(t *testing.T, tr *tree.Tree, w0 []int64, ops []Op) {
 	t.Helper()
 	want := NewNaive(tr, w0).Run(ops)
-	s := New(tr, nil)
-	got := s.RunBatch(w0, ops, nil)
+	s := New(tr, nil, nil)
+	got := s.RunBatch(w0, ops, nil, nil)
 	for i := range ops {
 		if ops[i].Query && got[i] != want[i] {
 			t.Fatalf("query op %d (vertex %d): got %d want %d", i, ops[i].Vertex, got[i], want[i])
@@ -72,12 +72,12 @@ func TestFigure3Operations(t *testing.T) {
 	parent := []int32{tree.None, 0, 0, 0, 1, 1, 4, 3}
 	tr := mustTree(t, parent)
 	w0 := []int64{10, 20, 30, 40, 50, 60, 70, 80}
-	s := New(tr, nil)
+	s := New(tr, nil, nil)
 	// MinPath(4): path 4 -> 1 -> 0: min(50, 20, 10) = 10.
 	// AddPath(7, -100): path 7 -> 3 -> 0.
 	// MinPath(3): path 3 -> 0: min(40-100, 10-100) = -90.
 	ops := []Op{MinOp(4), AddOp(7, -100), MinOp(3), MinOp(6)}
-	got := s.RunBatch(w0, ops, nil)
+	got := s.RunBatch(w0, ops, nil, nil)
 	want := []int64{10, 0, -90, -90} // MinPath(6): 70,50,20,10-100 => -90
 	for i, w := range want {
 		if ops[i].Query && got[i] != w {
@@ -91,7 +91,7 @@ func TestFigure3Operations(t *testing.T) {
 func TestFigure4PathDecomposition(t *testing.T) {
 	n := 1024
 	tr := mustTree(t, randomParent(n, 5))
-	s := New(tr, nil)
+	s := New(tr, nil, nil)
 	bound := int(wd.CeilLog2(n)) + 1
 	if s.D.NumPhases > bound {
 		t.Fatalf("decomposition has %d phases, bound %d", s.D.NumPhases, bound)
@@ -167,8 +167,8 @@ func TestRunBatchDoesNotMutateWeights(t *testing.T) {
 	}
 	saved := make([]int64, 50)
 	copy(saved, w0)
-	s := New(tr, nil)
-	s.RunBatch(w0, randomOps(50, 100, 7), nil)
+	s := New(tr, nil, nil)
+	s.RunBatch(w0, randomOps(50, 100, 7), nil, nil)
 	for i := range w0 {
 		if w0[i] != saved[i] {
 			t.Fatal("RunBatch mutated the weight slice")
@@ -178,7 +178,7 @@ func TestRunBatchDoesNotMutateWeights(t *testing.T) {
 
 func TestStructureReuseAcrossBatches(t *testing.T) {
 	tr := mustTree(t, randomParent(120, 11))
-	s := New(tr, nil)
+	s := New(tr, nil, nil)
 	rng := rand.New(rand.NewSource(13))
 	for batch := 0; batch < 4; batch++ {
 		w0 := make([]int64, 120)
@@ -187,7 +187,7 @@ func TestStructureReuseAcrossBatches(t *testing.T) {
 		}
 		ops := randomOps(120, 150, int64(batch)*71+17)
 		want := NewNaive(tr, w0).Run(ops)
-		got := s.RunBatch(w0, ops, nil)
+		got := s.RunBatch(w0, ops, nil, nil)
 		for i := range ops {
 			if ops[i].Query && got[i] != want[i] {
 				t.Fatalf("batch %d op %d: got %d want %d", batch, i, got[i], want[i])
@@ -223,7 +223,7 @@ func TestQuickMatchesNaive(t *testing.T) {
 		}
 		ops := randomOps(n, k, c.Seed+2)
 		want := NewNaive(tr, w0).Run(ops)
-		got := New(tr, nil).RunBatch(w0, ops, nil)
+		got := New(tr, nil, nil).RunBatch(w0, ops, nil, nil)
 		for i := range ops {
 			if ops[i].Query && got[i] != want[i] {
 				return false

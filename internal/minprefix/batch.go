@@ -38,16 +38,16 @@ type nodeSpan struct {
 // d-values against them with merges and segmented broadcasts (§3.2).
 // The result slice has one entry per op; entry i is the query result when
 // ops[i].Query and 0 otherwise.
-func RunBatch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
-	return runBatch(w0, ops, m, false)
+func RunBatch(w0 []int64, ops []Op, pool *par.Pool, m *wd.Meter) []int64 {
+	return runBatch(w0, ops, pool, m, false)
 }
 
 // RunBatchBinarySearch is the E9 ablation variant: instead of merging the
 // query stream with the ∆ stream and broadcasting (the paper's approach),
 // every query binary-searches the update times, paying the extra Θ(log k)
 // work factor §3.2 is designed to avoid.
-func RunBatchBinarySearch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
-	return runBatch(w0, ops, m, true)
+func RunBatchBinarySearch(w0 []int64, ops []Op, pool *par.Pool, m *wd.Meter) []int64 {
+	return runBatch(w0, ops, pool, m, true)
 }
 
 // seqCutoff routes small batches to the one-by-one difference tree: below
@@ -56,7 +56,7 @@ func RunBatchBinarySearch(w0 []int64, ops []Op, m *wd.Meter) []int64 {
 // tiny per-segment batches, so this cutoff carries real weight.
 const seqCutoff = 2048
 
-func runBatch(w0 []int64, ops []Op, m *wd.Meter, binsearch bool) []int64 {
+func runBatch(w0 []int64, ops []Op, pool *par.Pool, m *wd.Meter, binsearch bool) []int64 {
 	n := len(w0)
 	validate(n, ops)
 	res := make([]int64, len(ops))
@@ -64,7 +64,7 @@ func runBatch(w0 []int64, ops []Op, m *wd.Meter, binsearch bool) []int64 {
 		return res
 	}
 	if n == 1 {
-		runSingleLeaf(w0[0], ops, res, m)
+		runSingleLeaf(w0[0], ops, res, pool, m)
 		return res
 	}
 	if n+len(ops) <= seqCutoff {
@@ -90,7 +90,7 @@ func runBatch(w0 []int64, ops []Op, m *wd.Meter, binsearch bool) []int64 {
 	}
 	// min0: initial subtree minima, heap-ordered.
 	min0 := make([]int64, 2*pad)
-	par.For(pad, func(i int) {
+	pool.For(pad, func(i int) {
 		if i < n {
 			min0[pad+i] = w0[i]
 		} else {
@@ -99,7 +99,7 @@ func runBatch(w0 []int64, ops []Op, m *wd.Meter, binsearch bool) []int64 {
 	})
 	for lvl := levels - 1; lvl >= 0; lvl-- {
 		lo := 1 << lvl
-		par.For(lo, func(i int) {
+		pool.For(lo, func(i int) {
 			b := lo + i
 			l, r := min0[2*b], min0[2*b+1]
 			if l < r {
@@ -116,8 +116,8 @@ func runBatch(w0 []int64, ops []Op, m *wd.Meter, binsearch bool) []int64 {
 	// queries (§3.1.1).
 	k := len(ops)
 	order := make([]int32, k)
-	par.For(k, func(i int) { order[i] = int32(i) })
-	par.SortStable(order, func(a, b int32) bool { return ops[a].Leaf < ops[b].Leaf })
+	pool.For(k, func(i int) { order[i] = int32(i) })
+	par.SortStableOn(pool, order, func(a, b int32) bool { return ops[a].Leaf < ops[b].Leaf })
 	m.Add(int64(k)*wd.CeilLog2(k), wd.CeilLog2(k))
 	upd := make([]updRec, 0, k)
 	qry := make([]qryRec, 0, k)
@@ -184,7 +184,7 @@ func runBatch(w0 []int64, ops []Op, m *wd.Meter, binsearch bool) []int64 {
 		nextUpd := make([]updRec, uo)
 		nextQry := make([]qryRec, qo)
 		nextSpans := make([]nodeSpan, len(jobs))
-		par.ForGrain(len(jobs), 1, func(ji int) {
+		pool.ForGrain(len(jobs), 1, func(ji int) {
 			j := jobs[ji]
 			var ul, ur []updRec
 			var ql, qr []qryRec
@@ -204,7 +204,7 @@ func runBatch(w0 []int64, ops []Op, m *wd.Meter, binsearch bool) []int64 {
 				sr:     scratch.sr[j.u0 : j.u0+int32(len(uOut))],
 				states: scratch.states[j.q0 : j.q0+int32(len(qOut))],
 			}
-			processNode(j.parent, min0, ul, ur, ql, qr, uOut, qOut, res, binsearch, sc)
+			processNode(j.parent, min0, ul, ur, ql, qr, uOut, qOut, res, binsearch, sc, pool)
 			nextSpans[ji] = nodeSpan{
 				id: j.parent,
 				u0: j.u0, u1: j.u0 + int32(len(uOut)),
@@ -219,16 +219,16 @@ func runBatch(w0 []int64, ops []Op, m *wd.Meter, binsearch bool) []int64 {
 
 // runSingleLeaf handles the degenerate 1-element list: a query result is
 // the initial weight plus the sum of the updates before it.
-func runSingleLeaf(w0 int64, ops []Op, res []int64, m *wd.Meter) {
+func runSingleLeaf(w0 int64, ops []Op, res []int64, pool *par.Pool, m *wd.Meter) {
 	k := len(ops)
 	xs := make([]int64, k)
-	par.For(k, func(i int) {
+	pool.For(k, func(i int) {
 		if !ops[i].Query {
 			xs[i] = ops[i].X
 		}
 	})
-	par.ExclusiveSum(xs, xs)
-	par.For(k, func(i int) {
+	pool.ExclusiveSum(xs, xs)
+	pool.For(k, func(i int) {
 		if ops[i].Query {
 			res[i] = w0 + xs[i]
 		}
@@ -250,13 +250,13 @@ type nodeScratch struct {
 // values, §3.1.2) and advances the query d-values through the parent
 // (§3.2). When parent is the root it also resolves the final results.
 func processNode(parent int32, min0 []int64, ul, ur []updRec, ql, qr []qryRec,
-	uOut []updRec, qOut []qryRec, res []int64, binsearch bool, sc nodeScratch) {
+	uOut []updRec, qOut []qryRec, res []int64, binsearch bool, sc nodeScratch, pool *par.Pool) {
 
 	delta0 := min0[2*parent+1] - min0[2*parent]
 	byTimeU := func(a, b updRec) bool { return a.time < b.time }
 	byTimeQ := func(a, b qryRec) bool { return a.time < b.time }
-	par.Merge(ul, ur, uOut, byTimeU)
-	par.Merge(ql, qr, qOut, byTimeQ)
+	par.MergeOn(pool, ul, ur, uOut, byTimeU)
+	par.MergeOn(pool, ql, qr, qOut, byTimeQ)
 
 	u := len(uOut)
 	// Prefix sums of φl and φr reconstruct every intermediate ∆ (the
@@ -265,7 +265,7 @@ func processNode(parent int32, min0 []int64, ul, ur []updRec, ql, qr []qryRec,
 	delta := sc.delta
 	if u > 0 {
 		sl, sr := sc.sl, sc.sr
-		par.For(u, func(i int) {
+		pool.For(u, func(i int) {
 			r := uOut[i]
 			if r.fromRight {
 				sl[i], sr[i] = r.x, r.phi
@@ -273,13 +273,13 @@ func processNode(parent int32, min0 []int64, ul, ur []updRec, ql, qr []qryRec,
 				sl[i], sr[i] = r.phi, 0
 			}
 		})
-		par.InclusiveSum(sl, sl)
-		par.InclusiveSum(sr, sr)
-		par.For(u, func(i int) {
+		pool.InclusiveSum(sl, sl)
+		pool.InclusiveSum(sr, sr)
+		pool.For(u, func(i int) {
 			delta[i] = delta0 + sr[i] - sl[i]
 		})
 		fromRight := parent&1 == 1
-		par.For(u, func(i int) {
+		pool.For(u, func(i int) {
 			r := &uOut[i]
 			deltaPrev := delta0
 			if i > 0 {
@@ -298,9 +298,9 @@ func processNode(parent int32, min0 []int64, ul, ur []updRec, ql, qr []qryRec,
 
 	// Advance queries: each needs ∆ at the last update time before it.
 	if len(qOut) > 0 {
-		deltaStates(uOut, delta, qOut, delta0, binsearch, sc.states)
+		deltaStates(uOut, delta, qOut, delta0, binsearch, sc.states, pool)
 		fromRight := parent&1 == 1
-		par.For(len(qOut), func(i int) {
+		pool.For(len(qOut), func(i int) {
 			q := &qOut[i]
 			q.d = dTransition(q.d, q.fromRight, sc.states[i])
 			q.fromRight = fromRight
@@ -313,11 +313,11 @@ func processNode(parent int32, min0 []int64, ul, ur []updRec, ql, qr []qryRec,
 		// the closest preceding time to its final d (§3.2). The sl scratch
 		// is free again at this point and holds the running minima.
 		minAt := sc.sl
-		par.For(u, func(i int) { minAt[i] = uOut[i].phi })
-		par.InclusiveSum(minAt[:u], minAt[:u])
-		par.For(u, func(i int) { minAt[i] += min0[1] })
-		deltaStates(uOut, minAt, qOut, min0[1], binsearch, sc.states)
-		par.For(len(qOut), func(i int) {
+		pool.For(u, func(i int) { minAt[i] = uOut[i].phi })
+		pool.InclusiveSum(minAt[:u], minAt[:u])
+		pool.For(u, func(i int) { minAt[i] += min0[1] })
+		deltaStates(uOut, minAt, qOut, min0[1], binsearch, sc.states, pool)
+		pool.For(len(qOut), func(i int) {
 			res[qOut[i].origin] = qOut[i].d + sc.states[i]
 		})
 	}
@@ -328,7 +328,7 @@ func processNode(parent int32, min0 []int64, ul, ur []updRec, ql, qr []qryRec,
 // allocation-free two-pointer walk; large nodes use the paper's §3.2
 // construction (parallel merge + segmented broadcast); the ablation path
 // binary-searches per query.
-func deltaStates(uOut []updRec, vals []int64, qOut []qryRec, initial int64, binsearch bool, states []int64) {
+func deltaStates(uOut []updRec, vals []int64, qOut []qryRec, initial int64, binsearch bool, states []int64, pool *par.Pool) {
 	if !binsearch && len(uOut)+len(qOut) <= 4*par.Grain {
 		// Sequential merge of the two time-sorted streams.
 		cur := initial
@@ -344,8 +344,8 @@ func deltaStates(uOut []updRec, vals []int64, qOut []qryRec, initial int64, bins
 	}
 	if binsearch {
 		times := make([]int64, len(uOut))
-		par.For(len(uOut), func(i int) { times[i] = int64(uOut[i].time) })
-		par.For(len(qOut), func(i int) {
+		pool.For(len(uOut), func(i int) { times[i] = int64(uOut[i].time) })
+		pool.For(len(qOut), func(i int) {
 			// Largest update index with time < query time.
 			lo, hi := 0, len(times) // hi exclusive
 			for lo < hi {
@@ -373,20 +373,20 @@ func deltaStates(uOut []updRec, vals []int64, qOut []qryRec, initial int64, bins
 	}
 	a := make([]mix, len(uOut))
 	b := make([]mix, len(qOut))
-	par.For(len(uOut), func(i int) { a[i] = mix{time: uOut[i].time, val: vals[i]} })
-	par.For(len(qOut), func(i int) { b[i] = mix{time: qOut[i].time, isQ: true, qslot: int32(i)} })
+	pool.For(len(uOut), func(i int) { a[i] = mix{time: uOut[i].time, val: vals[i]} })
+	pool.For(len(qOut), func(i int) { b[i] = mix{time: qOut[i].time, isQ: true, qslot: int32(i)} })
 	merged := make([]mix, len(a)+len(b))
-	par.Merge(a, b, merged, func(x, y mix) bool { return x.time < y.time })
+	par.MergeOn(pool, a, b, merged, func(x, y mix) bool { return x.time < y.time })
 	present := make([]bool, len(merged))
 	mv := make([]int64, len(merged))
-	par.For(len(merged), func(i int) {
+	pool.For(len(merged), func(i int) {
 		if !merged[i].isQ {
 			present[i] = true
 			mv[i] = merged[i].val
 		}
 	})
-	par.SegmentedBroadcast(present, mv, mv, initial)
-	par.For(len(merged), func(i int) {
+	pool.SegmentedBroadcast(present, mv, mv, initial)
+	pool.For(len(merged), func(i int) {
 		if merged[i].isQ {
 			states[merged[i].qslot] = mv[i]
 		}

@@ -15,7 +15,7 @@ func BenchmarkBatchVsSeq(b *testing.B) {
 		ops := randomBatch(n, k, 7)
 		b.Run(fmt.Sprintf("batch/k=%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				RunBatch(w0, ops, nil)
+				RunBatch(w0, ops, nil, nil)
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/op-single")
 		})

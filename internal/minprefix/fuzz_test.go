@@ -31,8 +31,8 @@ func FuzzBatchMatchesNaive(f *testing.F) {
 		}
 		want := NewNaive(w0).Run(ops)
 		seq := NewSeq(w0).Run(ops)
-		batch := RunBatch(w0, ops, nil)
-		bs := RunBatchBinarySearch(w0, ops, nil)
+		batch := RunBatch(w0, ops, nil, nil)
+		bs := RunBatchBinarySearch(w0, ops, nil, nil)
 		for i := range ops {
 			if !ops[i].Query {
 				continue

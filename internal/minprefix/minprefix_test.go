@@ -45,8 +45,8 @@ func checkAgainstNaive(t *testing.T, w0 []int64, ops []Op, name string, run func
 }
 
 func runSeq(w0 []int64, ops []Op) []int64     { return NewSeq(w0).Run(ops) }
-func runBatchT(w0 []int64, ops []Op) []int64  { return RunBatch(w0, ops, nil) }
-func runBatchBS(w0 []int64, ops []Op) []int64 { return RunBatchBinarySearch(w0, ops, nil) }
+func runBatchT(w0 []int64, ops []Op) []int64  { return RunBatch(w0, ops, nil, nil) }
+func runBatchBS(w0 []int64, ops []Op) []int64 { return RunBatchBinarySearch(w0, ops, nil, nil) }
 
 func TestExecutorsAgreeRandom(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
@@ -70,7 +70,7 @@ func TestLargerBatch(t *testing.T) {
 func TestAllQueriesNoUpdates(t *testing.T) {
 	w0 := []int64{5, -2, 7, 0}
 	ops := []Op{MinOp(0), MinOp(1), MinOp(2), MinOp(3)}
-	got := RunBatch(w0, ops, nil)
+	got := RunBatch(w0, ops, nil, nil)
 	want := []int64{5, -2, -2, -2}
 	for i := range want {
 		if got[i] != want[i] {
@@ -82,7 +82,7 @@ func TestAllQueriesNoUpdates(t *testing.T) {
 func TestAllUpdatesNoQueries(t *testing.T) {
 	w0 := []int64{1, 2}
 	ops := []Op{AddOp(0, 5), AddOp(1, -3)}
-	got := RunBatch(w0, ops, nil)
+	got := RunBatch(w0, ops, nil, nil)
 	for i, v := range got {
 		if v != 0 {
 			t.Errorf("non-query slot %d = %d, want 0", i, v)
@@ -107,7 +107,7 @@ func TestSingleLeafList(t *testing.T) {
 }
 
 func TestEmptyBatch(t *testing.T) {
-	if got := RunBatch([]int64{1, 2, 3}, nil, nil); len(got) != 0 {
+	if got := RunBatch([]int64{1, 2, 3}, nil, nil, nil); len(got) != 0 {
 		t.Fatal("empty batch should return empty results")
 	}
 }
@@ -118,7 +118,7 @@ func TestOutOfRangePanics(t *testing.T) {
 			t.Fatal("out-of-range leaf did not panic")
 		}
 	}()
-	RunBatch([]int64{1, 2}, []Op{MinOp(5)}, nil)
+	RunBatch([]int64{1, 2}, []Op{MinOp(5)}, nil, nil)
 }
 
 // TestFigure5DifferenceTree pins the ∆ encoding of paper Figure 5: each

@@ -38,7 +38,7 @@ func (opsGen) Generate(rng *rand.Rand, size int) reflect.Value {
 func TestQuickBatchMatchesNaive(t *testing.T) {
 	property := func(g opsGen) bool {
 		want := NewNaive(g.W0).Run(g.Ops)
-		got := RunBatch(g.W0, g.Ops, nil)
+		got := RunBatch(g.W0, g.Ops, nil, nil)
 		for i := range g.Ops {
 			if g.Ops[i].Query && got[i] != want[i] {
 				return false
@@ -83,7 +83,7 @@ func TestQuickUpdateOnlyPreservesTotal(t *testing.T) {
 		}
 		updates = append(updates, MinOp(int32(len(g.W0)-1)))
 		want := NewNaive(g.W0).Run(updates)
-		got := RunBatch(g.W0, updates, nil)
+		got := RunBatch(g.W0, updates, nil, nil)
 		return got[len(updates)-1] == want[len(updates)-1]
 	}
 	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(31337))}

@@ -28,14 +28,14 @@ const (
 // cost); ties break by edge index, making the forest unique and the
 // Borůvka hooking cycle-free. It returns the indices of the selected
 // edges and the number of connected components.
-func Forest(n int, edges []graph.Edge, cost []int64, m *wd.Meter) (sel []int32, comps int) {
-	sel, _, comps = ForestWithLabels(n, edges, cost, m)
+func Forest(n int, edges []graph.Edge, cost []int64, pool *par.Pool, m *wd.Meter) (sel []int32, comps int) {
+	sel, _, comps = ForestWithLabels(n, edges, cost, pool, m)
 	return sel, comps
 }
 
 // ForestWithLabels is Forest, additionally returning a component label per
 // vertex (labels are representative vertex ids, not compacted).
-func ForestWithLabels(n int, edges []graph.Edge, cost []int64, m *wd.Meter) (sel []int32, labels []int32, comps int) {
+func ForestWithLabels(n int, edges []graph.Edge, cost []int64, pool *par.Pool, m *wd.Meter) (sel []int32, labels []int32, comps int) {
 	if n == 0 {
 		return nil, nil, 0
 	}
@@ -51,7 +51,7 @@ func ForestWithLabels(n int, edges []graph.Edge, cost []int64, m *wd.Meter) (sel
 		}
 	}
 	comp := make([]int32, n)
-	par.For(n, func(i int) { comp[i] = int32(i) })
+	pool.For(n, func(i int) { comp[i] = int32(i) })
 	cand := make([]atomic.Uint64, n)
 	hook := make([]int32, n)
 	hook2 := make([]int32, n)
@@ -61,9 +61,9 @@ func ForestWithLabels(n int, edges []graph.Edge, cost []int64, m *wd.Meter) (sel
 		if round > int(wd.CeilLog2(n))+2 {
 			panic("mst: round bound exceeded")
 		}
-		par.For(n, func(i int) { cand[i].Store(noCand) })
+		pool.For(n, func(i int) { cand[i].Store(noCand) })
 		// Each component's candidate: the cheapest incident edge leaving it.
-		par.ForChunk(mm, par.Grain, func(lo, hi int) {
+		pool.ForChunk(mm, par.Grain, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				e := edges[i]
 				cu, cv := comp[e.U], comp[e.V]
@@ -82,7 +82,7 @@ func ForestWithLabels(n int, edges []graph.Edge, cost []int64, m *wd.Meter) (sel
 		m.Add(int64(mm), 1)
 		// Hook components along their candidate edges.
 		progress := false
-		par.For(n, func(ci int) {
+		pool.For(n, func(ci int) {
 			hook[ci] = int32(ci)
 			key := cand[ci].Load()
 			if key == noCand {
@@ -96,7 +96,7 @@ func ForestWithLabels(n int, edges []graph.Edge, cost []int64, m *wd.Meter) (sel
 			hook[ci] = other
 		})
 		// Break mutual hooks (2-cycles) toward the smaller label.
-		par.For(n, func(ci int) {
+		pool.For(n, func(ci int) {
 			h := hook[ci]
 			if hook[h] == int32(ci) && h > int32(ci) {
 				// ci is the smaller of a mutual pair: it becomes the root.
@@ -127,7 +127,7 @@ func ForestWithLabels(n int, edges []graph.Edge, cost []int64, m *wd.Meter) (sel
 		// Pointer-jump hooks to roots and relabel vertex components.
 		for j := int64(0); j <= wd.CeilLog2(n); j++ {
 			var changed atomic.Bool
-			par.For(n, func(ci int) {
+			pool.For(n, func(ci int) {
 				h := hook[hook[ci]]
 				hook2[ci] = h
 				if h != hook[ci] {
@@ -139,7 +139,7 @@ func ForestWithLabels(n int, edges []graph.Edge, cost []int64, m *wd.Meter) (sel
 				break
 			}
 		}
-		par.For(n, func(v int) { comp[v] = hook[comp[v]] })
+		pool.For(n, func(v int) { comp[v] = hook[comp[v]] })
 		m.Add(3*int64(n), wd.CeilLog2(n)+2)
 	}
 	return sel, comp, comps
@@ -157,8 +157,8 @@ func atomicMin(a *atomic.Uint64, key uint64) {
 
 // Components returns the number of connected components (Borůvka with
 // uniform costs, discarding the forest).
-func Components(n int, edges []graph.Edge, m *wd.Meter) int {
-	_, comps := Forest(n, edges, nil, m)
+func Components(n int, edges []graph.Edge, pool *par.Pool, m *wd.Meter) int {
+	_, comps := Forest(n, edges, nil, pool, m)
 	return comps
 }
 

@@ -29,7 +29,7 @@ func TestForestMatchesKruskalOnRandomGraphs(t *testing.T) {
 		for i := range cost {
 			cost[i] = int64(rng.Intn(1000))
 		}
-		selB, compB := Forest(n, g.Edges(), cost, nil)
+		selB, compB := Forest(n, g.Edges(), cost, nil, nil)
 		selK, compK := Kruskal(n, g.Edges(), cost)
 		if compB != 1 || compK != 1 {
 			t.Fatalf("seed %d: comps %d/%d", seed, compB, compK)
@@ -53,7 +53,7 @@ func TestForestMatchesKruskalOnRandomGraphs(t *testing.T) {
 
 func TestForestUniformCosts(t *testing.T) {
 	g := gen.RandomConnected(100, 400, 10, 3)
-	sel, comps := Forest(100, g.Edges(), nil, nil)
+	sel, comps := Forest(100, g.Edges(), nil, nil, nil)
 	if comps != 1 || len(sel) != 99 {
 		t.Fatalf("comps=%d |sel|=%d", comps, len(sel))
 	}
@@ -61,14 +61,14 @@ func TestForestUniformCosts(t *testing.T) {
 
 func TestForestDisconnected(t *testing.T) {
 	g := gen.Disconnected(20, 30, 5)
-	sel, comps := Forest(g.N(), g.Edges(), nil, nil)
+	sel, comps := Forest(g.N(), g.Edges(), nil, nil, nil)
 	if comps != 2 {
 		t.Fatalf("comps=%d want 2", comps)
 	}
 	if len(sel) != g.N()-2 {
 		t.Fatalf("|sel|=%d want %d", len(sel), g.N()-2)
 	}
-	if got := Components(g.N(), g.Edges(), nil); got != 2 {
+	if got := Components(g.N(), g.Edges(), nil, nil); got != 2 {
 		t.Fatalf("Components=%d", got)
 	}
 }
@@ -84,7 +84,7 @@ func TestForestParallelEdgesAndLoops(t *testing.T) {
 		}
 	}
 	cost := []int64{5, 2, 1, 9, 9}
-	sel, comps := Forest(3, g.Edges(), cost, nil)
+	sel, comps := Forest(3, g.Edges(), cost, nil, nil)
 	if comps != 1 || len(sel) != 2 {
 		t.Fatalf("comps=%d sel=%v", comps, sel)
 	}
@@ -97,13 +97,13 @@ func TestForestParallelEdgesAndLoops(t *testing.T) {
 }
 
 func TestForestEmptyAndSingle(t *testing.T) {
-	if sel, comps := Forest(0, nil, nil, nil); len(sel) != 0 || comps != 0 {
+	if sel, comps := Forest(0, nil, nil, nil, nil); len(sel) != 0 || comps != 0 {
 		t.Fatal("empty graph")
 	}
-	if sel, comps := Forest(1, nil, nil, nil); len(sel) != 0 || comps != 1 {
+	if sel, comps := Forest(1, nil, nil, nil, nil); len(sel) != 0 || comps != 1 {
 		t.Fatal("single vertex")
 	}
-	if sel, comps := Forest(5, nil, nil, nil); len(sel) != 0 || comps != 5 {
+	if sel, comps := Forest(5, nil, nil, nil, nil); len(sel) != 0 || comps != 5 {
 		t.Fatal("isolated vertices")
 	}
 }
@@ -120,7 +120,7 @@ func TestForestRespectsLoadOrdering(t *testing.T) {
 	load := []int64{0, 0, 0, 0, 0}
 	counts := map[int32]int{}
 	for round := 0; round < 10; round++ {
-		sel, comps := Forest(4, g.Edges(), load, nil)
+		sel, comps := Forest(4, g.Edges(), load, nil, nil)
 		if comps != 1 || len(sel) != 3 {
 			t.Fatalf("round %d: comps=%d sel=%v", round, comps, sel)
 		}

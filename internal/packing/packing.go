@@ -132,13 +132,13 @@ func skeleton(g *graph.Graph, p float64, clamp, multCap int64, rng *rand.Rand) (
 // sampling rate 2^-j at which the skeleton stays connected satisfies
 // c·2^-j ≈ ln n, so c ≈ ln(n)·2^j. The returned estimate errs low (which
 // costs skeleton density, never correctness).
-func EstimateCut(g *graph.Graph, seed int64, m *wd.Meter) int64 {
+func EstimateCut(g *graph.Graph, seed int64, pool *par.Pool, m *wd.Meter) int64 {
 	n := g.N()
 	if n < 2 {
 		return 1
 	}
 	deg := g.WeightedDegrees()
-	upper, _ := par.MinInt64(deg)
+	upper, _ := pool.MinInt64(deg)
 	if upper < 1 {
 		upper = 1
 	}
@@ -152,7 +152,7 @@ func EstimateCut(g *graph.Graph, seed int64, m *wd.Meter) int64 {
 		if len(edges) < n-1 {
 			continue
 		}
-		if mst.Components(n, edges, m) == 1 {
+		if mst.Components(n, edges, pool, m) == 1 {
 			est := int64(lnN * math.Ldexp(1, j) / 2)
 			if est < 1 {
 				est = 1
@@ -167,7 +167,7 @@ func EstimateCut(g *graph.Graph, seed int64, m *wd.Meter) int64 {
 }
 
 // SampleTrees runs the full Lemma 1 pipeline on a connected graph.
-func SampleTrees(g *graph.Graph, opt Options, m *wd.Meter) (*Result, error) {
+func SampleTrees(g *graph.Graph, opt Options, pool *par.Pool, m *wd.Meter) (*Result, error) {
 	opt = opt.withDefaults()
 	n := g.N()
 	if n < 2 {
@@ -183,11 +183,11 @@ func SampleTrees(g *graph.Graph, opt Options, m *wd.Meter) (*Result, error) {
 		treeCount = int(math.Ceil(2*math.Log2(float64(n)))) + 3
 	}
 	deg := g.WeightedDegrees()
-	upper, _ := par.MinInt64(deg)
+	upper, _ := pool.MinInt64(deg)
 	if upper < 1 {
 		return nil, fmt.Errorf("packing: graph has an isolated vertex")
 	}
-	est := EstimateCut(g, opt.Seed, m)
+	est := EstimateCut(g, opt.Seed, pool, m)
 	ch := 2 * est
 	if ch > upper {
 		ch = upper
@@ -208,7 +208,7 @@ func SampleTrees(g *graph.Graph, opt Options, m *wd.Meter) (*Result, error) {
 		}
 		edges, origin := skeleton(g, p, ch, int64(rounds), rng)
 		atFloor := p >= 1
-		trees, maxLoad, ok := pack(n, edges, rounds, m)
+		trees, maxLoad, ok := pack(n, edges, rounds, pool, m)
 		if ok {
 			tau := float64(rounds) / float64(maxLoad)
 			if tau >= threshold || atFloor {
@@ -234,13 +234,13 @@ func SampleTrees(g *graph.Graph, opt Options, m *wd.Meter) (*Result, error) {
 // loads of its edges. Returns the trees (as skeleton edge indices), the
 // maximum load (the packing value is rounds/maxLoad), and whether the
 // skeleton was connected.
-func pack(n int, edges []graph.Edge, rounds int, m *wd.Meter) (trees [][]int32, maxLoad int64, ok bool) {
+func pack(n int, edges []graph.Edge, rounds int, pool *par.Pool, m *wd.Meter) (trees [][]int32, maxLoad int64, ok bool) {
 	if len(edges) < n-1 {
 		return nil, 0, false
 	}
 	load := make([]int64, len(edges))
 	for r := 0; r < rounds; r++ {
-		sel, comps := mst.Forest(n, edges, load, m)
+		sel, comps := mst.Forest(n, edges, load, pool, m)
 		if comps != 1 {
 			return nil, 0, false
 		}

@@ -44,7 +44,7 @@ func isSpanningTree(g *graph.Graph, idxs []int32) bool {
 	for i, ei := range idxs {
 		edges[i] = g.Edge(int(ei))
 	}
-	return mst.Components(g.N(), edges, nil) == 1
+	return mst.Components(g.N(), edges, nil, nil) == 1
 }
 
 // respects counts how many tree edges cross the cut.
@@ -61,7 +61,7 @@ func respects(g *graph.Graph, idxs []int32, inCut []bool) int {
 
 func TestSampleTreesAreSpanningTrees(t *testing.T) {
 	g := gen.RandomConnected(64, 256, 20, 5)
-	res, err := SampleTrees(g, Options{Seed: 42}, nil)
+	res, err := SampleTrees(g, Options{Seed: 42}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestPackingRespectsPlantedCut(t *testing.T) {
 	const trials = 10
 	for seed := int64(0); seed < trials; seed++ {
 		p := gen.PlantedCut(24, 20, 3, seed)
-		res, err := SampleTrees(p.G, Options{Seed: seed * 31}, nil)
+		res, err := SampleTrees(p.G, Options{Seed: seed * 31}, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func TestEstimateCutOrder(t *testing.T) {
 			minDeg = d
 		}
 	}
-	est := EstimateCut(p.G, 3, nil)
+	est := EstimateCut(p.G, 3, nil, nil)
 	if est > minDeg {
 		t.Fatalf("estimate %d above min degree %d", est, minDeg)
 	}
@@ -132,7 +132,7 @@ func TestSampleTreesSmallGraphs(t *testing.T) {
 	if err := g.AddEdge(0, 1, 5); err != nil {
 		t.Fatal(err)
 	}
-	res, err := SampleTrees(g, Options{Seed: 1}, nil)
+	res, err := SampleTrees(g, Options{Seed: 1}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestSampleTreesSmallGraphs(t *testing.T) {
 	}
 	// Triangle.
 	tri := gen.Clique(3, 4, 2)
-	res, err = SampleTrees(tri, Options{Seed: 2}, nil)
+	res, err = SampleTrees(tri, Options{Seed: 2}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,18 +154,18 @@ func TestSampleTreesSmallGraphs(t *testing.T) {
 
 func TestSampleTreesDisconnected(t *testing.T) {
 	g := gen.Disconnected(5, 6, 3)
-	if _, err := SampleTrees(g, Options{Seed: 4}, nil); err == nil {
+	if _, err := SampleTrees(g, Options{Seed: 4}, nil, nil); err == nil {
 		t.Fatal("disconnected graph accepted")
 	}
 }
 
 func TestSampleTreesDeterministicInSeed(t *testing.T) {
 	g := gen.RandomConnected(40, 160, 10, 9)
-	a, err := SampleTrees(g, Options{Seed: 5}, nil)
+	a, err := SampleTrees(g, Options{Seed: 5}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SampleTrees(g, Options{Seed: 5}, nil)
+	b, err := SampleTrees(g, Options{Seed: 5}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestPackValueBelowSkeletonCut(t *testing.T) {
 		weights[i] = 1
 	}
 	p := gen.Cycle(weights)
-	res, err := SampleTrees(p.G, Options{Seed: 11}, nil)
+	res, err := SampleTrees(p.G, Options{Seed: 11}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,30 +2,37 @@ package par
 
 import "sort"
 
-// Merge merges the sorted slices a and b into out (len(out) must be
-// len(a)+len(b)) using the strict-weak ordering less. The merge is stable:
-// on ties, elements of a precede elements of b. Large merges split in
-// parallel by the classic median/binary-search scheme (Cole-style merging,
-// the primitive the paper cites for its O(log) depth merge [7]).
-func Merge[T any](a, b, out []T, less func(x, y T) bool) {
+// MergeOn merges the sorted slices a and b into out (len(out) must be
+// len(a)+len(b)) on the pool p, using the strict-weak ordering less. The
+// merge is stable: on ties, elements of a precede elements of b. Large
+// merges split in parallel by the classic median/binary-search scheme
+// (Cole-style merging, the primitive the paper cites for its O(log) depth
+// merge [7]). Merge/SortStable are package functions rather than Pool
+// methods because Go does not allow generic methods.
+func MergeOn[T any](p *Pool, a, b, out []T, less func(x, y T) bool) {
 	if len(out) != len(a)+len(b) {
 		panic("par: Merge output length mismatch")
 	}
-	mergeRec(a, b, out, less)
+	mergeRec(p.get(), a, b, out, less)
 }
 
-func mergeRec[T any](a, b, out []T, less func(x, y T) bool) {
+// Merge merges on the default pool.
+func Merge[T any](a, b, out []T, less func(x, y T) bool) {
+	MergeOn(nil, a, b, out, less)
+}
+
+func mergeRec[T any](p *Pool, a, b, out []T, less func(x, y T) bool) {
 	if len(a) < len(b) {
 		// Keep a as the larger side so the split point is well-defined,
 		// flipping the tie-breaking so stability (a before b) is preserved.
-		mergeRecFlipped(b, a, out, less)
+		mergeRecFlipped(p, b, a, out, less)
 		return
 	}
 	if len(b) == 0 {
 		copy(out, a)
 		return
 	}
-	if len(a)+len(b) <= 4*Grain || Workers() == 1 {
+	if len(a)+len(b) <= 4*Grain || p.width == 1 {
 		seqMerge(a, b, out, less)
 		return
 	}
@@ -34,26 +41,26 @@ func mergeRec[T any](a, b, out []T, less func(x, y T) bool) {
 	// its right, keeping a-before-b stability.
 	j := sort.Search(len(b), func(j int) bool { return !less(b[j], a[i]) })
 	out[i+j] = a[i]
-	Do2(
-		func() { mergeRec(a[:i], b[:j], out[:i+j], less) },
-		func() { mergeRec(a[i+1:], b[j:], out[i+j+1:], less) },
+	p.Do2(
+		func() { mergeRec(p, a[:i], b[:j], out[:i+j], less) },
+		func() { mergeRec(p, a[i+1:], b[j:], out[i+j+1:], less) },
 	)
 }
 
 // mergeRecFlipped merges with a as the physically larger slice but with b
 // logically first for tie-breaking (elements of b win ties).
-func mergeRecFlipped[T any](a, b, out []T, less func(x, y T) bool) {
+func mergeRecFlipped[T any](p *Pool, a, b, out []T, less func(x, y T) bool) {
 	if len(a) < len(b) {
 		// Re-balance: mergeRec(b, a) keeps b's elements first on ties,
 		// which is exactly this function's contract.
-		mergeRec(b, a, out, less)
+		mergeRec(p, b, a, out, less)
 		return
 	}
 	if len(b) == 0 {
 		copy(out, a)
 		return
 	}
-	if len(a)+len(b) <= 4*Grain || Workers() == 1 {
+	if len(a)+len(b) <= 4*Grain || p.width == 1 {
 		seqMerge(b, a, out, less)
 		return
 	}
@@ -62,9 +69,9 @@ func mergeRecFlipped[T any](a, b, out []T, less func(x, y T) bool) {
 	// its left (b is logically first here).
 	j := sort.Search(len(b), func(j int) bool { return less(a[i], b[j]) })
 	out[i+j] = a[i]
-	Do2(
-		func() { mergeRecFlipped(a[:i], b[:j], out[:i+j], less) },
-		func() { mergeRecFlipped(a[i+1:], b[j:], out[i+j+1:], less) },
+	p.Do2(
+		func() { mergeRecFlipped(p, a[:i], b[:j], out[:i+j], less) },
+		func() { mergeRecFlipped(p, a[i+1:], b[j:], out[i+j+1:], less) },
 	)
 }
 
@@ -84,24 +91,31 @@ func seqMerge[T any](a, b, out []T, less func(x, y T) bool) {
 	copy(out[k+len(a)-i:], b[j:])
 }
 
-// SortStable sorts xs in place, stably, using parallel merge sort with
-// sequential sorted runs at the leaves. It is the parallel sorting
-// primitive of Lemma 12 / §3.1.1 (stable sort by vertex, sort by time).
-func SortStable[T any](xs []T, less func(x, y T) bool) {
+// SortStableOn sorts xs in place, stably, on the pool p, using parallel
+// merge sort with sequential sorted runs at the leaves. It is the parallel
+// sorting primitive of Lemma 12 / §3.1.1 (stable sort by vertex, sort by
+// time).
+func SortStableOn[T any](p *Pool, xs []T, less func(x, y T) bool) {
+	p = p.get()
 	n := len(xs)
 	if n <= 1 {
 		return
 	}
 	buf := make([]T, n)
-	if n <= 8*Grain || Workers() == 1 {
+	if n <= 8*Grain || p.width == 1 {
 		seqSortStable(xs, buf, less)
 		return
 	}
-	sortInto(xs, buf, less, true)
+	sortInto(p, xs, buf, less, true)
+}
+
+// SortStable sorts on the default pool.
+func SortStable[T any](xs []T, less func(x, y T) bool) {
+	SortStableOn(nil, xs, less)
 }
 
 // sortInto sorts src; if inSrc is true the result ends in src, else in dst.
-func sortInto[T any](src, dst []T, less func(x, y T) bool, inSrc bool) {
+func sortInto[T any](p *Pool, src, dst []T, less func(x, y T) bool, inSrc bool) {
 	n := len(src)
 	if n <= 8*Grain {
 		seqSortStable(src, dst, less)
@@ -111,14 +125,14 @@ func sortInto[T any](src, dst []T, less func(x, y T) bool, inSrc bool) {
 		return
 	}
 	mid := n / 2
-	Do2(
-		func() { sortInto(src[:mid], dst[:mid], less, !inSrc) },
-		func() { sortInto(src[mid:], dst[mid:], less, !inSrc) },
+	p.Do2(
+		func() { sortInto(p, src[:mid], dst[:mid], less, !inSrc) },
+		func() { sortInto(p, src[mid:], dst[mid:], less, !inSrc) },
 	)
 	if inSrc {
-		mergeRec(dst[:mid], dst[mid:], src, less)
+		mergeRec(p, dst[:mid], dst[mid:], src, less)
 	} else {
-		mergeRec(src[:mid], src[mid:], dst, less)
+		mergeRec(p, src[:mid], src[mid:], dst, less)
 	}
 }
 

@@ -4,34 +4,36 @@
 // merging of sorted sequences, and parallel stable sorting.
 //
 // Go has no work-stealing fork-join runtime, so the primitives emulate the
-// Work-Depth model with chunked loops over at most GOMAXPROCS goroutines.
+// Work-Depth model on an explicit executor, Pool: a persistent bounded-width
+// worker set on which all primitives are methods. The non-generic
+// primitives hang off *Pool directly; the generic ones (Merge, SortStable)
+// are package functions taking the pool as their first argument (Go has no
+// generic methods) under the names MergeOn and SortStableOn. The historic
+// package-level functions remain and delegate to a shared default pool of
+// width GOMAXPROCS, so code that does not care about executor placement
+// keeps working unchanged — but without per-call goroutine spawning.
+//
 // Every primitive degrades to its sequential form below a grain size, which
 // keeps constant factors competitive with hand-written loops while
-// preserving the parallel structure that the paper's depth bounds rely on.
+// preserving the parallel structure that the paper's depth bounds rely on,
+// and every primitive returns identical results at every pool width.
 package par
 
 import (
-	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
-// Grain is the default smallest amount of per-goroutine sequential work.
-// Loops over fewer elements run sequentially: forking a goroutine and
-// joining it costs on the order of microseconds, so data-parallel loops
-// only pay off once each worker gets several thousand elements. Task
+// Grain is the default smallest amount of per-lane sequential work.
+// Loops over fewer elements run sequentially: handing a branch to a worker
+// and joining it costs on the order of microseconds, so data-parallel loops
+// only pay off once each lane gets several thousand elements. Task
 // parallelism over few-but-large units (tree scans, segment batches) uses
 // ForGrain with an explicit small grain instead.
 const Grain = 8192
 
-// Workers reports the parallelism the primitives will use.
-func Workers() int {
-	return runtime.GOMAXPROCS(0)
-}
-
 // For runs f(i) for every i in [0, n) with no ordering guarantees.
-func For(n int, f func(i int)) {
-	ForChunk(n, Grain, func(lo, hi int) {
+func (p *Pool) For(n int, f func(i int)) {
+	p.ForChunk(n, Grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			f(i)
 		}
@@ -39,8 +41,8 @@ func For(n int, f func(i int)) {
 }
 
 // ForGrain is For with an explicit grain size.
-func ForGrain(n, grain int, f func(i int)) {
-	ForChunk(n, grain, func(lo, hi int) {
+func (p *Pool) ForGrain(n, grain int, f func(i int)) {
+	p.ForChunk(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			f(i)
 		}
@@ -49,21 +51,21 @@ func ForGrain(n, grain int, f func(i int)) {
 
 // ForChunk partitions [0, n) into contiguous chunks of at least grain
 // elements and runs f(lo, hi) on the chunks in parallel.
-func ForChunk(n, grain int, f func(lo, hi int)) {
+func (p *Pool) ForChunk(n, grain int, f func(lo, hi int)) {
+	p = p.get()
 	if n <= 0 {
 		return
 	}
 	if grain < 1 {
 		grain = 1
 	}
-	p := Workers()
-	if p == 1 || n <= grain {
+	if p.width == 1 || n <= grain {
 		f(0, n)
 		return
 	}
 	chunks := (n + grain - 1) / grain
-	if chunks > 4*p {
-		chunks = 4 * p
+	if mx := p.maxChunks(); chunks > mx {
+		chunks = mx
 	}
 	if chunks < 2 {
 		f(0, n)
@@ -71,36 +73,30 @@ func ForChunk(n, grain int, f func(lo, hi int)) {
 	}
 	size := (n + chunks - 1) / chunks
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	workers := p
-	if workers > chunks {
-		workers = chunks
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * size
-				hi := lo + size
-				if hi > n {
-					hi = n
-				}
-				if lo < hi {
-					f(lo, hi)
-				}
+	p.run(chunks, func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			lo := c * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			if lo < hi {
+				f(lo, hi)
+			}
+		}
+	})
 }
 
-// Do runs the given functions as parallel fork-join branches.
-func Do(fs ...func()) {
+// Do runs the given functions as parallel fork-join branches on the pool:
+// branches are handed to idle workers (at most width run at once, zero
+// goroutines spawned) and branches the pool cannot take run inline in the
+// caller.
+func (p *Pool) Do(fs ...func()) {
+	p = p.get()
 	switch len(fs) {
 	case 0:
 		return
@@ -108,49 +104,64 @@ func Do(fs ...func()) {
 		fs[0]()
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(fs) - 1)
-	for _, f := range fs[1:] {
-		f := f
-		go func() {
-			defer wg.Done()
+	if p.width == 1 || p.tasks == nil {
+		for _, f := range fs {
 			f()
-		}()
+		}
+		return
+	}
+	j := newJoin()
+	var inline []func()
+	for _, f := range fs[1:] {
+		if !p.fork(j, f) {
+			inline = append(inline, f)
+		}
 	}
 	fs[0]()
-	wg.Wait()
+	for _, f := range inline {
+		f()
+	}
+	p.wait(j)
 }
 
 // Do2 is a binary fork-join (the common case in divide and conquer).
-func Do2(a, b func()) {
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
+func (p *Pool) Do2(a, b func()) {
+	p = p.get()
+	if p.width == 1 || p.tasks == nil {
+		a()
 		b()
-	}()
+		return
+	}
+	j := newJoin()
+	if !p.fork(j, b) {
+		a()
+		b()
+		return
+	}
 	a()
-	wg.Wait()
+	p.wait(j)
 }
 
 // ReduceInt64 reduces xs with the associative op, returning identity for an
 // empty slice.
-func ReduceInt64(xs []int64, identity int64, op func(a, b int64) int64) int64 {
+func (p *Pool) ReduceInt64(xs []int64, identity int64, op func(a, b int64) int64) int64 {
+	p = p.get()
 	n := len(xs)
 	if n == 0 {
 		return identity
 	}
-	if n <= Grain || Workers() == 1 {
+	if n <= Grain || p.width == 1 {
 		acc := identity
 		for _, x := range xs {
 			acc = op(acc, x)
 		}
 		return acc
 	}
-	chunks := numChunks(n)
-	partial := make([]int64, chunks)
+	chunks := p.numChunks(n)
+	sp, partial := p.getScratch(chunks)
+	defer p.putScratch(sp)
 	size := (n + chunks - 1) / chunks
-	ForChunk(chunks, 1, func(clo, chi int) {
+	p.ForChunk(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			lo, hi := c*size, (c+1)*size
 			if hi > n {
@@ -172,25 +183,29 @@ func ReduceInt64(xs []int64, identity int64, op func(a, b int64) int64) int64 {
 
 // MinInt64 returns the minimum element and its index (the smallest index
 // attaining the minimum). It panics on an empty slice.
-func MinInt64(xs []int64) (int64, int) {
+func (p *Pool) MinInt64(xs []int64) (int64, int) {
+	p = p.get()
 	if len(xs) == 0 {
 		panic("par: MinInt64 of empty slice")
 	}
 	n := len(xs)
-	if n <= Grain || Workers() == 1 {
+	if n <= Grain || p.width == 1 {
 		return seqMin(xs, 0)
 	}
-	chunks := numChunks(n)
-	vals := make([]int64, chunks)
-	idxs := make([]int, chunks)
+	chunks := p.numChunks(n)
+	vp, vals := p.getScratch(chunks)
+	ip, idxs := p.getScratch(chunks)
+	defer p.putScratch(vp)
+	defer p.putScratch(ip)
 	size := (n + chunks - 1) / chunks
-	ForChunk(chunks, 1, func(clo, chi int) {
+	p.ForChunk(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			lo, hi := c*size, (c+1)*size
 			if hi > n {
 				hi = n
 			}
-			vals[c], idxs[c] = seqMin(xs[lo:hi], lo)
+			v, i := seqMin(xs[lo:hi], lo)
+			vals[c], idxs[c] = v, int64(i)
 		}
 	})
 	best, bi := vals[0], idxs[0]
@@ -199,7 +214,7 @@ func MinInt64(xs []int64) (int64, int) {
 			best, bi = vals[c], idxs[c]
 		}
 	}
-	return best, bi
+	return best, int(bi)
 }
 
 func seqMin(xs []int64, base int) (int64, int) {
@@ -213,18 +228,34 @@ func seqMin(xs []int64, base int) (int64, int) {
 }
 
 // SumInt64 returns the sum of xs.
-func SumInt64(xs []int64) int64 {
-	return ReduceInt64(xs, 0, func(a, b int64) int64 { return a + b })
+func (p *Pool) SumInt64(xs []int64) int64 {
+	return p.ReduceInt64(xs, 0, func(a, b int64) int64 { return a + b })
 }
 
-func numChunks(n int) int {
-	p := Workers()
-	chunks := 4 * p
-	if chunks > (n+Grain-1)/Grain {
-		chunks = (n + Grain - 1) / Grain
-	}
-	if chunks < 1 {
-		chunks = 1
-	}
-	return chunks
+// --- package-level compatibility wrappers (shared default pool) ---
+
+// For runs f(i) for every i in [0, n) on the default pool.
+func For(n int, f func(i int)) { Default().For(n, f) }
+
+// ForGrain is For with an explicit grain size, on the default pool.
+func ForGrain(n, grain int, f func(i int)) { Default().ForGrain(n, grain, f) }
+
+// ForChunk runs chunked parallel loops on the default pool.
+func ForChunk(n, grain int, f func(lo, hi int)) { Default().ForChunk(n, grain, f) }
+
+// Do runs fork-join branches on the default pool.
+func Do(fs ...func()) { Default().Do(fs...) }
+
+// Do2 is a binary fork-join on the default pool.
+func Do2(a, b func()) { Default().Do2(a, b) }
+
+// ReduceInt64 reduces on the default pool.
+func ReduceInt64(xs []int64, identity int64, op func(a, b int64) int64) int64 {
+	return Default().ReduceInt64(xs, identity, op)
 }
+
+// MinInt64 takes the argmin on the default pool.
+func MinInt64(xs []int64) (int64, int) { return Default().MinInt64(xs) }
+
+// SumInt64 sums on the default pool.
+func SumInt64(xs []int64) int64 { return Default().SumInt64(xs) }

@@ -1,0 +1,273 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded-width parallel executor: the concrete machine the
+// paper's abstract fork-join primitives (§1.1.2) run on. A Pool of width w
+// owns w-1 long-lived worker goroutines; the goroutine invoking a
+// primitive is the w-th lane. Primitives never spawn goroutines — forked
+// branches are handed to idle workers through a queue, and a joining
+// caller helps execute queued branches instead of blocking, so nested
+// fork-join (parallel merge sort, concurrent tree scans) cannot deadlock
+// and total parallelism stays capped at the pool width no matter how
+// deeply primitives nest.
+//
+// Width never affects results: every primitive computes the same output at
+// every width (chunked reductions use exact integer arithmetic, merges and
+// sorts are stable), so callers may treat the width purely as a resource
+// knob.
+//
+// A nil *Pool is valid everywhere a pool is accepted and means the shared
+// process-wide default pool (width GOMAXPROCS), which is how the
+// package-level compatibility functions run. Pools are safe for concurrent
+// use by multiple goroutines; each concurrent caller adds one lane, so
+// give logically independent solvers independent pools to keep their
+// combined footprint explicit.
+type Pool struct {
+	width     int
+	isDefault bool // the shared default pool; Close is a no-op on it
+	tasks     chan func()
+	stop      chan struct{}
+	once      sync.Once // guards shutdown
+
+	// scratch recycles the small per-chunk partial buffers of scans and
+	// reductions ([]int64 of length <= maxChunks) so steady-state
+	// primitives allocate nothing.
+	scratch sync.Pool
+}
+
+// NewPool returns a Pool of the given width. Width <= 0 means
+// runtime.GOMAXPROCS(0). A width-1 pool runs every primitive sequentially
+// in the caller's goroutine and owns no workers. Call Close when done to
+// release the workers; a finalizer is deliberately not used, but leaked
+// pools only cost idle goroutines.
+func NewPool(width int) *Pool {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		width: width,
+		stop:  make(chan struct{}),
+	}
+	p.scratch.New = func() any {
+		s := make([]int64, p.maxChunks())
+		return &s
+	}
+	if width > 1 {
+		// The queue is deeper than the worker count so bursts of small
+		// forks (divide-and-conquer fans out faster than workers drain)
+		// do not immediately degrade to inline execution.
+		p.tasks = make(chan func(), 8*width)
+		for i := 0; i < width-1; i++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+// defaultPool is the shared executor behind the package-level primitives
+// and nil *Pool receivers: one set of workers for all legacy callers
+// instead of per-primitive goroutine spawning. The atomic pointer (with
+// defaultMu serializing replacement) keeps Default and Close race-free.
+var (
+	defaultMu   sync.Mutex
+	defaultPool atomic.Pointer[Pool]
+)
+
+// Default returns the shared process-wide pool, sized to the current
+// GOMAXPROCS. If GOMAXPROCS has changed since the pool was created (test
+// harnesses sweeping -cpu, operators resizing a live process), the
+// default is transparently replaced by one of the new width and the old
+// one's workers are released — primitives still in flight on the old pool
+// finish correctly (degrading to sequential execution). Closing the
+// default pool directly is a no-op.
+func Default() *Pool {
+	want := runtime.GOMAXPROCS(0)
+	if p := defaultPool.Load(); p != nil && p.width == want {
+		return p
+	}
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	p := defaultPool.Load()
+	if p != nil && p.width == want {
+		return p
+	}
+	np := NewPool(want)
+	np.isDefault = true
+	defaultPool.Store(np)
+	if p != nil {
+		p.shutdown()
+	}
+	return np
+}
+
+// get resolves the nil-receiver convention.
+func (p *Pool) get() *Pool {
+	if p == nil {
+		return Default()
+	}
+	return p
+}
+
+// Width reports the pool's parallelism (the default pool's width for a nil
+// receiver).
+func (p *Pool) Width() int {
+	return p.get().width
+}
+
+// Workers reports the parallelism the package-level primitives will use
+// (the default pool's width).
+func Workers() int {
+	return Default().width
+}
+
+// Close stops the pool's workers. Primitives invoked after Close (or
+// racing with it) still complete correctly — forks fail over to inline
+// execution — they just run sequentially. Closing the shared default pool
+// is a no-op. Close is idempotent.
+func (p *Pool) Close() {
+	if p == nil || p.isDefault {
+		return
+	}
+	p.shutdown()
+}
+
+// shutdown releases the workers unconditionally (Default uses it to
+// retire a superseded default pool).
+func (p *Pool) shutdown() {
+	p.once.Do(func() { close(p.stop) })
+}
+
+// worker executes queued branches until the pool closes.
+func (p *Pool) worker() {
+	for {
+		select {
+		case f := <-p.tasks:
+			f()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// join tracks a set of forked branches. pending counts branches not yet
+// finished; note (capacity 1) is poked whenever pending drops to zero.
+// A buffered notification — instead of a closed channel — makes transient
+// zeros safe: a branch may finish before the next one is even forked, and
+// the waiter simply re-checks pending after every wake-up.
+type join struct {
+	pending atomic.Int32
+	note    chan struct{}
+}
+
+func newJoin() *join {
+	return &join{note: make(chan struct{}, 1)}
+}
+
+// fork hands f to the pool, registering it on j. It reports false — and
+// runs nothing — when the pool is saturated (queue full) or closed, in
+// which case the caller must run f inline itself.
+func (p *Pool) fork(j *join, f func()) bool {
+	if p.tasks == nil {
+		return false
+	}
+	j.pending.Add(1)
+	wrapped := func() {
+		f()
+		if j.pending.Add(-1) == 0 {
+			select {
+			case j.note <- struct{}{}:
+			default:
+			}
+		}
+	}
+	select {
+	case p.tasks <- wrapped:
+		return true
+	default:
+		// Saturated: undo the registration; caller runs f inline.
+		j.pending.Add(-1)
+		return false
+	}
+}
+
+// wait blocks until every branch forked on j has finished. While waiting
+// it helps execute queued tasks (its own pending branches or anyone
+// else's), which both speeds completion and guarantees progress: a branch
+// can only be "stuck" in the queue, and everyone who waits drains the
+// queue. A stale note (from a transient zero) just causes one extra
+// pending check.
+func (p *Pool) wait(j *join) {
+	for j.pending.Load() != 0 {
+		select {
+		case <-j.note:
+		case f := <-p.tasks:
+			f()
+		}
+	}
+}
+
+// run executes body on up to width lanes: the caller plus at most lanes-1
+// forked workers, all pulling from whatever shared work source body
+// drains. body must be safe to run concurrently with itself and must
+// return when the shared source is exhausted.
+func (p *Pool) run(lanes int, body func()) {
+	if lanes > p.width {
+		lanes = p.width
+	}
+	if lanes <= 1 || p.tasks == nil {
+		body()
+		return
+	}
+	j := newJoin()
+	for i := 1; i < lanes; i++ {
+		if !p.fork(j, body) {
+			break // saturated: remaining lanes fold into the caller's
+		}
+	}
+	body()
+	p.wait(j)
+}
+
+// maxChunks is the ceiling on chunk counts used by the chunked primitives
+// (loops, scans, reductions): enough slack for load balancing without
+// losing the near-sequential constant factors.
+func (p *Pool) maxChunks() int {
+	return 4 * p.width
+}
+
+// numChunks picks the chunk count for an n-element chunked primitive.
+func (p *Pool) numChunks(n int) int {
+	chunks := p.maxChunks()
+	if byGrain := (n + Grain - 1) / Grain; chunks > byGrain {
+		chunks = byGrain
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}
+
+// getScratch borrows a []int64 of length n (n <= maxChunks) from the
+// pool's scratch cache; putScratch returns it.
+func (p *Pool) getScratch(n int) (*[]int64, []int64) {
+	sp := p.scratch.Get().(*[]int64)
+	s := *sp
+	if cap(s) < n {
+		s = make([]int64, n)
+		*sp = s
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return sp, s
+}
+
+func (p *Pool) putScratch(sp *[]int64) {
+	p.scratch.Put(sp)
+}

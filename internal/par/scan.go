@@ -3,18 +3,20 @@ package par
 // ExclusiveSum replaces xs with its exclusive prefix sums and returns the
 // total: out[i] = xs[0] + ... + xs[i-1]. It writes into out, which must
 // have len(xs); xs and out may alias.
-func ExclusiveSum(xs, out []int64) int64 {
+func (p *Pool) ExclusiveSum(xs, out []int64) int64 {
+	p = p.get()
 	n := len(xs)
 	if n == 0 {
 		return 0
 	}
-	if n <= 4*Grain || Workers() == 1 {
+	if n <= 4*Grain || p.width == 1 {
 		return seqExclusive(xs, out)
 	}
-	chunks := numChunks(n)
+	chunks := p.numChunks(n)
 	size := (n + chunks - 1) / chunks
-	sums := make([]int64, chunks)
-	ForChunk(chunks, 1, func(clo, chi int) {
+	sp, sums := p.getScratch(chunks)
+	defer p.putScratch(sp)
+	p.ForChunk(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			lo, hi := c*size, (c+1)*size
 			if hi > n {
@@ -33,7 +35,7 @@ func ExclusiveSum(xs, out []int64) int64 {
 		sums[c] = total
 		total += s
 	}
-	ForChunk(chunks, 1, func(clo, chi int) {
+	p.ForChunk(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			lo, hi := c*size, (c+1)*size
 			if hi > n {
@@ -52,12 +54,13 @@ func ExclusiveSum(xs, out []int64) int64 {
 
 // InclusiveSum writes out[i] = xs[0] + ... + xs[i] and returns the total.
 // xs and out may alias.
-func InclusiveSum(xs, out []int64) int64 {
+func (p *Pool) InclusiveSum(xs, out []int64) int64 {
+	p = p.get()
 	n := len(xs)
 	if n == 0 {
 		return 0
 	}
-	if n <= 4*Grain || Workers() == 1 {
+	if n <= 4*Grain || p.width == 1 {
 		var acc int64
 		for i, x := range xs {
 			acc += x
@@ -65,10 +68,11 @@ func InclusiveSum(xs, out []int64) int64 {
 		}
 		return acc
 	}
-	chunks := numChunks(n)
+	chunks := p.numChunks(n)
 	size := (n + chunks - 1) / chunks
-	sums := make([]int64, chunks)
-	ForChunk(chunks, 1, func(clo, chi int) {
+	sp, sums := p.getScratch(chunks)
+	defer p.putScratch(sp)
+	p.ForChunk(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			lo, hi := c*size, (c+1)*size
 			if hi > n {
@@ -87,7 +91,7 @@ func InclusiveSum(xs, out []int64) int64 {
 		sums[c] = total
 		total += s
 	}
-	ForChunk(chunks, 1, func(clo, chi int) {
+	p.ForChunk(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			lo, hi := c*size, (c+1)*size
 			if hi > n {
@@ -118,12 +122,13 @@ func seqExclusive(xs, out []int64) int64 {
 // present[j], or initial if there is none. It implements the "each ∆-value
 // broadcasts itself to all following queries" step of paper §3.2 as a scan
 // with the "last defined value" semigroup. vals and out may alias.
-func SegmentedBroadcast(present []bool, vals, out []int64, initial int64) {
+func (p *Pool) SegmentedBroadcast(present []bool, vals, out []int64, initial int64) {
+	p = p.get()
 	n := len(present)
 	if n == 0 {
 		return
 	}
-	if n <= 4*Grain || Workers() == 1 {
+	if n <= 4*Grain || p.width == 1 {
 		acc := initial
 		for i := 0; i < n; i++ {
 			if present[i] {
@@ -133,11 +138,14 @@ func SegmentedBroadcast(present []bool, vals, out []int64, initial int64) {
 		}
 		return
 	}
-	chunks := numChunks(n)
+	chunks := p.numChunks(n)
 	size := (n + chunks - 1) / chunks
-	last := make([]int64, chunks)
+	lp, last := p.getScratch(chunks)
+	cp, carry := p.getScratch(chunks)
+	defer p.putScratch(lp)
+	defer p.putScratch(cp)
 	has := make([]bool, chunks)
-	ForChunk(chunks, 1, func(clo, chi int) {
+	p.ForChunk(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			lo, hi := c*size, (c+1)*size
 			if hi > n {
@@ -151,7 +159,6 @@ func SegmentedBroadcast(present []bool, vals, out []int64, initial int64) {
 			}
 		}
 	})
-	carry := make([]int64, chunks)
 	acc, defined := initial, true
 	for c := 0; c < chunks; c++ {
 		if defined {
@@ -163,7 +170,7 @@ func SegmentedBroadcast(present []bool, vals, out []int64, initial int64) {
 			acc, defined = last[c], true
 		}
 	}
-	ForChunk(chunks, 1, func(clo, chi int) {
+	p.ForChunk(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			lo, hi := c*size, (c+1)*size
 			if hi > n {
@@ -178,4 +185,15 @@ func SegmentedBroadcast(present []bool, vals, out []int64, initial int64) {
 			}
 		}
 	})
+}
+
+// ExclusiveSum scans on the default pool.
+func ExclusiveSum(xs, out []int64) int64 { return Default().ExclusiveSum(xs, out) }
+
+// InclusiveSum scans on the default pool.
+func InclusiveSum(xs, out []int64) int64 { return Default().InclusiveSum(xs, out) }
+
+// SegmentedBroadcast broadcasts on the default pool.
+func SegmentedBroadcast(present []bool, vals, out []int64, initial int64) {
+	Default().SegmentedBroadcast(present, vals, out, initial)
 }

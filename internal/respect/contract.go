@@ -20,11 +20,11 @@ type contraction struct {
 
 // contractBoughs removes the bough members from (g, t). It returns nil
 // when the whole remaining tree was a single bough (the recursion ends).
-func contractBoughs(g *graph.Graph, t *tree.Tree, member []bool, paths [][]int32, m *wd.Meter) *contraction {
+func contractBoughs(g *graph.Graph, t *tree.Tree, member []bool, paths [][]int32, pool *par.Pool, m *wd.Meter) *contraction {
 	n := t.N()
 	// target[v]: the surviving vertex absorbing v.
 	target := make([]int32, n)
-	par.For(n, func(v int) { target[v] = int32(v) })
+	pool.For(n, func(v int) { target[v] = int32(v) })
 	for _, p := range paths {
 		top := p[0]
 		parent := t.Parent[top]
@@ -39,15 +39,15 @@ func contractBoughs(g *graph.Graph, t *tree.Tree, member []bool, paths [][]int32
 	m.Add(int64(n), 1)
 	// Compact ids for survivors.
 	keep := make([]int64, n+1)
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		if !member[v] {
 			keep[v+1] = 1
 		}
 	})
-	total := par.InclusiveSum(keep, keep)
+	total := pool.InclusiveSum(keep, keep)
 	newN := int(total)
 	toNew := make([]int32, n)
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		if member[v] {
 			toNew[v] = -1
 		} else {
@@ -55,7 +55,7 @@ func contractBoughs(g *graph.Graph, t *tree.Tree, member []bool, paths [][]int32
 		}
 	})
 	// Route bough members through their absorbing survivor.
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		if member[v] {
 			toNew[v] = toNew[target[v]]
 		}
@@ -63,7 +63,7 @@ func contractBoughs(g *graph.Graph, t *tree.Tree, member []bool, paths [][]int32
 	m.Add(3*int64(n), 3+wd.CeilLog2(n))
 	// New tree: parents among survivors are unchanged.
 	parent := make([]int32, newN)
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		if member[v] {
 			return
 		}
@@ -74,7 +74,7 @@ func contractBoughs(g *graph.Graph, t *tree.Tree, member []bool, paths [][]int32
 			parent[toNew[v]] = toNew[p]
 		}
 	})
-	nt, err := tree.FromParentParallel(parent, m)
+	nt, err := tree.FromParentParallel(parent, pool, m)
 	if err != nil {
 		panic("respect: contraction produced an invalid tree: " + err.Error())
 	}
@@ -98,7 +98,7 @@ func contractBoughs(g *graph.Graph, t *tree.Tree, member []bool, paths [][]int32
 		}
 		remapped = append(remapped, mapped{key: int64(nu)<<32 | int64(nv), w: e.W})
 	}
-	par.SortStable(remapped, func(a, b mapped) bool { return a.key < b.key })
+	par.SortStableOn(pool, remapped, func(a, b mapped) bool { return a.key < b.key })
 	ng := graph.New(newN)
 	for i := 0; i < len(remapped); {
 		key := remapped[i].key

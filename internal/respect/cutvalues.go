@@ -27,12 +27,12 @@ import (
 //	C(v↓) = Σ_{x∈v↓} S(x) − 2·ρ↓(v),   ρ↓(v) = Σ_{x∈v↓} ρ(x)
 //
 // with S the weighted degree and ρ(x) the weight of edges whose LCA is x.
-func CutValues(g *graph.Graph, t *tree.Tree, l *lca.LCA, m *wd.Meter) (c, rhoDown []int64) {
+func CutValues(g *graph.Graph, t *tree.Tree, l *lca.LCA, pool *par.Pool, m *wd.Meter) (c, rhoDown []int64) {
 	n := t.N()
 	s := make([]int64, n)
 	rho := make([]int64, n)
 	edges := g.Edges()
-	par.ForChunk(len(edges), par.Grain, func(lo, hi int) {
+	pool.ForChunk(len(edges), par.Grain, func(lo, hi int) {
 		for _, e := range edges[lo:hi] {
 			if e.U == e.V {
 				continue
@@ -43,10 +43,10 @@ func CutValues(g *graph.Graph, t *tree.Tree, l *lca.LCA, m *wd.Meter) (c, rhoDow
 		}
 	})
 	m.Add(int64(len(edges)), 1)
-	sDown := t.SubtreeSum(s, m)
-	rhoDown = t.SubtreeSum(rho, m)
+	sDown := t.SubtreeSum(s, pool, m)
+	rhoDown = t.SubtreeSum(rho, pool, m)
 	c = make([]int64, n)
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		c[v] = sDown[v] - 2*rhoDown[v]
 	})
 	m.Add(int64(n), 1)

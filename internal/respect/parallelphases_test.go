@@ -15,11 +15,11 @@ func TestParallelPhasesMatchesSequential(t *testing.T) {
 		n := 8 + int(seed*29)%120
 		g := gen.RandomConnected(n, 3*n, 12, seed)
 		parent := gen.SpanningTreeParent(g, seed+500)
-		seq, err := Scan(g, parent, nil)
+		seq, err := Scan(g, parent, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pp, err := ScanParallelPhases(g, parent, nil)
+		pp, err := ScanParallelPhases(g, parent, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -27,7 +27,7 @@ func TestParallelPhasesMatchesSequential(t *testing.T) {
 			t.Fatalf("seed %d: sequential %d vs parallel-phases %d", seed, seq.Value, pp.Value)
 		}
 		// The witness path must work from either finding.
-		inCut, err := Witness(g, parent, pp, nil)
+		inCut, err := Witness(g, parent, pp, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,10 +44,10 @@ func TestParallelPhasesDepthAdvantage(t *testing.T) {
 	g := gen.RandomConnected(512, 2048, 20, 9)
 	parent := gen.SpanningTreeParent(g, 10)
 	var mSeq, mPar wd.Meter
-	if _, err := Scan(g, parent, &mSeq); err != nil {
+	if _, err := Scan(g, parent, nil, &mSeq); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ScanParallelPhases(g, parent, &mPar); err != nil {
+	if _, err := ScanParallelPhases(g, parent, nil, &mPar); err != nil {
 		t.Fatal(err)
 	}
 	if mPar.Depth() >= mSeq.Depth() {

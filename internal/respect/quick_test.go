@@ -34,7 +34,7 @@ func TestQuickTwoRespectMatchesBruteForce(t *testing.T) {
 		mm := n - 1 + int(q.Deg)*n/2
 		g := gen.RandomConnected(n, mm, 9, q.Seed)
 		parent := gen.SpanningTreeParent(g, q.Seed+1)
-		res, err := TwoRespect(g, parent, true, nil)
+		res, err := TwoRespect(g, parent, true, nil, nil)
 		if err != nil {
 			return false
 		}
@@ -58,7 +58,7 @@ func TestMediumScaleAgainstBruteForce(t *testing.T) {
 	g := gen.RandomConnected(80, 320, 15, 4242)
 	parent := gen.SpanningTreeParent(g, 17)
 	want := bruteForce(nil, g, parent)
-	res, err := TwoRespect(g, parent, true, nil)
+	res, err := TwoRespect(g, parent, true, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

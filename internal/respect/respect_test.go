@@ -114,8 +114,8 @@ func TestCutValuesAgainstNaive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		l := lca.New(tr, nil)
-		c, rhoDown := CutValues(g, tr, l, nil)
+		l := lca.New(tr, nil, nil)
+		c, rhoDown := CutValues(g, tr, l, nil, nil)
 		inCut := make([]bool, n)
 		for v := int32(0); v < int32(n); v++ {
 			for o := int32(0); o < int32(n); o++ {
@@ -161,7 +161,7 @@ func TestFigure2ConstrainedCut(t *testing.T) {
 	if want != 2 { // {1,2} vs rest: edges (0,1) and (2,3)
 		t.Fatalf("brute force says %d, test premise broken", want)
 	}
-	res, err := TwoRespect(g, parent, true, nil)
+	res, err := TwoRespect(g, parent, true, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestTwoRespectMatchesBruteForceRandom(t *testing.T) {
 		g := gen.RandomConnected(n, mm, 10, seed)
 		parent := spanningParent(t, g, seed+100)
 		want := bruteForce(t, g, parent)
-		res, err := TwoRespect(g, parent, true, nil)
+		res, err := TwoRespect(g, parent, true, nil, nil)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -201,7 +201,7 @@ func TestTwoRespectArbitraryTrees(t *testing.T) {
 		g := gen.RandomConnected(n, 2*n, 8, seed)
 		parent := randomParent(n, seed)
 		want := bruteForce(t, g, parent)
-		res, err := TwoRespect(g, parent, true, nil)
+		res, err := TwoRespect(g, parent, true, nil, nil)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -240,7 +240,7 @@ func TestFigure12IncomparableCase(t *testing.T) {
 	if want != 2 {
 		t.Fatalf("premise: brute=%d", want)
 	}
-	res, err := TwoRespect(g, parent, true, nil)
+	res, err := TwoRespect(g, parent, true, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestFigure15DescendantCase(t *testing.T) {
 	if want != 4 {
 		t.Fatalf("premise: brute=%d", want)
 	}
-	res, err := TwoRespect(g, parent, true, nil)
+	res, err := TwoRespect(g, parent, true, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +318,7 @@ func TestTwoRespectParallelEdgesAndLoops(t *testing.T) {
 	}
 	parent := []int32{tree.None, 0, 1, 2}
 	want := bruteForce(t, g, parent)
-	res, err := TwoRespect(g, parent, true, nil)
+	res, err := TwoRespect(g, parent, true, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestTwoRespectTwoVertices(t *testing.T) {
 	if err := g.AddEdge(0, 1, 3); err != nil {
 		t.Fatal(err)
 	}
-	res, err := TwoRespect(g, []int32{tree.None, 0}, true, nil)
+	res, err := TwoRespect(g, []int32{tree.None, 0}, true, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,11 +347,11 @@ func TestTwoRespectTwoVertices(t *testing.T) {
 func TestScanAndWitnessSplit(t *testing.T) {
 	g := gen.RandomConnected(20, 50, 9, 77)
 	parent := spanningParent(t, g, 78)
-	f, err := Scan(g, parent, nil)
+	f, err := Scan(g, parent, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	inCut, err := Witness(g, parent, f, nil)
+	inCut, err := Witness(g, parent, f, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

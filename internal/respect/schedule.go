@@ -65,7 +65,7 @@ func visitTimes(n int, paths [][]int32) (t1, t2 []int64) {
 // (descendant case, Appendix A) operation batches for one bough phase
 // (Lemma 12). adj is the adjacency of the current graph; paths are the
 // boughs of the current tree.
-func buildSchedules(g *graph.Graph, t *tree.Tree, adj *graph.Adj, paths [][]int32, m *wd.Meter) (passA, passB schedule) {
+func buildSchedules(g *graph.Graph, t *tree.Tree, adj *graph.Adj, paths [][]int32, pool *par.Pool, m *wd.Meter) (passA, passB schedule) {
 	t1, t2 := visitTimes(t.N(), paths)
 	// Upper-bound op counts: per bough vertex y: pass A has deg(y) updates
 	// + deg(y) queries going up, deg(y) undos going down, plus two leaf
@@ -110,19 +110,19 @@ func buildSchedules(g *graph.Graph, t *tree.Tree, adj *graph.Adj, paths [][]int3
 	// Keys are bounded by twice the visit-time range (≤ 4n+2), so a stable
 	// counting sort orders each schedule in linear work.
 	maxKey := int64(4*t.N()) + 2
-	passA = finishSchedule(genA, maxKey, m)
-	passB = finishSchedule(genB, maxKey, m)
+	passA = finishSchedule(genA, maxKey, pool, m)
+	passB = finishSchedule(genB, maxKey, pool, m)
 	return passA, passB
 }
 
 // finishSchedule sorts the generated ops by time (stable counting sort
 // over the bounded key universe) and extracts query tags.
-func finishSchedule(gen []genOp, maxKey int64, m *wd.Meter) schedule {
+func finishSchedule(gen []genOp, maxKey int64, pool *par.Pool, m *wd.Meter) schedule {
 	counts := make([]int64, maxKey+2)
 	for i := range gen {
 		counts[gen[i].key+1]++
 	}
-	par.InclusiveSum(counts, counts)
+	pool.InclusiveSum(counts, counts)
 	s := schedule{ops: make([]minpath.Op, len(gen))}
 	order := make([]int32, len(gen))
 	for i := range gen {

@@ -45,20 +45,20 @@ type Result struct {
 // the spanning tree given by the parent array (rooted anywhere). With
 // wantWitness it also reconstructs the partition. Lemma 13: work
 // O(m log³ n), depth O(log² n) per tree.
-func TwoRespect(g *graph.Graph, parent []int32, wantWitness bool, m *wd.Meter) (Result, error) {
+func TwoRespect(g *graph.Graph, parent []int32, wantWitness bool, pool *par.Pool, m *wd.Meter) (Result, error) {
 	if g.N() < 2 {
 		return Result{}, fmt.Errorf("respect: graph needs at least 2 vertices")
 	}
 	if len(parent) != g.N() {
 		return Result{}, fmt.Errorf("respect: parent array length %d != n %d", len(parent), g.N())
 	}
-	best, prov, err := scan(g, parent, -1, nil, m)
+	best, prov, err := scan(g, parent, -1, nil, pool, m)
 	if err != nil {
 		return Result{}, err
 	}
 	res := Result{Value: best}
 	if wantWitness {
-		inCut, err := witness(g, parent, prov, m)
+		inCut, err := witness(g, parent, prov, pool, m)
 		if err != nil {
 			return Result{}, err
 		}
@@ -90,16 +90,16 @@ type phaseJob struct {
 }
 
 // run executes the phase's batches and records the phase-local minimum.
-func (j *phaseJob) run(m *wd.Meter) {
-	structure := minpath.New(j.t, m)
+func (j *phaseJob) run(pool *par.Pool, m *wd.Meter) {
+	structure := minpath.New(j.t, pool, m)
 	j.best = maxValue
-	resA := structure.RunBatch(j.c, j.passA.ops, m)
+	resA := structure.RunBatch(j.c, j.passA.ops, pool, m)
 	for _, tag := range j.passA.tags {
 		if v := resA[tag.opIdx] + j.c[tag.y]; v < j.best {
 			j.best, j.prov = v, provenance{phase: j.phase, kind: kindPair, y: tag.y, z: tag.z}
 		}
 	}
-	resB := structure.RunBatch(j.c, j.passB.ops, m)
+	resB := structure.RunBatch(j.c, j.passB.ops, pool, m)
 	for _, tag := range j.passB.tags {
 		if v := resB[tag.opIdx] - 4*j.rho[tag.y] - j.c[tag.y]; v < j.best {
 			j.best, j.prov = v, provenance{phase: j.phase, kind: kindDiff, y: tag.y, z: tag.z}
@@ -115,18 +115,18 @@ func (j *phaseJob) run(m *wd.Meter) {
 // §4.3 step 3-4 schedule — at O(m log n) memory. If stopAtPhase >= 0,
 // scan instead stops before executing batches of that phase and stores
 // the phase state in *out (witness rebuild mode).
-func scan(g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, m *wd.Meter) (int64, provenance, error) {
-	return scanMode(context.Background(), g, parent, stopAtPhase, out, false, m)
+func scan(g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, pool *par.Pool, m *wd.Meter) (int64, provenance, error) {
+	return scanMode(context.Background(), g, parent, stopAtPhase, out, false, pool, m)
 }
 
-func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, parallelPhases bool, m *wd.Meter) (int64, provenance, error) {
-	t, err := tree.FromParentParallel(parent, m)
+func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, parallelPhases bool, pool *par.Pool, m *wd.Meter) (int64, provenance, error) {
+	t, err := tree.FromParentParallel(parent, pool, m)
 	if err != nil {
 		return 0, provenance{}, fmt.Errorf("respect: invalid spanning tree: %v", err)
 	}
 	curG, curT := g, t
 	origOf := make([]int32, g.N())
-	par.For(g.N(), func(i int) { origOf[i] = int32(i) })
+	pool.For(g.N(), func(i int) { origOf[i] = int32(i) })
 	best := maxValue
 	var prov provenance
 	var deferred []*phaseJob
@@ -140,9 +140,9 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 		if phase > int(wd.CeilLog2(g.N()))+2 {
 			return 0, provenance{}, fmt.Errorf("respect: phase bound exceeded")
 		}
-		l := lca.New(curT, m)
-		c, rho := CutValues(curG, curT, l, m)
-		paths, member := decomp.Boughs(curT, m)
+		l := lca.New(curT, pool, m)
+		c, rho := CutValues(curG, curT, l, pool, m)
+		paths, member := decomp.Boughs(curT, pool, m)
 		if stopAtPhase == phase {
 			*out = phaseView{g: curG, t: curT, c: c, rho: rho, paths: paths, member: member, origOf: origOf}
 			return best, prov, nil
@@ -152,31 +152,31 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 			best, prov = v1, provenance{phase: phase, kind: kindOne, y: arg}
 		}
 		// 2-respecting candidates via the Minimum Path batches.
-		adj := curG.BuildAdj()
-		passA, passB := buildSchedules(curG, curT, adj, paths, m)
+		adj := curG.BuildAdjOn(pool)
+		passA, passB := buildSchedules(curG, curT, adj, paths, pool, m)
 		job := &phaseJob{phase: phase, t: curT, c: c, rho: rho, passA: passA, passB: passB}
 		if parallelPhases {
 			deferred = append(deferred, job)
 		} else {
-			job.run(m)
+			job.run(pool, m)
 			if job.best < best {
 				best, prov = job.best, job.prov
 			}
 		}
 		// Contract the boughs and recurse.
-		ctr := contractBoughs(curG, curT, member, paths, m)
+		ctr := contractBoughs(curG, curT, member, paths, pool, m)
 		if ctr == nil {
 			break
 		}
 		next := make([]int32, len(origOf))
-		par.For(len(origOf), func(i int) { next[i] = ctr.toNew[origOf[i]] })
+		pool.For(len(origOf), func(i int) { next[i] = ctr.toNew[origOf[i]] })
 		m.Add(int64(len(origOf)), 1)
 		origOf = next
 		curG, curT = ctr.g, ctr.t
 	}
 	if parallelPhases && len(deferred) > 0 {
 		locals := make([]*wd.Meter, len(deferred))
-		par.ForGrain(len(deferred), 1, func(i int) {
+		pool.ForGrain(len(deferred), 1, func(i int) {
 			// The deferred batches are where this mode spends its work, so
 			// cancellation must be honored here too, not just while the
 			// contraction chain was being built.
@@ -184,7 +184,7 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 				return
 			}
 			locals[i] = new(wd.Meter)
-			deferred[i].run(locals[i])
+			deferred[i].run(pool, locals[i])
 		})
 		if err := ctx.Err(); err != nil {
 			return 0, provenance{}, fmt.Errorf("respect: scan canceled: %w", err)
@@ -204,17 +204,17 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 
 // ScanParallelPhases is Scan with the paper-faithful concurrent phase
 // execution (§4.3): lower depth, O(m log n) memory.
-func ScanParallelPhases(g *graph.Graph, parent []int32, m *wd.Meter) (Finding, error) {
-	return ScanParallelPhasesContext(context.Background(), g, parent, m)
+func ScanParallelPhases(g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter) (Finding, error) {
+	return ScanParallelPhasesContext(context.Background(), g, parent, pool, m)
 }
 
 // ScanContext is Scan with cooperative cancellation: ctx is checked between
 // bough phases, so cancellation latency is bounded by a single phase.
-func ScanContext(ctx context.Context, g *graph.Graph, parent []int32, m *wd.Meter) (Finding, error) {
+func ScanContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter) (Finding, error) {
 	if g.N() < 2 {
 		return Finding{}, fmt.Errorf("respect: graph needs at least 2 vertices")
 	}
-	v, p, err := scanMode(ctx, g, parent, -1, nil, false, m)
+	v, p, err := scanMode(ctx, g, parent, -1, nil, false, pool, m)
 	if err != nil {
 		return Finding{}, err
 	}
@@ -223,11 +223,11 @@ func ScanContext(ctx context.Context, g *graph.Graph, parent []int32, m *wd.Mete
 
 // ScanParallelPhasesContext is ScanParallelPhases with cooperative
 // cancellation between bough phases.
-func ScanParallelPhasesContext(ctx context.Context, g *graph.Graph, parent []int32, m *wd.Meter) (Finding, error) {
+func ScanParallelPhasesContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter) (Finding, error) {
 	if g.N() < 2 {
 		return Finding{}, fmt.Errorf("respect: graph needs at least 2 vertices")
 	}
-	v, p, err := scanMode(ctx, g, parent, -1, nil, true, m)
+	v, p, err := scanMode(ctx, g, parent, -1, nil, true, pool, m)
 	if err != nil {
 		return Finding{}, err
 	}

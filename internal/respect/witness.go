@@ -20,54 +20,54 @@ type Finding struct {
 // Scan returns the smallest at-most-2-respecting cut value and enough
 // provenance to reconstruct the partition later (so callers can scan many
 // trees and extract a witness only for the winner).
-func Scan(g *graph.Graph, parent []int32, m *wd.Meter) (Finding, error) {
-	return ScanContext(context.Background(), g, parent, m)
+func Scan(g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter) (Finding, error) {
+	return ScanContext(context.Background(), g, parent, pool, m)
 }
 
 // Witness reconstructs one side of the cut found by Scan over the original
 // vertices. It re-runs the (deterministic) phase recursion up to the
 // winning phase, then recomputes the winning query's view directly along
 // one root path.
-func Witness(g *graph.Graph, parent []int32, f Finding, m *wd.Meter) ([]bool, error) {
-	inCut, err := witness(g, parent, f.prov, m)
+func Witness(g *graph.Graph, parent []int32, f Finding, pool *par.Pool, m *wd.Meter) ([]bool, error) {
+	inCut, err := witness(g, parent, f.prov, pool, m)
 	if err != nil {
 		return nil, err
 	}
-	if got := g.CutValue(inCut); got != f.Value {
+	if got := g.CutValueOn(pool, inCut); got != f.Value {
 		return nil, fmt.Errorf("respect: witness value %d does not match scan value %d", got, f.Value)
 	}
 	return inCut, nil
 }
 
-func witness(g *graph.Graph, parent []int32, prov provenance, m *wd.Meter) ([]bool, error) {
+func witness(g *graph.Graph, parent []int32, prov provenance, pool *par.Pool, m *wd.Meter) ([]bool, error) {
 	var pv phaseView
-	if _, _, err := scan(g, parent, prov.phase, &pv, m); err != nil {
+	if _, _, err := scan(g, parent, prov.phase, &pv, pool, m); err != nil {
 		return nil, err
 	}
 	n := g.N()
 	inCut := make([]bool, n)
 	switch prov.kind {
 	case kindOne:
-		par.For(n, func(o int) {
+		pool.For(n, func(o int) {
 			inCut[o] = pv.t.IsAncestor(prov.y, pv.origOf[o])
 		})
 		m.Add(int64(n), 1)
 		return inCut, nil
 	case kindPair, kindDiff:
-		x, err := findPartner(&pv, prov, m)
+		x, err := findPartner(&pv, prov, pool, m)
 		if err != nil {
 			return nil, err
 		}
 		y := prov.y
 		if prov.kind == kindPair {
 			// S = y↓ ∪ x↓ (Figure 12).
-			par.For(n, func(o int) {
+			pool.For(n, func(o int) {
 				cur := pv.origOf[o]
 				inCut[o] = pv.t.IsAncestor(y, cur) || pv.t.IsAncestor(x, cur)
 			})
 		} else {
 			// S = x↓ − y↓ (Figure 15).
-			par.For(n, func(o int) {
+			pool.For(n, func(o int) {
 				cur := pv.origOf[o]
 				inCut[o] = pv.t.IsAncestor(x, cur) && !pv.t.IsAncestor(y, cur)
 			})
@@ -85,7 +85,7 @@ func witness(g *graph.Graph, parent []int32, prov provenance, m *wd.Meter) ([]bo
 // whose other endpoint descends from x — and the chain vertices that are
 // ancestors of such an endpoint b form exactly the suffix of the chain
 // above LCA(target, b).
-func findPartner(pv *phaseView, prov provenance, m *wd.Meter) (int32, error) {
+func findPartner(pv *phaseView, prov provenance, pool *par.Pool, m *wd.Meter) (int32, error) {
 	t := pv.t
 	// Locate y's bough; the processed set at y's up-visit is the bough
 	// suffix from y down to the leaf.
@@ -114,8 +114,8 @@ func findPartner(pv *phaseView, prov provenance, m *wd.Meter) (int32, error) {
 	if prov.kind == kindDiff {
 		sign = 2
 	}
-	l := lca.New(t, m)
-	adj := pv.g.BuildAdj()
+	l := lca.New(t, pool, m)
+	adj := pv.g.BuildAdjOn(pool)
 	for _, a := range processed {
 		for i := adj.Off[a]; i < adj.Off[a+1]; i++ {
 			b, w := adj.Nbr[i], adj.W[i]

@@ -453,6 +453,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("mincutd_jobs_running", "Jobs currently on a worker.", int64(m.Running))
 	gauge("mincutd_jobs_running_peak", "High-water mark of jobs concurrently on workers.", int64(m.PeakRunning))
 	gauge("mincutd_workers", "Worker pool size.", int64(m.Workers))
+	gauge("mincutd_solve_pool_width", "Executor width each solver worker owns (workers x width caps total solver parallelism).", int64(m.PoolWidth))
 	fmt.Fprintf(&b, "# HELP mincutd_solve_seconds Wall time of successful solver runs.\n# TYPE mincutd_solve_seconds histogram\n")
 	for _, bk := range m.LatencyBuckets {
 		fmt.Fprintf(&b, "mincutd_solve_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", bk.UpperBound), bk.Count)

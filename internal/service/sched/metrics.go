@@ -68,8 +68,10 @@ type Metrics struct {
 	LatencyBuckets         []LatencyBucket
 	// QueueDepth and Running are current gauges (fan-out parents, which
 	// never occupy a worker, count in neither); PeakRunning is Running's
-	// high-water mark; Workers is the pool size.
-	QueueDepth, Running, PeakRunning, Workers int
+	// high-water mark; Workers is the pool size; PoolWidth is the
+	// executor width each worker owns (Workers × PoolWidth caps the
+	// solver's total parallelism).
+	QueueDepth, Running, PeakRunning, Workers, PoolWidth int
 }
 
 func (c *counters) snapshot() Metrics {

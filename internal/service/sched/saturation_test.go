@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	parcut "repro"
+)
+
+// saturationGraph builds a solve-heavy-enough graph for load tests.
+func saturationGraph(seed int64) *parcut.Graph {
+	return parcut.RandomGraph(150, 600, 40, seed)
+}
+
+// TestNoOversubscription pins the headline claim of the pool refactor:
+// with W workers each owning a ⌈P/W⌉-wide executor, a fully loaded
+// scheduler holds a fixed, small goroutine budget — not the
+// workers × GOMAXPROCS (and transiently far worse) fan-out of per-call
+// spawning. The bound checked is structural: pools cannot spawn beyond
+// their width, so the ceiling holds at any sampling moment.
+func TestNoOversubscription(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	const workers = 4
+	s := New(Config{Workers: workers})
+	width := s.Metrics().PoolWidth
+	if want := (runtime.GOMAXPROCS(0) + workers - 1) / workers; width != want {
+		t.Fatalf("PoolWidth = %d, want ceil(P/workers) = %d", width, want)
+	}
+
+	const jobs = 12
+	var wg sync.WaitGroup
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := int64(runtime.NumGoroutine())
+			for {
+				old := peak.Load()
+				if g <= old || peak.CompareAndSwap(old, g) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < jobs; i++ {
+		key := Key{GraphID: fmt.Sprintf("g%d", i), Opt: SolveOptions{Seed: int64(i)}}
+		j, _, err := s.Submit(key, saturationGraph(int64(i)), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(j *Job) {
+			defer wg.Done()
+			if _, err := s.Wait(context.Background(), j); err != nil {
+				t.Error(err)
+			}
+		}(j)
+	}
+	wg.Wait()
+	close(stop)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Budget: the scheduler's own goroutines (workers + per-job waiters
+	// in this test + sampler) plus each worker's pool lanes (width-1
+	// persistent workers). Per-call spawning would blow through this on
+	// any multi-core box: each solve alone used to start GOMAXPROCS
+	// goroutines per primitive invocation, with nesting multiplying that.
+	budget := int64(base + jobs + 2*workers + workers*(width-1) + 8)
+	if got := peak.Load(); got > budget {
+		t.Fatalf("peak goroutines %d exceeded pooled budget %d (base %d, workers %d, width %d)",
+			got, budget, base, workers, width)
+	}
+}
+
+// TestSolveParallelismConfig: an explicit width is honored and surfaced.
+func TestSolveParallelismConfig(t *testing.T) {
+	s := New(Config{Workers: 2, SolveParallelism: 3})
+	defer s.Shutdown(context.Background())
+	if got := s.Metrics().PoolWidth; got != 3 {
+		t.Fatalf("PoolWidth = %d, want 3", got)
+	}
+	// Results on a partitioned scheduler match a plain sequential solve.
+	g := saturationGraph(99)
+	j, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 4, WantPartition: true}}, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Wait(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := parcut.MinCut(g, parcut.Options{Seed: 4, WantPartition: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value || got.TreesScanned != want.TreesScanned {
+		t.Fatalf("partitioned scheduler result %+v != sequential %+v", got, want)
+	}
+}
+
+// BenchmarkSaturation measures scheduler throughput with N concurrent
+// solves on partitioned executors — the load shape mincutd sees. Run with
+// -benchtime to taste; the per-op metric is one full solve.
+func BenchmarkSaturation(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	s := New(Config{Workers: workers, History: 4})
+	defer s.Shutdown(context.Background())
+	// Distinct seeds defeat the result cache so every op is a real solve.
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			key := Key{GraphID: fmt.Sprintf("bench%d", i), Opt: SolveOptions{Seed: i}}
+			j, _, err := s.Submit(key, saturationGraph(7), false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Wait(context.Background(), j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSolveSequentialReference is the seed-equivalent baseline: one
+// solve at a time, full-machine executor. Saturated pooled throughput
+// (BenchmarkSaturation ops/s x concurrency) should meet or beat it.
+func BenchmarkSolveSequentialReference(b *testing.B) {
+	g := saturationGraph(7)
+	for i := 0; i < b.N; i++ {
+		if _, err := parcut.MinCut(g, parcut.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,12 @@
 // solved first, every job carries a context so callers can cancel or
 // time out, and Shutdown drains in-flight work before returning.
 //
+// The machine's cores are partitioned across the pool: each worker owns a
+// long-lived parcut.Executor of width Config.SolveParallelism (default
+// ⌈GOMAXPROCS/Workers⌉) that all its solves run on, so a saturated
+// scheduler uses exactly Workers × SolveParallelism lanes instead of
+// oversubscribing the box. Executor width never affects results.
+//
 // Boosted solves fan out: a Boost=k request is decomposed into up to
 // MaxFanout sub-jobs covering disjoint run ranges (parcut.BoostSeed makes
 // the chunking exact), scheduled across the pool like any other job and
@@ -21,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -159,6 +166,13 @@ type Config struct {
 	// max(2*Workers, 8); 1 disables fan-out, running the boost loop
 	// sequentially inside one worker.
 	MaxFanout int
+	// SolveParallelism is the executor width each solver worker owns:
+	// the machine's cores are partitioned across the pool instead of
+	// oversubscribed (the pre-pool behavior was Workers × GOMAXPROCS
+	// goroutines at full load). 0 means ⌈GOMAXPROCS/Workers⌉, so the
+	// whole machine is saturated — never exceeded — when every worker is
+	// busy. Solver results are identical at every width.
+	SolveParallelism int
 }
 
 // Scheduler owns the worker pool, the priority queue, and the result
@@ -168,6 +182,7 @@ type Scheduler struct {
 	history      int
 	historyBytes int64
 	maxFanout    int
+	solveWidth   int // executor width per solver worker
 
 	baseCtx    context.Context
 	cancelBase context.CancelCauseFunc
@@ -205,12 +220,17 @@ func New(cfg Config) *Scheduler {
 			cfg.MaxFanout = 8
 		}
 	}
+	if cfg.SolveParallelism < 1 {
+		p := runtime.GOMAXPROCS(0)
+		cfg.SolveParallelism = (p + cfg.Workers - 1) / cfg.Workers
+	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Scheduler{
 		workers:      cfg.Workers,
 		history:      cfg.History,
 		historyBytes: cfg.HistoryBytes,
 		maxFanout:    cfg.MaxFanout,
+		solveWidth:   cfg.SolveParallelism,
 		baseCtx:      ctx,
 		cancelBase:   cancel,
 		byID:         make(map[string]*Job),
@@ -546,6 +566,7 @@ func (s *Scheduler) Metrics() Metrics {
 	m.PeakRunning = s.peakRun
 	s.mu.Unlock()
 	m.Workers = s.workers
+	m.PoolWidth = s.solveWidth
 	return m
 }
 
@@ -575,9 +596,16 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker pops jobs in priority order until the scheduler drains.
+// worker pops jobs in priority order until the scheduler drains. Each
+// worker owns a solveWidth-wide executor for the whole of its life, so the
+// workers together hold a fixed partition of the machine's cores: no
+// per-solve goroutine churn, and at full load exactly
+// workers × solveWidth lanes are live instead of the unbounded
+// workers × GOMAXPROCS oversubscription of per-call spawning.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
+	exec := parcut.NewExecutor(s.solveWidth)
+	defer exec.Close()
 	for {
 		s.mu.Lock()
 		for s.queue.Len() == 0 && !s.draining {
@@ -594,19 +622,22 @@ func (s *Scheduler) worker() {
 			s.peakRun = s.running
 		}
 		s.mu.Unlock()
-		s.run(j)
+		s.run(j, exec)
 	}
 }
 
-// run executes one job and publishes its terminal state.
-func (s *Scheduler) run(j *Job) {
+// run executes one job on the worker's executor and publishes its terminal
+// state.
+func (s *Scheduler) run(j *Job, exec *parcut.Executor) {
 	var (
 		res parcut.Result
 		err error
 	)
 	if err = j.ctx.Err(); err == nil {
+		opt := j.key.Opt.parcut()
+		opt.Executor = exec
 		start := time.Now()
-		res, err = parcut.MinCutContext(j.ctx, j.g, j.key.Opt.parcut())
+		res, err = parcut.MinCutContext(j.ctx, j.g, opt)
 		if err == nil {
 			s.m.observeSolve(time.Since(start))
 		}

@@ -28,7 +28,7 @@ func TestQuickParallelEqualsSequential(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		par, err := FromParentParallel(parent, nil)
+		par, err := FromParentParallel(parent, nil, nil)
 		if err != nil {
 			return false
 		}

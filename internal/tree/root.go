@@ -13,7 +13,7 @@ import (
 // the bidirected tree and list-ranks it: for each edge, the direction
 // traversed first is the parent-to-child direction. Work O(n log n), depth
 // O(log n).
-func RootEdgeList(n int, edges [][2]int32, root int32, m *wd.Meter) ([]int32, error) {
+func RootEdgeList(n int, edges [][2]int32, root int32, pool *par.Pool, m *wd.Meter) ([]int32, error) {
 	if len(edges) != n-1 {
 		return nil, fmt.Errorf("tree: spanning tree needs %d edges, got %d", n-1, len(edges))
 	}
@@ -34,7 +34,7 @@ func RootEdgeList(n int, edges [][2]int32, root int32, m *wd.Meter) ([]int32, er
 		counts[e[0]+1]++
 		counts[e[1]+1]++
 	}
-	par.InclusiveSum(counts, counts)
+	pool.InclusiveSum(counts, counts)
 	off := make([]int32, n+1)
 	for i := range off {
 		off[i] = int32(counts[i])
@@ -64,7 +64,7 @@ func RootEdgeList(n int, edges [][2]int32, root int32, m *wd.Meter) ([]int32, er
 		}
 		return e[0]
 	}
-	par.For(total, func(ai int) {
+	pool.For(total, func(ai int) {
 		arc := int32(ai)
 		v := head(arc)
 		twin := arc ^ 1
@@ -78,19 +78,19 @@ func RootEdgeList(n int, edges [][2]int32, root int32, m *wd.Meter) ([]int32, er
 	m.Add(int64(total), 1)
 	start := arcs[off[root]]
 	// Find the arc whose successor is start and cut the circuit there.
-	par.For(total, func(ai int) {
+	pool.For(total, func(ai int) {
 		if succ[ai] == start {
 			succ[ai] = listrank.Nil
 		}
 	})
 	m.Add(int64(total), 1)
-	rank := listrank.Rank(succ, m)
+	rank := listrank.Rank(succ, pool, m)
 	if int(rank[start]) != total-1 {
 		return nil, fmt.Errorf("tree: edges do not form a spanning tree (tour covers %d of %d arcs)", rank[start]+1, total)
 	}
 	// For each edge, the endpoint entered by the earlier-ranked arc is the
 	// child of the other. rank counts arcs after, so earlier = larger rank.
-	par.For(n-1, func(i int) {
+	pool.For(n-1, func(i int) {
 		a, b := int32(2*i), int32(2*i+1)
 		if rank[a] > rank[b] {
 			parent[head(a)] = head(b)

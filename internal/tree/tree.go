@@ -51,7 +51,7 @@ func (t *Tree) IsAncestor(u, v int32) bool {
 // increasing vertex order. Sequential construction; see FromParentParallel
 // for the Euler-tour construction.
 func FromParent(parent []int32) (*Tree, error) {
-	t, err := skeletonFromParent(parent)
+	t, err := skeletonFromParent(parent, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +97,7 @@ func FromParent(parent []int32) (*Tree, error) {
 }
 
 // skeletonFromParent validates the parent array and builds the children CSR.
-func skeletonFromParent(parent []int32) (*Tree, error) {
+func skeletonFromParent(parent []int32, pool *par.Pool) (*Tree, error) {
 	n := len(parent)
 	if n == 0 {
 		return nil, fmt.Errorf("tree: empty parent array")
@@ -123,7 +123,7 @@ func skeletonFromParent(parent []int32) (*Tree, error) {
 	if root == None {
 		return nil, fmt.Errorf("tree: no root")
 	}
-	par.InclusiveSum(counts, counts)
+	pool.InclusiveSum(counts, counts)
 	off := make([]int32, n+1)
 	for i := range off {
 		off[i] = int32(counts[i])
@@ -147,8 +147,8 @@ func skeletonFromParent(parent []int32) (*Tree, error) {
 // depths, preorder numbers, and subtree intervals with an Euler tour and
 // list ranking (work O(n log n), depth O(log n) with the pointer-jumping
 // ranker).
-func FromParentParallel(parent []int32, m *wd.Meter) (*Tree, error) {
-	t, err := skeletonFromParent(parent)
+func FromParentParallel(parent []int32, pool *par.Pool, m *wd.Meter) (*Tree, error) {
+	t, err := skeletonFromParent(parent, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +164,7 @@ func FromParentParallel(parent []int32, m *wd.Meter) (*Tree, error) {
 	}
 	// childPos[c] = index of c within its parent's child list.
 	childPos := make([]int32, n)
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		for j := t.ChildOff[v]; j < t.ChildOff[v+1]; j++ {
 			childPos[t.Child[j]] = j - t.ChildOff[v]
 		}
@@ -173,7 +173,7 @@ func FromParentParallel(parent []int32, m *wd.Meter) (*Tree, error) {
 	// Arcs: down(c) = 2c (parent(c) -> c), up(c) = 2c+1 (c -> parent(c))
 	// for every non-root c. Root slots stay unused (successor Nil).
 	succ := make([]int32, 2*n)
-	par.For(n, func(vi int) {
+	pool.For(n, func(vi int) {
 		v := int32(vi)
 		succ[2*v] = listrank.Nil
 		succ[2*v+1] = listrank.Nil
@@ -195,12 +195,12 @@ func FromParentParallel(parent []int32, m *wd.Meter) (*Tree, error) {
 		}
 	})
 	m.Add(int64(n), 1)
-	rank := listrank.Rank(succ, m)
+	rank := listrank.Rank(succ, pool, m)
 	total := 2 * (n - 1) // arcs in the tour
 	// Scatter arcs into tour order; +1 for a down arc, -1 for an up arc.
 	kind := make([]int64, total)
 	arcAt := make([]int32, total)
-	par.For(n, func(vi int) {
+	pool.For(n, func(vi int) {
 		v := int32(vi)
 		if v == t.Root {
 			return
@@ -217,16 +217,16 @@ func FromParentParallel(parent []int32, m *wd.Meter) (*Tree, error) {
 	// depth after executing arc i.
 	downCount := make([]int64, total)
 	depthSum := make([]int64, total)
-	par.For(total, func(i int) {
+	pool.For(total, func(i int) {
 		if kind[i] > 0 {
 			downCount[i] = 1
 		}
 		depthSum[i] = kind[i]
 	})
-	par.InclusiveSum(downCount, downCount)
-	par.InclusiveSum(depthSum, depthSum)
+	pool.InclusiveSum(downCount, downCount)
+	pool.InclusiveSum(depthSum, depthSum)
 	m.Add(int64(total)*3, 3*wd.CeilLog2(total))
-	par.For(total, func(i int) {
+	pool.For(total, func(i int) {
 		arc := arcAt[i]
 		v := arc / 2
 		if arc%2 == 0 { // down arc: first visit of v
@@ -240,7 +240,7 @@ func FromParentParallel(parent []int32, m *wd.Meter) (*Tree, error) {
 	t.In[t.Root] = 0
 	t.Out[t.Root] = int32(n)
 	t.Depth[t.Root] = 0
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		t.Pre[t.In[v]] = int32(v)
 	})
 	m.Add(int64(n), 1)
@@ -249,15 +249,15 @@ func FromParentParallel(parent []int32, m *wd.Meter) (*Tree, error) {
 
 // SubtreeSum returns, for every vertex v, the sum of x over the subtree of
 // v, computed with preorder prefix sums (work O(n), depth O(log n)).
-func (t *Tree) SubtreeSum(x []int64, m *wd.Meter) []int64 {
+func (t *Tree) SubtreeSum(x []int64, pool *par.Pool, m *wd.Meter) []int64 {
 	n := t.N()
 	pre := make([]int64, n+1)
-	par.For(n, func(i int) {
+	pool.For(n, func(i int) {
 		pre[i+1] = x[t.Pre[i]]
 	})
-	par.InclusiveSum(pre, pre)
+	pool.InclusiveSum(pre, pre)
 	out := make([]int64, n)
-	par.For(n, func(v int) {
+	pool.For(n, func(v int) {
 		out[v] = pre[t.Out[v]] - pre[t.In[v]]
 	})
 	m.Add(3*int64(n), 2+wd.CeilLog2(n))

@@ -97,7 +97,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		var m wd.Meter
-		pp, err := FromParentParallel(parent, &m)
+		pp, err := FromParentParallel(parent, nil, &m)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +119,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 func TestParallelOnPathAndSingle(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 100} {
 		parent := pathParent(n)
-		pp, err := FromParentParallel(parent, nil)
+		pp, err := FromParentParallel(parent, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +135,7 @@ func TestSubtreeSum(t *testing.T) {
 	parent := []int32{None, 0, 0, 1, 1, 2}
 	tr, _ := FromParent(parent)
 	x := []int64{1, 10, 100, 1000, 10000, 100000}
-	got := tr.SubtreeSum(x, nil)
+	got := tr.SubtreeSum(x, nil, nil)
 	want := []int64{111111, 11010, 100100, 1000, 10000, 100000}
 	for v := range want {
 		if got[v] != want[v] {
@@ -157,7 +157,7 @@ func TestSubtreeSumRandomAgainstNaive(t *testing.T) {
 		for i := range x {
 			x[i] = int64(rng.Intn(1000) - 500)
 		}
-		got := tr.SubtreeSum(x, nil)
+		got := tr.SubtreeSum(x, nil, nil)
 		// Naive: accumulate up from every vertex.
 		want := make([]int64, n)
 		for v := 0; v < n; v++ {
@@ -189,7 +189,7 @@ func TestRootEdgeList(t *testing.T) {
 			}
 			edges = append(edges, [2]int32{int32(v), p})
 		}
-		got, err := RootEdgeList(n, edges, root, nil)
+		got, err := RootEdgeList(n, edges, root, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,19 +211,19 @@ func TestRootEdgeList(t *testing.T) {
 func TestRootEdgeListRejectsNonTree(t *testing.T) {
 	// Triangle + isolated vertex: 3 edges on 4 vertices.
 	edges := [][2]int32{{0, 1}, {1, 2}, {2, 0}}
-	if _, err := RootEdgeList(4, edges, 0, nil); err == nil {
+	if _, err := RootEdgeList(4, edges, 0, nil, nil); err == nil {
 		t.Error("cycle accepted by RootEdgeList")
 	}
 	if _, err := RootEdgeListSeq(4, edges, 0); err == nil {
 		t.Error("cycle accepted by RootEdgeListSeq")
 	}
-	if _, err := RootEdgeList(4, edges[:2], 0, nil); err == nil {
+	if _, err := RootEdgeList(4, edges[:2], 0, nil, nil); err == nil {
 		t.Error("wrong edge count accepted")
 	}
 }
 
 func TestRootEdgeListSingleVertex(t *testing.T) {
-	got, err := RootEdgeList(1, nil, 0, nil)
+	got, err := RootEdgeList(1, nil, 0, nil, nil)
 	if err != nil || got[0] != None {
 		t.Fatalf("single vertex: %v %v", got, err)
 	}

@@ -31,8 +31,59 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
+	"repro/internal/par"
 	"repro/internal/wd"
 )
+
+// Executor is a reusable bounded-width parallel execution context: a set
+// of long-lived worker goroutines that every parallel primitive of a solve
+// runs on. Create one per logically independent solver (for example, one
+// per service worker) to make the process's total parallelism explicit —
+// concurrent solves on separate executors use width₁+width₂ CPUs, never
+// more — and reuse it across solves to avoid per-call worker start-up.
+// A nil *Executor is valid and means the shared process-wide default
+// executor (width GOMAXPROCS).
+type Executor struct {
+	pool *par.Pool
+}
+
+// NewExecutor returns an executor of the given width (number of CPU lanes;
+// <= 0 means all cores). Close it when done to release the workers.
+func NewExecutor(width int) *Executor {
+	return &Executor{pool: par.NewPool(width)}
+}
+
+// Width reports the executor's parallelism.
+func (e *Executor) Width() int { return e.unwrap().Width() }
+
+// Close releases the executor's workers. Solves still in flight on the
+// executor complete correctly (they degrade to sequential execution).
+// Close is idempotent; closing the nil (default) executor is a no-op.
+func (e *Executor) Close() {
+	if e != nil {
+		e.pool.Close()
+	}
+}
+
+// unwrap resolves the nil-means-default convention.
+func (e *Executor) unwrap() *par.Pool {
+	if e == nil {
+		return nil
+	}
+	return e.pool
+}
+
+// executionPool resolves the executor a call with these options runs on,
+// and whether the call owns it (and must close it when done).
+func (o Options) executionPool() (pool *par.Pool, owned bool) {
+	if o.Executor != nil {
+		return o.Executor.pool, false
+	}
+	if o.Parallelism > 0 {
+		return par.NewPool(o.Parallelism), true
+	}
+	return nil, false
+}
 
 // Graph is a weighted undirected multigraph on vertices 0..n-1. Parallel
 // edges are allowed; weights must be positive integers; the total weight
@@ -126,6 +177,16 @@ type Options struct {
 	// schedule (§4.3): lower critical-path depth at O(m log n) memory.
 	// The default runs phases back to back in O(m) memory.
 	ParallelPhases bool
+	// Parallelism bounds the number of CPU lanes the solve uses: the call
+	// runs on a dedicated executor of that width, created for the call.
+	// 0 means all cores (the shared process-wide executor). The result is
+	// identical at every parallelism — width is purely a resource knob.
+	Parallelism int
+	// Executor, when non-nil, runs the solve on a caller-owned reusable
+	// executor (see NewExecutor) instead; it takes precedence over
+	// Parallelism. Long-lived callers issuing many solves should prefer
+	// an Executor so workers persist across calls.
+	Executor *Executor
 }
 
 // Result of a minimum cut computation.
@@ -176,6 +237,10 @@ func MinCutContext(ctx context.Context, G *Graph, opt Options) (Result, error) {
 	if opt.CollectStats {
 		m = new(wd.Meter)
 	}
+	pool, owned := opt.executionPool()
+	if owned {
+		defer pool.Close()
+	}
 	runs := opt.Boost
 	if runs < 1 {
 		runs = 1
@@ -189,6 +254,7 @@ func MinCutContext(ctx context.Context, G *Graph, opt Options) (Result, error) {
 			Seed:           BoostSeed(opt.Seed, run),
 			WantPartition:  opt.WantPartition,
 			ParallelPhases: opt.ParallelPhases,
+			Pool:           pool,
 			Meter:          m,
 		})
 		if err != nil {
@@ -217,7 +283,11 @@ func ConstrainedMinCut(G *Graph, parent []int32, opt Options) (Result, error) {
 	if opt.CollectStats {
 		m = new(wd.Meter)
 	}
-	r, err := core.ConstrainedMinCut(G.g, parent, opt.WantPartition, m)
+	pool, owned := opt.executionPool()
+	if owned {
+		defer pool.Close()
+	}
+	r, err := core.ConstrainedMinCut(G.g, parent, opt.WantPartition, pool, m)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,180 @@
+package parcut
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// widthsUnderTest: sequential, even, odd (misaligned chunk boundaries),
+// and the machine's own parallelism.
+func widthsUnderTest() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+// TestMinCutWidthEquivalence is the determinism invariant of the pool
+// refactor: identical seed and input must produce a bit-identical Result
+// at every executor width, including partitions and model stats.
+func TestMinCutWidthEquivalence(t *testing.T) {
+	graphs := []*Graph{
+		RandomGraph(140, 560, 50, 11),
+		RandomGraph(64, 1200, 9, 5),
+	}
+	for gi, g := range graphs {
+		for _, boost := range []int{1, 3} {
+			var ref Result
+			for i, w := range widthsUnderTest() {
+				res, err := MinCut(g, Options{
+					Seed:          42,
+					WantPartition: true,
+					CollectStats:  true,
+					Boost:         boost,
+					Parallelism:   w,
+				})
+				if err != nil {
+					t.Fatalf("graph %d width %d: %v", gi, w, err)
+				}
+				if i == 0 {
+					ref = res
+					continue
+				}
+				if !reflect.DeepEqual(res, ref) {
+					t.Fatalf("graph %d boost %d: width %d result %+v differs from width-1 result %+v",
+						gi, boost, w, res, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestMinCutExecutorMatchesParallelism: a reusable Executor and the
+// per-call Parallelism knob must be observationally identical.
+func TestMinCutExecutorMatchesParallelism(t *testing.T) {
+	g := RandomGraph(150, 600, 30, 3)
+	want, err := MinCut(g, Options{Seed: 9, WantPartition: true, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := NewExecutor(3)
+	defer exec.Close()
+	if exec.Width() != 3 {
+		t.Fatalf("executor width = %d", exec.Width())
+	}
+	for i := 0; i < 3; i++ { // reuse across calls
+		got, err := MinCut(g, Options{Seed: 9, WantPartition: true, Executor: exec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("executor run %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+// TestConstrainedMinCutWidthEquivalence covers the deterministic §4
+// subproblem across widths.
+func TestConstrainedMinCutWidthEquivalence(t *testing.T) {
+	g := RandomGraph(120, 480, 25, 21)
+	// The path tree on vertex order: a valid rooted tree over the vertex
+	// set, which is all the constrained search needs to run.
+	parent := make([]int32, g.N())
+	parent[0] = -1
+	for i := 1; i < g.N(); i++ {
+		parent[i] = int32(i - 1)
+	}
+	var ref Result
+	for i, w := range widthsUnderTest() {
+		res, err := ConstrainedMinCut(g, parent, Options{WantPartition: true, CollectStats: true, Parallelism: w})
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("width %d: %+v != %+v", w, res, ref)
+		}
+	}
+	if got := g.CutValue(ref.InCut); got != ref.Value {
+		t.Fatalf("witness value %d != reported %d", got, ref.Value)
+	}
+}
+
+// TestConcurrentMinCutIndependentExecutors runs many solves at once, each
+// on its own executor, under the race detector: independent pools must
+// not share mutable state, and every solve must match the sequential
+// reference result.
+func TestConcurrentMinCutIndependentExecutors(t *testing.T) {
+	g := RandomGraph(150, 600, 40, 7)
+	want, err := MinCut(g, Options{Seed: 5, WantPartition: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	results := make([]Result, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			exec := NewExecutor(1 + c%3)
+			defer exec.Close()
+			results[c], errs[c] = MinCut(g, Options{Seed: 5, WantPartition: true, Executor: exec})
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		if !reflect.DeepEqual(results[c], want) {
+			t.Fatalf("caller %d diverged: %+v != %+v", c, results[c], want)
+		}
+	}
+}
+
+// TestPathAggregatorWidthEquivalence: the standalone Minimum Path
+// structure returns identical batch results at every parallelism.
+func TestPathAggregatorWidthEquivalence(t *testing.T) {
+	n := 300
+	parent := make([]int32, n)
+	parent[0] = -1
+	for i := 1; i < n; i++ {
+		parent[i] = int32((i - 1) / 3)
+	}
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = int64((i * 37) % 101)
+	}
+	var ops []PathOp
+	for i := 0; i < 4*n; i++ {
+		v := int32((i * 13) % n)
+		if i%2 == 0 {
+			ops = append(ops, AddPath(v, int64(i%19-9)))
+		} else {
+			ops = append(ops, MinPath(v))
+		}
+	}
+	var ref []int64
+	for i, w := range widthsUnderTest() {
+		pa, err := NewPathAggregatorOpts(parent, weights, Options{Parallelism: w})
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		got, err := pa.Run(ops)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		pa.Close()
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("width %d batch results differ", w)
+		}
+	}
+}

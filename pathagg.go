@@ -13,7 +13,7 @@ import (
 // supporting batches of mixed operations
 //
 //	AddPath(v, x): add x to the weight of every vertex on the path v→root
-//	MinPath(v):    the smallest weight on the path v→root
+//	MinPath(v):    the smallest weight on that path
 //
 // executed as if sequential, in O(k·log n·(log n + log k) + n log n) work
 // and poly-logarithmic depth (Lemma 9). Batches commit: updates persist
@@ -22,6 +22,8 @@ type PathAggregator struct {
 	t       *tree.Tree
 	s       *minpath.Structure
 	weights []int64
+	pool    *par.Pool
+	owned   bool // pool was created for this aggregator; Close releases it
 }
 
 // PathOp is one operation in a batch.
@@ -41,18 +43,46 @@ func AddPath(v int32, x int64) PathOp { return PathOp{Vertex: v, X: x} }
 func MinPath(v int32) PathOp { return PathOp{Query: true, Vertex: v} }
 
 // NewPathAggregator builds the structure over the rooted tree described by
-// parent (root marked with -1) with the given initial weights.
+// parent (root marked with -1) with the given initial weights, running on
+// the shared default executor.
 func NewPathAggregator(parent []int32, weights []int64) (*PathAggregator, error) {
+	return NewPathAggregatorOpts(parent, weights, Options{})
+}
+
+// NewPathAggregatorOpts is NewPathAggregator with execution options:
+// opt.Executor pins the aggregator's batches to a caller-owned executor;
+// otherwise opt.Parallelism > 0 gives the aggregator a dedicated executor
+// of that width, released by Close. The remaining Options fields are
+// ignored. Results are identical at every parallelism.
+func NewPathAggregatorOpts(parent []int32, weights []int64, opt Options) (*PathAggregator, error) {
 	if len(parent) != len(weights) {
 		return nil, fmt.Errorf("parcut: %d weights for %d vertices", len(weights), len(parent))
 	}
-	t, err := tree.FromParentParallel(parent, nil)
+	pool, owned := opt.executionPool()
+	t, err := tree.FromParentParallel(parent, pool, nil)
 	if err != nil {
+		if owned {
+			pool.Close()
+		}
 		return nil, fmt.Errorf("parcut: %v", err)
 	}
 	w := make([]int64, len(weights))
 	copy(w, weights)
-	return &PathAggregator{t: t, s: minpath.New(t, nil), weights: w}, nil
+	return &PathAggregator{
+		t:       t,
+		s:       minpath.New(t, pool, nil),
+		weights: w,
+		pool:    pool,
+		owned:   owned,
+	}, nil
+}
+
+// Close releases the aggregator's dedicated executor, if it owns one
+// (Parallelism > 0 without an Executor). It is safe to call always.
+func (p *PathAggregator) Close() {
+	if p.owned {
+		p.pool.Close()
+	}
 }
 
 // N returns the number of tree vertices.
@@ -74,7 +104,7 @@ func (p *PathAggregator) Run(ops []PathOp) ([]int64, error) {
 	for i, op := range ops {
 		inner[i] = minpath.Op{Query: op.Query, Vertex: op.Vertex, X: op.X}
 	}
-	res := p.s.RunBatch(p.weights, inner, nil)
+	res := p.s.RunBatch(p.weights, inner, p.pool, nil)
 	p.commit(ops)
 	return res, nil
 }
@@ -96,8 +126,8 @@ func (p *PathAggregator) commit(ops []PathOp) {
 	if !any {
 		return
 	}
-	sums := p.t.SubtreeSum(perVertex, nil)
-	par.For(n, func(v int) {
+	sums := p.t.SubtreeSum(perVertex, p.pool, nil)
+	p.pool.For(n, func(v int) {
 		p.weights[v] += sums[v]
 	})
 }
