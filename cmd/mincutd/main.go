@@ -2,7 +2,13 @@
 // graph once, solve it many times, concurrently, with caching and
 // cancellation. See internal/service/httpapi for the API surface.
 //
-//	mincutd -addr :8080 -workers 8 -graph-cache-bytes 1073741824
+//	mincutd -addr :8080 -workers 8 -graph-cache-bytes 1073741824 \
+//	        -data-dir /var/lib/mincutd
+//
+// With -data-dir set, uploaded graphs are committed to a crash-safe disk
+// store before the upload returns, and a restart on the same directory
+// recovers them — the in-memory registry becomes a cache over the store.
+// Without it the service is memory-only and a restart starts empty.
 //
 // On SIGTERM or SIGINT the server stops accepting work, finishes in-flight
 // requests and jobs, and exits; jobs still running when -drain-timeout
@@ -26,6 +32,7 @@ import (
 	"repro/internal/service/httpapi"
 	"repro/internal/service/registry"
 	"repro/internal/service/sched"
+	"repro/internal/service/store"
 )
 
 func main() {
@@ -37,27 +44,66 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
 	boostFanout := flag.Int("boost-fanout", 0, "max sub-jobs per boosted solve (0 = max(2*workers, 8), 1 = sequential boost)")
 	solvePar := flag.Int("solve-parallelism", 0, "executor width per solver worker (0 = ceil(GOMAXPROCS/workers), partitioning the machine across workers)")
+	dataDir := flag.String("data-dir", "", "directory for the persistent graph store (empty = memory-only, graphs lost on restart)")
+	maxDiskBytes := flag.Int64("max-disk-bytes", 0, "disk budget for the graph store; uploads are rejected past it (0 = unbounded)")
 	flag.Parse()
-	if err := run(*addr, *workers, *cacheBytes, *drainTimeout, *boostFanout, *solvePar, nil); err != nil {
+	if err := run(config{
+		addr:         *addr,
+		workers:      *workers,
+		cacheBytes:   *cacheBytes,
+		drainTimeout: *drainTimeout,
+		boostFanout:  *boostFanout,
+		solvePar:     *solvePar,
+		dataDir:      *dataDir,
+		maxDiskBytes: *maxDiskBytes,
+	}, nil); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// config carries the flag values into run.
+type config struct {
+	addr         string
+	workers      int
+	cacheBytes   int64
+	drainTimeout time.Duration
+	boostFanout  int
+	solvePar     int
+	dataDir      string
+	maxDiskBytes int64
 }
 
 // run starts the service and blocks until the listener fails or a
 // termination signal completes the drain. If ready is non-nil, the bound
 // address is sent on it once the server accepts connections (used by
 // tests, which listen on port 0).
-func run(addr string, workers int, cacheBytes int64, drainTimeout time.Duration, boostFanout, solvePar int, ready chan<- string) error {
-	reg := registry.New(cacheBytes)
-	sch := sched.New(sched.Config{Workers: workers, MaxFanout: boostFanout, SolveParallelism: solvePar})
-	api := httpapi.New(reg, sch)
+func run(cfg config, ready chan<- string) error {
+	var st *store.Store
+	if cfg.dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: cfg.dataDir, MaxDiskBytes: cfg.maxDiskBytes})
+		if err != nil {
+			return fmt.Errorf("open store: %w", err)
+		}
+		defer st.Close()
+		ss := st.Stats()
+		log.Printf("store %s: recovered %d graphs (%d segments, %d bytes, %d corrupt tails truncated)",
+			cfg.dataDir, ss.Recovered, ss.Segments, ss.Bytes, ss.CorruptTail)
+	}
+	var backend registry.Backend
+	if st != nil {
+		backend = st
+	}
+	reg := registry.New(cfg.cacheBytes, backend)
+	sch := sched.New(sched.Config{Workers: cfg.workers, MaxFanout: cfg.boostFanout, SolveParallelism: cfg.solvePar})
+	api := httpapi.New(reg, sch, st)
 	srv := &http.Server{Handler: api.Handler()}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	log.Printf("listening on %s (%d workers, %d graph cache bytes)", ln.Addr(), workers, cacheBytes)
+	log.Printf("listening on %s (%d workers, %d graph cache bytes)", ln.Addr(), cfg.workers, cfg.cacheBytes)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -73,10 +119,10 @@ func run(addr string, workers int, cacheBytes int64, drainTimeout time.Duration,
 	case err := <-serveErr:
 		return fmt.Errorf("serve: %w", err)
 	case got := <-sig:
-		log.Printf("received %v, draining (timeout %v)", got, drainTimeout)
+		log.Printf("received %v, draining (timeout %v)", got, cfg.drainTimeout)
 	}
 	api.SetDraining()
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	// First finish in-flight HTTP requests (waiters), then in-flight jobs.
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {

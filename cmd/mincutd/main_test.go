@@ -20,7 +20,7 @@ func TestSigtermDrainsInFlightJobs(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", 1, 0, time.Minute, 0, 0, ready)
+		done <- run(config{addr: "127.0.0.1:0", workers: 1, drainTimeout: time.Minute}, ready)
 	}()
 	var base string
 	select {
@@ -86,5 +86,82 @@ func TestSigtermDrainsInFlightJobs(t *testing.T) {
 	// which returns an error. Finally, the listener must really be gone.
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("server still serving after drain")
+	}
+}
+
+// boot starts the real server with the given config and returns its base
+// URL plus a function that SIGTERMs it and waits for a clean drain.
+func boot(t *testing.T, cfg config) (string, func()) {
+	t.Helper()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(cfg, ready) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	return base, func() {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v, want clean drain", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("server did not exit after SIGTERM")
+		}
+	}
+}
+
+// TestRestartServesPersistedGraphs is the end-to-end persistence check:
+// with -data-dir, graphs uploaded to one server instance are served —
+// and solved — by a fresh instance on the same directory, no re-upload.
+func TestRestartServesPersistedGraphs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{addr: "127.0.0.1:0", workers: 1, drainTimeout: time.Minute, dataDir: dir}
+
+	base, stop := boot(t, cfg)
+	var graph strings.Builder
+	fmt.Fprintf(&graph, "p cut 8 8\n")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&graph, "e %d %d %d\n", i, (i+1)%8, 2+i%3)
+	}
+	resp, err := http.Post(base+"/v1/graphs", "text/plain", strings.NewReader(graph.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	stop()
+
+	base, stop = boot(t, cfg)
+	defer stop()
+	resp, err = http.Post(base+"/v1/graphs/"+up.ID+"/mincut", "application/json",
+		bytes.NewReader([]byte(`{"seed": 1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		Status string `json:"status"`
+		Value  *int64 `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || job.Value == nil || *job.Value != 4 {
+		t.Fatalf("solve after restart: status=%d job=%+v, want value 4", resp.StatusCode, job)
 	}
 }

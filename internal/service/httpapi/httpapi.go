@@ -2,7 +2,9 @@
 // graph registry and the job scheduler to a small REST surface:
 //
 //	POST   /v1/graphs                    upload a graph (text format or JSON)
+//	POST   /v1/graphs:batch              upload many graphs in one request
 //	GET    /v1/graphs/{id}               stored graph info
+//	DELETE /v1/graphs/{id}               remove a graph (memory, disk, result cache)
 //	POST   /v1/graphs/{id}/mincut        solve (sync by default, async opt-in)
 //	POST   /v1/graphs/{id}/mincut:batch  solve many seeds in one request
 //	GET    /v1/jobs/{id}                 job status / result
@@ -25,28 +27,34 @@ import (
 	parcut "repro"
 	"repro/internal/service/registry"
 	"repro/internal/service/sched"
+	"repro/internal/service/store"
 )
 
-// maxUploadBytes caps graph upload bodies.
+// maxUploadBytes caps graph upload bodies (single and batch).
 const maxUploadBytes = 256 << 20
 
 // Server holds the service state behind the HTTP handlers.
 type Server struct {
 	reg      *registry.Registry
 	sch      *sched.Scheduler
+	st       *store.Store // nil when running memory-only; metrics only
 	draining atomic.Bool
 }
 
-// New wires a server around the given registry and scheduler.
-func New(reg *registry.Registry, sch *sched.Scheduler) *Server {
-	return &Server{reg: reg, sch: sch}
+// New wires a server around the given registry and scheduler. st is the
+// disk store backing the registry, used for the persistence metrics; nil
+// means the service runs memory-only.
+func New(reg *registry.Registry, sch *sched.Scheduler, st *store.Store) *Server {
+	return &Server{reg: reg, sch: sch, st: st}
 }
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
+	mux.HandleFunc("POST /v1/graphs:batch", s.handleUploadBatch)
 	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphInfo)
+	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /v1/graphs/{id}/mincut", s.handleMinCut)
 	mux.HandleFunc("POST /v1/graphs/{id}/mincut:batch", s.handleMinCutBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -76,6 +84,37 @@ type jsonGraph struct {
 	Edges [][3]int64 `json:"edges"`
 }
 
+// buildJSONGraph validates and assembles the JSON upload form; the single
+// and batch upload paths share it so their validation can never diverge.
+func buildJSONGraph(n int, edges [][3]int64) (*parcut.Graph, error) {
+	// Same vertex-count bounds as the text parser (graph.Read), which
+	// this path bypasses; NewGraph panics on negative n.
+	if n < 0 || n > 1<<30 {
+		return nil, fmt.Errorf("invalid vertex count n=%d", n)
+	}
+	g := parcut.NewGraph(n)
+	for i, e := range edges {
+		if err := g.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			return nil, fmt.Errorf("edge %d: %v", i, err)
+		}
+	}
+	return g, nil
+}
+
+// uploadErrCode classifies a registry Put failure: a full disk is 507, any
+// other backend-store fault is 502, and everything else (parse errors,
+// malformed graphs, oversized-for-cache graphs) is the client's 400.
+func uploadErrCode(err error) int {
+	switch {
+	case errors.Is(err, store.ErrDiskFull):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, registry.ErrStore):
+		return http.StatusBadGateway
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 type graphResponse struct {
 	ID      string `json:"id"`
 	N       int    `json:"n"`
@@ -97,18 +136,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "bad JSON graph: %v", derr)
 			return
 		}
-		// Same vertex-count bounds as the text parser (graph.Read), which
-		// this path bypasses; NewGraph panics on negative n.
-		if jg.N < 0 || jg.N > 1<<30 {
-			writeErr(w, http.StatusBadRequest, "invalid vertex count n=%d", jg.N)
+		g, berr := buildJSONGraph(jg.N, jg.Edges)
+		if berr != nil {
+			writeErr(w, http.StatusBadRequest, "%v", berr)
 			return
-		}
-		g := parcut.NewGraph(jg.N)
-		for i, e := range jg.Edges {
-			if aerr := g.AddEdge(int(e[0]), int(e[1]), e[2]); aerr != nil {
-				writeErr(w, http.StatusBadRequest, "edge %d: %v", i, aerr)
-				return
-			}
 		}
 		info, existed, err = s.reg.PutGraph(g)
 	} else {
@@ -120,7 +151,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, uploadErrCode(err), "%v", err)
 		return
 	}
 	code := http.StatusCreated
@@ -130,14 +161,151 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, graphResponse{ID: info.ID, N: info.N, M: info.M, Bytes: info.Bytes, Existed: existed})
 }
 
+// maxBatchUploadItems caps how many graphs one batch upload may carry.
+const maxBatchUploadItems = 1024
+
+// batchUploadItem is one graph of a batch upload, in either of the
+// single-upload encodings: the JSON form (N + Edges) or the text format
+// (Text). Exactly one must be set.
+type batchUploadItem struct {
+	N     *int       `json:"n,omitempty"`
+	Edges [][3]int64 `json:"edges,omitempty"`
+	Text  string     `json:"text,omitempty"`
+}
+
+// batchUploadRequest is the POST /v1/graphs:batch body.
+type batchUploadRequest struct {
+	Graphs []batchUploadItem `json:"graphs"`
+}
+
+// batchUploadEntry is one element of the batch upload response. Status is
+// "created", "existed" (content-hash dedup, including against graphs
+// already on disk from before a restart), or "failed".
+type batchUploadEntry struct {
+	Index  int    `json:"index"`
+	Status string `json:"status"`
+	ID     string `json:"id,omitempty"`
+	N      int    `json:"n,omitempty"`
+	M      int    `json:"m,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleUploadBatch ingests many graphs in one round trip — the bulk
+// re-ingestion path after a migration or a data-dir loss. Items succeed
+// or fail independently; the response reports per-item status in input
+// order. The HTTP status is 200 as long as the envelope was well-formed.
+func (s *Server) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchUploadRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, code, "bad batch upload body: %v", err)
+		return
+	}
+	if len(req.Graphs) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch needs at least one graph")
+		return
+	}
+	if len(req.Graphs) > maxBatchUploadItems {
+		writeErr(w, http.StatusBadRequest, "batch of %d graphs exceeds the limit of %d", len(req.Graphs), maxBatchUploadItems)
+		return
+	}
+	results := make([]batchUploadEntry, len(req.Graphs))
+	for i, item := range req.Graphs {
+		results[i] = s.ingestBatchItem(i, item)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// ingestBatchItem parses and registers one batch upload item.
+func (s *Server) ingestBatchItem(i int, item batchUploadItem) batchUploadEntry {
+	fail := func(format string, args ...any) batchUploadEntry {
+		return batchUploadEntry{Index: i, Status: "failed", Error: fmt.Sprintf(format, args...)}
+	}
+	var (
+		info    registry.Info
+		existed bool
+		err     error
+	)
+	switch {
+	case item.Text != "" && item.N == nil && item.Edges == nil:
+		info, existed, err = s.reg.Put(strings.NewReader(item.Text))
+	case item.Text == "" && item.N != nil:
+		g, berr := buildJSONGraph(*item.N, item.Edges)
+		if berr != nil {
+			return fail("%v", berr)
+		}
+		info, existed, err = s.reg.PutGraph(g)
+	default:
+		return fail(`graph needs exactly one of "text" or "n"+"edges"`)
+	}
+	if err != nil {
+		return fail("%v", err)
+	}
+	status := "created"
+	if existed {
+		status = "existed"
+	}
+	return batchUploadEntry{Index: i, Status: status, ID: info.ID, N: info.N, M: info.M, Bytes: info.Bytes}
+}
+
+// getGraph fetches a registered graph, writing the HTTP error (404 for
+// unknown ids, 502 for a storage-layer failure such as a corrupt segment)
+// itself when it returns ok=false.
+func (s *Server) getGraph(w http.ResponseWriter, id string) (*parcut.Graph, registry.Info, bool) {
+	g, info, err := s.reg.Get(id)
+	switch {
+	case err == nil:
+		return g, info, true
+	case errors.Is(err, registry.ErrNotFound), errors.Is(err, store.ErrNotFound):
+		// The second sentinel covers a lookup racing a DELETE: the registry
+		// knew the id but the backend's copy vanished before the load.
+		writeErr(w, http.StatusNotFound, "unknown graph %q", id)
+	default:
+		// The graph is known but could not be loaded (disk error, CRC
+		// mismatch): the client's request was fine, the storage is not.
+		writeErr(w, http.StatusBadGateway, "load graph %q: %v", id, err)
+	}
+	return nil, registry.Info{}, false
+}
+
 func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	_, info, ok := s.reg.Get(id)
+	// Lookup, not Get: metadata reads must not fault an evicted graph's
+	// bytes back in from disk (and churn the LRU) just to report counts
+	// the index already holds.
+	info, ok := s.reg.Lookup(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown graph %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, graphResponse{ID: info.ID, N: info.N, M: info.M, Bytes: info.Bytes})
+}
+
+// handleDeleteGraph removes a graph everywhere it lives: the in-memory
+// registry, the disk store, and the scheduler's result cache. The cache
+// purge closes a staleness hole — after a delete, re-uploading the same
+// content recreates the same content-addressed ID, and without the purge
+// those solves would be answered from results cached before the delete.
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ok, err := s.reg.Delete(id)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "delete graph %q: %v", id, err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown graph %q", id)
+		return
+	}
+	invalidated := s.sch.InvalidateGraph(id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": id, "deleted": true, "invalidated_results": invalidated,
+	})
 }
 
 // mincutRequest selects solver options; zero values are valid defaults.
@@ -174,9 +342,8 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	g, _, ok := s.reg.Get(id)
+	g, _, ok := s.getGraph(w, id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown graph %q", id)
 		return
 	}
 	req := mincutRequest{}
@@ -291,9 +458,8 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	g, _, ok := s.reg.Get(id)
+	g, _, ok := s.getGraph(w, id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown graph %q", id)
 		return
 	}
 	var req batchRequest
@@ -461,12 +627,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "mincutd_solve_seconds_bucket{le=\"+Inf\"} %d\n", m.SolveCount)
 	fmt.Fprintf(&b, "mincutd_solve_seconds_sum %g\n", time.Duration(m.SolveNanos).Seconds())
 	fmt.Fprintf(&b, "mincutd_solve_seconds_count %d\n", m.SolveCount)
-	gauge("mincutd_graphs", "Graphs currently registered.", int64(rs.Graphs))
+	gauge("mincutd_graphs", "Graphs currently registered (resident or on disk).", int64(rs.Graphs))
+	gauge("mincutd_graphs_resident", "Graphs whose edges are held in memory.", int64(rs.Resident))
 	gauge("mincutd_graph_bytes", "Edge bytes held by the registry.", rs.Bytes)
 	gauge("mincutd_graph_capacity_bytes", "Registry edge-byte budget (0 = unbounded).", rs.Capacity)
 	counter("mincutd_graphs_evicted_total", "Graphs evicted by the LRU budget.", rs.Evictions)
 	counter("mincutd_graph_dedup_total", "Uploads deduplicated by content hash.", rs.Dedups)
 	counter("mincutd_graph_lookup_hits_total", "Graph lookups that found their graph.", rs.Hits)
 	counter("mincutd_graph_lookup_misses_total", "Graph lookups that missed.", rs.Misses)
+	counter("mincutd_graph_store_loads_total", "Evicted graphs faulted back in from the disk store.", rs.Loads)
+	counter("mincutd_graph_store_load_errors_total", "Disk store loads that failed (I/O or CRC).", rs.LoadErrors)
+	if s.st != nil {
+		ss := s.st.Stats()
+		gauge("mincutd_store_segments", "Segment files in the disk store.", int64(ss.Segments))
+		gauge("mincutd_store_bytes", "Bytes held in segment files.", ss.Bytes)
+		gauge("mincutd_store_live_bytes", "Segment bytes referenced by live graphs.", ss.LiveBytes)
+		gauge("mincutd_store_graphs", "Graphs committed to the disk store.", int64(ss.Graphs))
+		gauge("mincutd_store_max_disk_bytes", "Disk budget (0 = unbounded).", ss.MaxDiskBytes)
+		counter("mincutd_store_recovered_graphs_total", "Graphs recovered from disk at startup.", ss.Recovered)
+		counter("mincutd_store_corrupt_tail_total", "Torn tail writes truncated during startup recovery.", ss.CorruptTail)
+		counter("mincutd_store_puts_total", "Graphs durably committed to disk.", ss.Puts)
+		counter("mincutd_store_deletes_total", "Graphs tombstoned on disk.", ss.Deletes)
+	}
 	_, _ = io.WriteString(w, b.String())
 }

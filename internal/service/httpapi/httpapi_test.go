@@ -17,6 +17,7 @@ import (
 	parcut "repro"
 	"repro/internal/service/registry"
 	"repro/internal/service/sched"
+	"repro/internal/service/store"
 )
 
 type testServer struct {
@@ -27,9 +28,9 @@ type testServer struct {
 
 func newTestServer(t *testing.T, workers int) *testServer {
 	t.Helper()
-	reg := registry.New(0)
+	reg := registry.New(0, nil)
 	sch := sched.New(sched.Config{Workers: workers})
-	api := New(reg, sch)
+	api := New(reg, sch, nil)
 	ts := httptest.NewServer(api.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -524,5 +525,229 @@ func TestMetricsExposeFanoutAndRejections(t *testing.T) {
 	// Submissions: 1 external solve; fan-out children are not submissions.
 	if n := ts.metric(t, "mincutd_jobs_submitted_total"); n != 1 {
 		t.Fatalf("submitted = %d, want 1", n)
+	}
+}
+
+// newStoreServer boots a server whose registry is backed by a disk store
+// in dir, returning both so tests can restart on the same directory.
+func newStoreServer(t *testing.T, dir string, cacheBytes, maxDiskBytes int64) *testServer {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, MaxDiskBytes: maxDiskBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(cacheBytes, st)
+	sch := sched.New(sched.Config{Workers: 2})
+	api := New(reg, sch, st)
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		if err := sch.Shutdown(ctx); err != nil {
+			t.Errorf("scheduler shutdown: %v", err)
+		}
+		st.Close()
+	})
+	return &testServer{Server: ts, api: api, sch: sch}
+}
+
+func TestBatchUpload(t *testing.T) {
+	ts := newTestServer(t, 2)
+	// One text graph, one JSON graph, a duplicate of the first, a bad
+	// edge, and an ambiguous item — each gets its own status.
+	body := `{"graphs": [
+		{"text": "p cut 3 2\ne 0 1 5\ne 1 2 7\n"},
+		{"n": 4, "edges": [[0,1,3],[1,2,1],[2,3,4],[3,0,2]]},
+		{"text": "c dup\np cut 3 2\ne 1 2 7\ne 0 1 5\n"},
+		{"n": 2, "edges": [[0,9,1]]},
+		{}
+	]}`
+	var resp struct {
+		Results []batchUploadEntry `json:"results"`
+	}
+	code, raw := ts.do(t, "POST", "/v1/graphs:batch", "application/json", []byte(body), &resp)
+	if code != http.StatusOK || len(resp.Results) != 5 {
+		t.Fatalf("batch upload: %d %s", code, raw)
+	}
+	wantStatus := []string{"created", "created", "existed", "failed", "failed"}
+	for i, want := range wantStatus {
+		if resp.Results[i].Status != want {
+			t.Fatalf("item %d: status %q, want %q (%s)", i, resp.Results[i].Status, want, raw)
+		}
+		if resp.Results[i].Index != i {
+			t.Fatalf("item %d: index %d", i, resp.Results[i].Index)
+		}
+	}
+	if resp.Results[2].ID != resp.Results[0].ID {
+		t.Fatalf("duplicate upload got id %q, want %q", resp.Results[2].ID, resp.Results[0].ID)
+	}
+	if resp.Results[3].Error == "" || resp.Results[4].Error == "" {
+		t.Fatalf("failed items lack errors: %s", raw)
+	}
+	// The batch-uploaded JSON graph solves normally.
+	var jr jobResponse
+	code, raw = ts.do(t, "POST", "/v1/graphs/"+resp.Results[1].ID+"/mincut", "application/json", []byte(`{"seed":1}`), &jr)
+	if code != http.StatusOK || jr.Value == nil || *jr.Value != 3 {
+		t.Fatalf("solve of batch-uploaded graph: %d %s", code, raw)
+	}
+}
+
+func TestBatchUploadValidation(t *testing.T) {
+	ts := newTestServer(t, 1)
+	for _, bad := range []string{`{}`, `{"graphs": []}`, `not json`} {
+		if code, raw := ts.do(t, "POST", "/v1/graphs:batch", "application/json", []byte(bad), nil); code != http.StatusBadRequest {
+			t.Fatalf("batch %q: %d %s", bad, code, raw)
+		}
+	}
+	var big strings.Builder
+	big.WriteString(`{"graphs": [`)
+	for i := 0; i <= maxBatchUploadItems; i++ {
+		if i > 0 {
+			big.WriteString(",")
+		}
+		big.WriteString(`{"text": "x"}`)
+	}
+	big.WriteString(`]}`)
+	if code, raw := ts.do(t, "POST", "/v1/graphs:batch", "application/json", []byte(big.String()), nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: %d %s", code, raw)
+	}
+}
+
+// TestDeleteGraphInvalidatesResultCache is the staleness-hole regression
+// test: DELETE must drop the scheduler's cached results for the graph
+// hash, so a re-upload of the same content (same content-addressed ID)
+// is re-solved, not served a cut cached before the delete.
+func TestDeleteGraphInvalidatesResultCache(t *testing.T) {
+	ts := newTestServer(t, 2)
+	id := ts.uploadCycle(t, 8)
+	solve := func() jobResponse {
+		var jr jobResponse
+		code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json", []byte(`{"seed":5}`), &jr)
+		if code != http.StatusOK {
+			t.Fatalf("solve: %d %s", code, raw)
+		}
+		return jr
+	}
+	if jr := solve(); jr.Cached {
+		t.Fatal("first solve reported cached")
+	}
+	if jr := solve(); !jr.Cached {
+		t.Fatal("repeat solve not cached")
+	}
+
+	var del struct {
+		Deleted     bool `json:"deleted"`
+		Invalidated int  `json:"invalidated_results"`
+	}
+	code, raw := ts.do(t, "DELETE", "/v1/graphs/"+id, "", nil, &del)
+	if code != http.StatusOK || !del.Deleted || del.Invalidated != 1 {
+		t.Fatalf("delete: %d %s", code, raw)
+	}
+	if code, _ := ts.do(t, "GET", "/v1/graphs/"+id, "", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("graph info after delete: %d", code)
+	}
+	if code, _ := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json", []byte(`{"seed":5}`), nil); code != http.StatusNotFound {
+		t.Fatalf("solve after delete: %d", code)
+	}
+	if code, _ := ts.do(t, "DELETE", "/v1/graphs/"+id, "", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("second delete: %d", code)
+	}
+
+	// Re-upload recreates the same ID; its first solve must re-run.
+	if id2 := ts.uploadCycle(t, 8); id2 != id {
+		t.Fatalf("re-upload got %q, want %q", id2, id)
+	}
+	if jr := solve(); jr.Cached {
+		t.Fatal("solve after re-upload served from stale cache")
+	}
+}
+
+// TestStoreBackedServerSurvivesRestart exercises the full persistence
+// path over HTTP: upload to a disk-backed server, restart on the same
+// data dir, solve without re-uploading, and watch the store metrics.
+func TestStoreBackedServerSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts := newStoreServer(t, dir, 0, 0)
+	id := ts.uploadCycle(t, 8)
+	if g, rec := ts.metric(t, "mincutd_store_graphs"), ts.metric(t, "mincutd_store_recovered_graphs_total"); g != 1 || rec != 0 {
+		t.Fatalf("store metrics after upload: graphs=%d recovered=%d", g, rec)
+	}
+	ts.Close()
+
+	ts2 := newStoreServer(t, dir, 0, 0)
+	if rec := ts2.metric(t, "mincutd_store_recovered_graphs_total"); rec != 1 {
+		t.Fatalf("recovered = %d, want 1", rec)
+	}
+	if corrupt := ts2.metric(t, "mincutd_store_corrupt_tail_total"); corrupt != 0 {
+		t.Fatalf("corrupt tails = %d, want 0", corrupt)
+	}
+	var jr jobResponse
+	code, raw := ts2.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json", []byte(`{"seed":1}`), &jr)
+	if code != http.StatusOK || jr.Value == nil || *jr.Value != 4 {
+		t.Fatalf("solve after restart: %d %s", code, raw)
+	}
+	// DELETE reaches the disk too: a third instance starts empty.
+	if code, raw := ts2.do(t, "DELETE", "/v1/graphs/"+id, "", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, raw)
+	}
+	ts2.Close()
+	ts3 := newStoreServer(t, dir, 0, 0)
+	if code, _ := ts3.do(t, "GET", "/v1/graphs/"+id, "", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted graph survived restart: %d", code)
+	}
+}
+
+// TestUploadErrorCodes: a full disk answers 507 (server-side capacity),
+// never 400 (client fault), on both the single and batch upload paths.
+func TestUploadErrorCodes(t *testing.T) {
+	ts := newStoreServer(t, t.TempDir(), 0, 40) // room for one tiny graph
+	body := []byte("p cut 3 2\ne 0 1 5\ne 1 2 7\n")
+	if code, raw := ts.do(t, "POST", "/v1/graphs", "", body, nil); code != http.StatusCreated {
+		t.Fatalf("first upload: %d %s", code, raw)
+	}
+	big := []byte("p cut 4 4\ne 0 1 1\ne 1 2 1\ne 2 3 1\ne 3 0 1\n")
+	code, raw := ts.do(t, "POST", "/v1/graphs", "", big, nil)
+	if code != http.StatusInsufficientStorage {
+		t.Fatalf("over-budget upload: %d %s, want 507", code, raw)
+	}
+	var resp struct {
+		Results []batchUploadEntry `json:"results"`
+	}
+	code, raw = ts.do(t, "POST", "/v1/graphs:batch", "application/json",
+		[]byte(`{"graphs":[{"text":"p cut 4 4\ne 0 1 1\ne 1 2 1\ne 2 3 1\ne 3 0 1\n"}]}`), &resp)
+	if code != http.StatusOK || len(resp.Results) != 1 || resp.Results[0].Status != "failed" {
+		t.Fatalf("batch over budget: %d %s", code, raw)
+	}
+	if !strings.Contains(resp.Results[0].Error, "disk budget") {
+		t.Fatalf("batch error = %q, want disk budget mention", resp.Results[0].Error)
+	}
+	// A parse error is still the client's 400.
+	if code, _ := ts.do(t, "POST", "/v1/graphs", "", []byte("garbage"), nil); code != http.StatusBadRequest {
+		t.Fatalf("garbage upload: %d, want 400", code)
+	}
+}
+
+// TestGraphInfoDoesNotFaultBytesIn: GET /v1/graphs/{id} on an evicted
+// graph answers from the index without a disk load.
+func TestGraphInfoDoesNotFaultBytesIn(t *testing.T) {
+	ts := newStoreServer(t, t.TempDir(), 32, 0) // one 2-edge graph resident
+	var first graphResponse
+	code, raw := ts.do(t, "POST", "/v1/graphs", "", []byte("p cut 3 2\ne 0 1 5\ne 1 2 7\n"), &first)
+	if code != http.StatusCreated {
+		t.Fatalf("upload: %d %s", code, raw)
+	}
+	if code, raw := ts.do(t, "POST", "/v1/graphs", "", []byte("p cut 3 2\ne 0 1 8\ne 1 2 8\n"), nil); code != http.StatusCreated {
+		t.Fatalf("second upload: %d %s", code, raw) // evicts the first
+	}
+	var info graphResponse
+	if code, raw := ts.do(t, "GET", "/v1/graphs/"+first.ID, "", nil, &info); code != http.StatusOK || info.M != 2 {
+		t.Fatalf("info of evicted graph: %d %s", code, raw)
+	}
+	if loads := ts.metric(t, "mincutd_graph_store_loads_total"); loads != 0 {
+		t.Fatalf("info read faulted bytes in: %d loads", loads)
+	}
+	if code, _ := ts.do(t, "GET", "/v1/graphs/sha256:nope", "", nil, nil); code != http.StatusNotFound {
+		t.Fatal("unknown id not 404")
 	}
 }

@@ -7,15 +7,23 @@
 // whitespace, permuted edge order, swapped edge endpoints, or via a
 // different input encoding. The canonical form is also what is stored, so
 // every solve of a given ID sees the same edge order no matter which
-// permutation was uploaded first. Memory is bounded: entries are evicted
-// least-recently-used once the total edge bytes held exceed the
-// configured capacity.
+// permutation was uploaded first.
+//
+// Memory is bounded: resident graphs are evicted least-recently-used once
+// the total edge bytes held exceed the configured capacity. With a
+// Backend attached (a disk store), the LRU becomes a cache over the
+// durable copy: Put writes through to the backend before the graph
+// becomes visible, eviction drops only the in-memory bytes (the entry
+// stays known and its Info still answers), and Get faults evicted graphs
+// back in transparently — concurrent Gets of the same evicted graph share
+// one load. Delete removes both the resident bytes and the backend copy.
 package registry
 
 import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -32,6 +40,30 @@ const edgeBytes = 16
 // and logs.
 const IDPrefix = "sha256:"
 
+// ErrNotFound reports a Get or Delete of an unknown graph ID.
+var ErrNotFound = errors.New("registry: graph not found")
+
+// ErrStore tags errors that originate in the backend store rather than
+// in the caller's input, so the API layer can answer 5xx instead of 4xx.
+// The backend's own sentinel (e.g. store.ErrDiskFull) stays matchable
+// through errors.Is.
+var ErrStore = errors.New("registry: backend store failure")
+
+// Backend is a durable second level under the in-memory LRU. Implemented
+// by internal/service/store; all methods must be safe for concurrent use.
+type Backend interface {
+	// Put durably stores g's canonical form under id; storing an id the
+	// backend already holds reports existed=true and writes nothing.
+	Put(id string, g *parcut.Graph) (existed bool, err error)
+	// Get loads and integrity-checks the graph stored under id.
+	Get(id string) (*parcut.Graph, error)
+	// Delete removes id, reporting whether it was present.
+	Delete(id string) (bool, error)
+	// Walk calls fn for every stored graph so a restart can rebuild the
+	// registry index without loading graph bytes.
+	Walk(fn func(id string, n, m int))
+}
+
 // Info describes a stored graph.
 type Info struct {
 	// ID is "sha256:" + hex digest of the canonical serialization.
@@ -44,23 +76,38 @@ type Info struct {
 
 // Stats is a snapshot of the registry's counters.
 type Stats struct {
-	// Graphs and Bytes are the current entry count and total edge bytes.
-	Graphs int
-	Bytes  int64
+	// Graphs counts every known graph, resident or not; Resident the
+	// subset currently holding their edges in memory (without a backend
+	// the two are equal). Bytes is the resident edge-byte total.
+	Graphs, Resident int
+	Bytes            int64
 	// Capacity is the configured edge-byte budget.
 	Capacity int64
-	// Hits counts Get calls that found their graph; Misses the rest.
+	// Hits counts Get calls that found their graph (including ones served
+	// by a backend load); Misses the rest.
 	Hits, Misses int64
 	// Dedups counts Put calls that matched an existing entry.
 	Dedups int64
-	// Evictions counts entries dropped to make room.
+	// Evictions counts entries whose resident bytes were dropped to make
+	// room.
 	Evictions int64
+	// Loads counts graphs faulted back in from the backend; LoadErrors
+	// the backend loads that failed (I/O or integrity).
+	Loads, LoadErrors int64
 }
 
+// entry is one known graph. g is nil while the graph is not resident
+// (evicted to the backend); loading is non-nil while a backend load is in
+// flight, and concurrent Gets wait on it instead of loading twice.
 type entry struct {
-	info Info
-	g    *parcut.Graph
-	elem *list.Element // position in the LRU list; value is the ID string
+	info    Info
+	g       *parcut.Graph
+	elem    *list.Element // position in the LRU list; nil when not resident
+	loading chan struct{}
+	// pending marks a PutGraph placeholder whose backend write has not
+	// committed yet: invisible to Lookup (durability before visibility),
+	// while read-through loads of committed graphs stay visible.
+	pending bool
 }
 
 // Registry is a bounded, concurrency-safe graph store. The zero value is
@@ -70,19 +117,31 @@ type Registry struct {
 	capacity int64
 	bytes    int64
 	entries  map[string]*entry
-	lru      *list.List // front = most recently used
+	lru      *list.List // front = most recently used; resident entries only
+	backend  Backend    // nil = memory-only
 
 	hits, misses, dedups, evictions atomic.Int64
+	loads, loadErrs                 atomic.Int64
 }
 
 // New returns a registry that holds at most capacity edge bytes (16 bytes
-// per stored edge). A non-positive capacity means unbounded.
-func New(capacity int64) *Registry {
-	return &Registry{
+// per stored edge) in memory. A non-positive capacity means unbounded.
+// A non-nil backend makes the registry a cache over that durable store:
+// its existing graphs are indexed immediately (lazily loaded on first
+// Get), writes go through to it, and eviction keeps the disk copy.
+func New(capacity int64, backend Backend) *Registry {
+	r := &Registry{
 		capacity: capacity,
 		entries:  make(map[string]*entry),
 		lru:      list.New(),
+		backend:  backend,
 	}
+	if backend != nil {
+		backend.Walk(func(id string, n, m int) {
+			r.entries[id] = &entry{info: Info{ID: id, N: n, M: m, Bytes: int64(m) * edgeBytes}}
+		})
+	}
+	return r
 }
 
 // Put parses the graph in the repository's text format (streaming — the
@@ -100,6 +159,7 @@ func (r *Registry) Put(src io.Reader) (Info, bool, error) {
 // PutGraph stores an already-parsed graph, deduplicating by content hash.
 // The stored copy is the graph's canonical form, not the caller's edge
 // order, so results for an ID are reproducible across permuted uploads.
+// With a backend, the graph is durable before PutGraph returns.
 func (r *Registry) PutGraph(g *parcut.Graph) (Info, bool, error) {
 	g = g.Canonical()
 	// Hash the canonical serialization as a stream; materializing it would
@@ -119,23 +179,84 @@ func (r *Registry) PutGraph(g *parcut.Graph) (Info, bool, error) {
 	}
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if e, ok := r.entries[info.ID]; ok {
-		r.lru.MoveToFront(e.elem)
+	for {
+		e, ok := r.entries[info.ID]
+		if !ok {
+			break
+		}
+		if e.loading != nil {
+			// Another goroutine is writing this id to the backend (or
+			// loading it); wait for the outcome rather than racing it.
+			ch := e.loading
+			r.mu.Unlock()
+			<-ch
+			r.mu.Lock()
+			continue
+		}
 		r.dedups.Add(1)
-		return e.info, true, nil
+		if e.elem != nil {
+			r.lru.MoveToFront(e.elem)
+		} else {
+			// Known but evicted: the upload body just handed us the bytes a
+			// future Get would otherwise fault in from disk — keep them.
+			r.makeResidentLocked(e, g)
+		}
+		existing := e.info
+		r.mu.Unlock()
+		return existing, true, nil
 	}
-	e := &entry{info: info, g: g}
-	e.elem = r.lru.PushFront(info.ID)
+	if r.backend == nil {
+		e := &entry{info: info, g: g}
+		e.elem = r.lru.PushFront(info.ID)
+		r.entries[info.ID] = e
+		r.bytes += info.Bytes
+		r.evictLocked()
+		r.mu.Unlock()
+		return info, false, nil
+	}
+	// Durability before visibility, without stalling the registry: a
+	// placeholder (loading channel set) reserves the id while the backend
+	// write — a segment write plus two fsyncs — runs outside the lock, so
+	// concurrent Gets of other graphs never wait on this upload's disk
+	// I/O. Concurrent operations on THIS id block on the channel above.
+	e := &entry{info: info, loading: make(chan struct{}), pending: true}
 	r.entries[info.ID] = e
-	r.bytes += info.Bytes
-	r.evictLocked()
+	r.mu.Unlock()
+
+	_, err := r.backend.Put(info.ID, g)
+
+	r.mu.Lock()
+	close(e.loading)
+	e.loading = nil
+	e.pending = false
+	if err != nil {
+		if r.entries[info.ID] == e {
+			delete(r.entries, info.ID)
+		}
+		r.mu.Unlock()
+		return Info{}, false, fmt.Errorf("store %s: %w", info.ID, errors.Join(ErrStore, err))
+	}
+	if r.entries[info.ID] == e && e.g == nil {
+		r.makeResidentLocked(e, g)
+	}
+	r.mu.Unlock()
 	return info, false, nil
 }
 
-// evictLocked drops least-recently-used entries until the budget holds.
-// The newest entry is never evicted (Put rejects oversized graphs up
-// front, so the loop always terminates with at least one entry left).
+// makeResidentLocked installs g as e's resident bytes and charges the
+// budget. Caller holds r.mu; e must not already be resident.
+func (r *Registry) makeResidentLocked(e *entry, g *parcut.Graph) {
+	e.g = g
+	e.elem = r.lru.PushFront(e.info.ID)
+	r.bytes += e.info.Bytes
+	r.evictLocked()
+}
+
+// evictLocked drops least-recently-used resident graphs until the budget
+// holds. With a backend the entry survives — only the bytes leave memory;
+// without one the entry is gone for good. The newest entry is never
+// evicted (Put rejects oversized graphs up front, so the loop always
+// terminates with at least one entry left).
 func (r *Registry) evictLocked() {
 	if r.capacity <= 0 {
 		return
@@ -145,40 +266,152 @@ func (r *Registry) evictLocked() {
 		id := back.Value.(string)
 		e := r.entries[id]
 		r.lru.Remove(back)
-		delete(r.entries, id)
+		e.elem = nil
+		e.g = nil
+		if r.backend == nil {
+			delete(r.entries, id)
+		}
 		r.bytes -= e.info.Bytes
 		r.evictions.Add(1)
 	}
 }
 
 // Get returns the graph stored under id, marking it most recently used.
-// Solvers keep their own reference, so a graph evicted mid-solve stays
-// alive until the job finishes.
-func (r *Registry) Get(id string) (*parcut.Graph, Info, bool) {
+// A known-but-evicted graph is loaded back from the backend (outside the
+// registry lock; concurrent Gets of the same id share one load). Solvers
+// keep their own reference, so a graph evicted mid-solve stays alive
+// until the job finishes. The error is ErrNotFound for unknown ids, or
+// the backend's load error (e.g. a CRC mismatch) verbatim-wrapped.
+func (r *Registry) Get(id string) (*parcut.Graph, Info, error) {
+	r.mu.Lock()
+	var e *entry
+	for {
+		var ok bool
+		e, ok = r.entries[id]
+		if !ok {
+			r.misses.Add(1)
+			r.mu.Unlock()
+			return nil, Info{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		if e.g != nil {
+			if e.elem != nil {
+				r.lru.MoveToFront(e.elem)
+			}
+			r.hits.Add(1)
+			g, info := e.g, e.info
+			r.mu.Unlock()
+			return g, info, nil
+		}
+		if e.loading == nil {
+			break // this goroutine performs the load
+		}
+		ch := e.loading
+		r.mu.Unlock()
+		<-ch
+		r.mu.Lock()
+	}
+	ch := make(chan struct{})
+	e.loading = ch
+	info := e.info
+	r.mu.Unlock()
+
+	g, err := r.backend.Get(id)
+
+	r.mu.Lock()
+	e.loading = nil
+	close(ch)
+	if err != nil {
+		r.loadErrs.Add(1)
+		r.mu.Unlock()
+		return nil, Info{}, fmt.Errorf("registry: load %s: %w", id, err)
+	}
+	r.loads.Add(1)
+	r.hits.Add(1)
+	// Re-check before installing: a concurrent Delete may have dropped the
+	// entry, or a concurrent Put may have made it resident already. The
+	// loaded graph is returned either way — the caller's lookup was valid.
+	if cur, ok := r.entries[id]; ok && cur == e && e.g == nil {
+		r.makeResidentLocked(e, g)
+	}
+	r.mu.Unlock()
+	return g, info, nil
+}
+
+// Lookup returns the Info for a known graph without loading its bytes:
+// the index keeps N/M/Bytes for evicted entries precisely so metadata
+// reads never fault multi-MB graphs back into the LRU.
+func (r *Registry) Lookup(id string) (Info, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.entries[id]
-	if !ok {
-		r.misses.Add(1)
-		return nil, Info{}, false
+	if !ok || e.pending {
+		// A pending entry is an upload whose durable commit is still in
+		// flight (and may yet fail); it must not be visible.
+		return Info{}, false
 	}
-	r.lru.MoveToFront(e.elem)
-	r.hits.Add(1)
-	return e.g, e.info, true
+	return e.info, true
+}
+
+// Delete removes the graph from memory and, when a backend is attached,
+// from disk. It reports whether the graph was known. In-flight solves
+// holding the graph pointer are unaffected.
+func (r *Registry) Delete(id string) (bool, error) {
+	r.mu.Lock()
+	var e *entry
+	ok := false
+	for {
+		e, ok = r.entries[id]
+		if !ok || e.loading == nil {
+			break
+		}
+		// An upload or load of this id is in flight; let it settle first so
+		// the delete has a definite before/after.
+		ch := e.loading
+		r.mu.Unlock()
+		<-ch
+		r.mu.Lock()
+	}
+	if ok {
+		if e.elem != nil {
+			r.lru.Remove(e.elem)
+			r.bytes -= e.info.Bytes
+			e.elem = nil
+			e.g = nil
+		}
+		delete(r.entries, id)
+	}
+	if r.backend == nil {
+		r.mu.Unlock()
+		return ok, nil
+	}
+	// The backend delete happens under the lock: releasing it first would
+	// let a concurrent PutGraph observe the store's still-present entry
+	// (existed=true, nothing written) and acknowledge as durable an upload
+	// the racing tombstone then erases from disk. Deletes are rare; the
+	// brief stall is the price of that invariant.
+	onDisk, err := r.backend.Delete(id)
+	r.mu.Unlock()
+	if err != nil {
+		return ok || onDisk, fmt.Errorf("registry: delete %s: %w", id, err)
+	}
+	return ok || onDisk, nil
 }
 
 // Stats returns a snapshot of the registry's state and counters.
 func (r *Registry) Stats() Stats {
 	r.mu.Lock()
-	graphs, bytes := len(r.entries), r.bytes
+	graphs, resident, bytes := len(r.entries), r.lru.Len(), r.bytes
 	r.mu.Unlock()
 	return Stats{
-		Graphs:    graphs,
-		Bytes:     bytes,
-		Capacity:  r.capacity,
-		Hits:      r.hits.Load(),
-		Misses:    r.misses.Load(),
-		Dedups:    r.dedups.Load(),
-		Evictions: r.evictions.Load(),
+		Graphs:     graphs,
+		Resident:   resident,
+		Bytes:      bytes,
+		Capacity:   r.capacity,
+		Hits:       r.hits.Load(),
+		Misses:     r.misses.Load(),
+		Dedups:     r.dedups.Load(),
+		Evictions:  r.evictions.Load(),
+		Loads:      r.loads.Load(),
+		LoadErrors: r.loadErrs.Load(),
 	}
 }

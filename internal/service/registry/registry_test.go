@@ -20,7 +20,7 @@ func text(n int, edges [][3]int64) string {
 }
 
 func TestPutGetRoundTrip(t *testing.T) {
-	r := New(0)
+	r := New(0, nil)
 	in := text(3, [][3]int64{{0, 1, 5}, {1, 2, 7}})
 	info, existed, err := r.Put(strings.NewReader(in))
 	if err != nil {
@@ -35,9 +35,9 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if info.N != 3 || info.M != 2 || info.Bytes != 32 {
 		t.Fatalf("info = %+v", info)
 	}
-	g, got, ok := r.Get(info.ID)
-	if !ok || got.ID != info.ID {
-		t.Fatalf("Get: ok=%v info=%+v", ok, got)
+	g, got, err := r.Get(info.ID)
+	if err != nil || got.ID != info.ID {
+		t.Fatalf("Get: err=%v info=%+v", err, got)
 	}
 	if g.TotalWeight() != 12 {
 		t.Fatalf("stored graph total weight = %d, want 12", g.TotalWeight())
@@ -45,7 +45,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 }
 
 func TestDedupAcrossFormattingDifferences(t *testing.T) {
-	r := New(0)
+	r := New(0, nil)
 	a := "p cut 3 2\ne 0 1 5\ne 1 2 7\n"
 	b := "c a comment\np cut 3 2\n\ne 0 1 5\ne 1 2 7\n"
 	ia, _, err := r.Put(strings.NewReader(a))
@@ -65,7 +65,7 @@ func TestDedupAcrossFormattingDifferences(t *testing.T) {
 }
 
 func TestDistinctGraphsGetDistinctIDs(t *testing.T) {
-	r := New(0)
+	r := New(0, nil)
 	ia, _, _ := r.Put(strings.NewReader(text(3, [][3]int64{{0, 1, 5}})))
 	ib, _, _ := r.Put(strings.NewReader(text(3, [][3]int64{{0, 1, 6}})))
 	if ia.ID == ib.ID {
@@ -75,7 +75,7 @@ func TestDistinctGraphsGetDistinctIDs(t *testing.T) {
 
 func TestLRUEvictionByEdgeBytes(t *testing.T) {
 	// Each 2-edge graph costs 32 bytes; capacity 64 holds exactly two.
-	r := New(64)
+	r := New(64, nil)
 	mk := func(w int64) Info {
 		info, _, err := r.Put(strings.NewReader(text(3, [][3]int64{{0, 1, w}, {1, 2, w}})))
 		if err != nil {
@@ -85,16 +85,16 @@ func TestLRUEvictionByEdgeBytes(t *testing.T) {
 	}
 	a, b := mk(1), mk(2)
 	// Touch a so b becomes the eviction victim.
-	if _, _, ok := r.Get(a.ID); !ok {
+	if _, _, err := r.Get(a.ID); err != nil {
 		t.Fatal("a missing before eviction")
 	}
 	c := mk(3)
-	if _, _, ok := r.Get(b.ID); ok {
+	if _, _, err := r.Get(b.ID); err == nil {
 		t.Fatal("b survived eviction")
 	}
 	for _, id := range []string{a.ID, c.ID} {
-		if _, _, ok := r.Get(id); !ok {
-			t.Fatalf("%s evicted, want kept", id)
+		if _, _, err := r.Get(id); err != nil {
+			t.Fatalf("%s evicted, want kept: %v", id, err)
 		}
 	}
 	s := r.Stats()
@@ -104,7 +104,7 @@ func TestLRUEvictionByEdgeBytes(t *testing.T) {
 }
 
 func TestPutRejectsOversizedGraph(t *testing.T) {
-	r := New(16) // one edge fits, two do not
+	r := New(16, nil) // one edge fits, two do not
 	if _, _, err := r.Put(strings.NewReader(text(3, [][3]int64{{0, 1, 1}, {1, 2, 1}}))); err == nil {
 		t.Fatal("oversized Put succeeded")
 	}
@@ -114,7 +114,7 @@ func TestPutRejectsOversizedGraph(t *testing.T) {
 }
 
 func TestPutRejectsMalformedInput(t *testing.T) {
-	r := New(0)
+	r := New(0, nil)
 	for _, bad := range []string{"", "e 0 1 5\n", "p cut 2 1\ne 0 5 1\n"} {
 		if _, _, err := r.Put(strings.NewReader(bad)); err == nil {
 			t.Errorf("Put(%q) succeeded, want error", bad)
@@ -123,7 +123,7 @@ func TestPutRejectsMalformedInput(t *testing.T) {
 }
 
 func TestPutGraphMatchesTextPut(t *testing.T) {
-	r := New(0)
+	r := New(0, nil)
 	g := parcut.NewGraph(3)
 	if err := g.AddEdge(0, 1, 5); err != nil {
 		t.Fatal(err)
@@ -152,7 +152,7 @@ func TestPutGraphMatchesTextPut(t *testing.T) {
 // regardless of input encoding, so the same graph with permuted edge
 // order — or swapped edge endpoints — must hash to the same ID.
 func TestDedupAcrossEdgePermutations(t *testing.T) {
-	r := New(0)
+	r := New(0, nil)
 	a := text(4, [][3]int64{{0, 1, 3}, {1, 2, 1}, {2, 3, 4}, {3, 0, 2}})
 	b := text(4, [][3]int64{{2, 3, 4}, {3, 0, 2}, {0, 1, 3}, {1, 2, 1}}) // permuted
 	c := text(4, [][3]int64{{1, 0, 3}, {2, 1, 1}, {3, 2, 4}, {0, 3, 2}}) // endpoints swapped
@@ -178,13 +178,13 @@ func TestDedupAcrossEdgePermutations(t *testing.T) {
 // stored graph (and hence every solve of this ID) sees canonical edge
 // order, so results are reproducible across upload orders.
 func TestStoredGraphIsCanonical(t *testing.T) {
-	r := New(0)
+	r := New(0, nil)
 	info, _, err := r.Put(strings.NewReader(text(3, [][3]int64{{2, 1, 7}, {1, 0, 5}})))
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, _, ok := r.Get(info.ID)
-	if !ok {
+	g, _, err := r.Get(info.ID)
+	if err != nil {
 		t.Fatal("stored graph missing")
 	}
 	var buf bytes.Buffer

@@ -523,6 +523,26 @@ func (s *Scheduler) abortQueuedLocked(j *Job) bool {
 	return true
 }
 
+// InvalidateGraph drops every singleflight/result-cache key for the
+// given graph ID and returns how many keys were removed. Callers use it
+// when a graph is deleted: without it, a later re-upload of the same
+// content (same hash, hence same ID) would be served stale cached cuts
+// computed before the delete. In-flight jobs keep running — they hold
+// their own graph reference — but lose their cache key, so they finish
+// for their current waiters and are never joined or replayed afterwards.
+func (s *Scheduler) InvalidateGraph(graphID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for key := range s.byKey {
+		if key.GraphID == graphID {
+			delete(s.byKey, key)
+			n++
+		}
+	}
+	return n
+}
+
 // Job returns a snapshot of the job with the given ID.
 func (s *Scheduler) Job(id string) (Status, bool) {
 	s.mu.Lock()

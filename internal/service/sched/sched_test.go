@@ -591,3 +591,98 @@ func TestBoostZeroAndOneShareAKey(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInvalidateGraphDropsCachedResults: after invalidation, a repeat of
+// a previously cached request must run the solver again — the staleness
+// guard behind DELETE /v1/graphs/{id}, where a re-uploaded graph recycles
+// its content-addressed ID.
+func TestInvalidateGraphDropsCachedResults(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdown(t, s)
+	g := cycle(t, 8)
+	key := Key{GraphID: "g1", Opt: SolveOptions{Seed: 1}}
+	otherKey := Key{GraphID: "g2", Opt: SolveOptions{Seed: 1}}
+
+	j, _, err := s.Submit(key, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	jo, _, err := s.Submit(otherKey, g, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), jo); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := s.InvalidateGraph("g1"); n != 1 {
+		t.Fatalf("InvalidateGraph removed %d keys, want 1", n)
+	}
+	j2, hit, err := s.Submit(key, g, false)
+	if err != nil || hit {
+		t.Fatalf("post-invalidate Submit: hit=%v err=%v", hit, err)
+	}
+	if j2 == j {
+		t.Fatal("post-invalidate Submit rejoined the stale job")
+	}
+	res, err := s.Wait(context.Background(), j2)
+	if err != nil || res.Value != 4 {
+		t.Fatalf("re-solve: res=%+v err=%v", res, err)
+	}
+	if m := s.Metrics(); m.SolveCount != 3 {
+		t.Fatalf("SolveCount = %d, want 3 (invalidated key re-ran)", m.SolveCount)
+	}
+
+	// The untouched graph's cache survives.
+	_, hit, err = s.Submit(otherKey, g, false)
+	if err != nil || !hit {
+		t.Fatalf("other graph lost its cache: hit=%v err=%v", hit, err)
+	}
+	if n := s.InvalidateGraph("unknown"); n != 0 {
+		t.Fatalf("InvalidateGraph(unknown) = %d", n)
+	}
+}
+
+// TestInvalidateGraphWithInFlightJob: invalidating while a job runs lets
+// the job finish for its waiters but prevents later joins. MaxFanout 1
+// keeps the boosted blocker a single job (single cache key), and every
+// cancellation happens before the assertions so a failed expectation
+// cannot strand the drain.
+func TestInvalidateGraphWithInFlightJob(t *testing.T) {
+	s := New(Config{Workers: 1, MaxFanout: 1})
+	defer shutdown(t, s)
+	key := Key{GraphID: "gf", Opt: slowOpts()}
+	j, _, err := s.Submit(key, slow(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waitDone := make(chan error, 1)
+	go func() {
+		_, werr := s.Wait(ctx, j)
+		waitDone <- werr
+	}()
+	waitUntil(t, "job running", func() bool { return s.Metrics().Running >= 1 })
+
+	n := s.InvalidateGraph("gf")
+	// A fresh submit must start a new job, not join the invalidated one.
+	j2, hit, err2 := s.Submit(key, slow(), false)
+	if err2 == nil {
+		s.Cancel(j2.ID())
+	}
+	cancel()
+	werr := <-waitDone
+
+	if n != 1 {
+		t.Fatalf("InvalidateGraph = %d, want 1", n)
+	}
+	if err2 != nil || hit || j2 == j {
+		t.Fatalf("Submit joined invalidated in-flight job: hit=%v same=%v err=%v", hit, j2 == j, err2)
+	}
+	if werr == nil {
+		t.Fatal("blocked waiter returned nil after cancel")
+	}
+}

@@ -1,0 +1,510 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	parcut "repro"
+)
+
+// canon returns a canonical random graph, its id (the registry's hashing
+// scheme), and its canonical serialization.
+func canon(t *testing.T, n, m int, seed int64) (*parcut.Graph, string, []byte) {
+	t.Helper()
+	g := parcut.RandomGraph(n, m, 50, seed).Canonical()
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return g, "sha256:" + hex.EncodeToString(sum[:]), buf.Bytes()
+}
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	opts.Dir = dir
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// mustPut stores g and fails the test on error or unexpected dedup.
+func mustPut(t *testing.T, s *Store, id string, g *parcut.Graph) {
+	t.Helper()
+	existed, err := s.Put(id, g)
+	if err != nil {
+		t.Fatalf("Put(%s): %v", id, err)
+	}
+	if existed {
+		t.Fatalf("Put(%s): unexpected existed", id)
+	}
+}
+
+// checkRoundTrip asserts the stored graph re-serializes bit-for-bit to
+// the canonical payload it was stored from.
+func checkRoundTrip(t *testing.T, s *Store, id string, want []byte) {
+	t.Helper()
+	g, err := s.Get(id)
+	if err != nil {
+		t.Fatalf("Get(%s): %v", id, err)
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Get(%s): serialization differs from stored payload\ngot:\n%s\nwant:\n%s", id, buf.Bytes(), want)
+	}
+}
+
+func TestPutGetRoundTripsBitForBit(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	for seed := int64(1); seed <= 20; seed++ {
+		g, id, payload := canon(t, 12, 25, seed)
+		mustPut(t, s, id, g)
+		checkRoundTrip(t, s, id, payload)
+	}
+	if st := s.Stats(); st.Graphs != 20 || st.Puts != 20 || st.Loads != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutDeduplicates(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	g, id, _ := canon(t, 8, 12, 1)
+	mustPut(t, s, id, g)
+	existed, err := s.Put(id, g)
+	if err != nil || !existed {
+		t.Fatalf("second Put: existed=%v err=%v", existed, err)
+	}
+	if st := s.Stats(); st.Graphs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReopenRecoversEverythingCommitted(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentBytes: 256}) // force several segments
+	type stored struct {
+		id      string
+		payload []byte
+	}
+	var all []stored
+	for seed := int64(1); seed <= 12; seed++ {
+		g, id, payload := canon(t, 12, 20, seed)
+		mustPut(t, s, id, g)
+		all = append(all, stored{id, payload})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, Options{MaxSegmentBytes: 256})
+	st := r.Stats()
+	if st.Recovered != int64(len(all)) || st.CorruptTail != 0 {
+		t.Fatalf("recovery stats = %+v, want %d recovered, 0 corrupt", st, len(all))
+	}
+	if st.Segments < 2 {
+		t.Fatalf("expected multiple segments, stats = %+v", st)
+	}
+	for _, e := range all {
+		checkRoundTrip(t, r, e.id, e.payload)
+	}
+}
+
+// TestRecoveryTruncatesTornSegmentTail is the crash-mid-ingest invariant:
+// payload bytes that reached the segment but never got their manifest
+// record (crash between the two fsyncs) are truncated at the next Open,
+// counted in CorruptTail, and every committed graph still round-trips
+// bit-for-bit.
+func TestRecoveryTruncatesTornSegmentTail(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	g1, id1, p1 := canon(t, 10, 15, 1)
+	g2, id2, p2 := canon(t, 11, 18, 2)
+	mustPut(t, s, id1, g1)
+	mustPut(t, s, id2, g2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn write: half a graph appended to the segment with
+	// no manifest record.
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("p cut 99 99\ne 0 1"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(seg)
+
+	r := open(t, dir, Options{})
+	st := r.Stats()
+	if st.Recovered != 2 || st.CorruptTail != 1 {
+		t.Fatalf("recovery stats = %+v, want 2 recovered, 1 corrupt tail", st)
+	}
+	after, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() || after.Size() != int64(len(p1)+len(p2)) {
+		t.Fatalf("segment not truncated: %d -> %d, want %d", before.Size(), after.Size(), len(p1)+len(p2))
+	}
+	checkRoundTrip(t, r, id1, p1)
+	checkRoundTrip(t, r, id2, p2)
+
+	// And appends keep working on the recovered store.
+	g3, id3, p3 := canon(t, 12, 20, 3)
+	mustPut(t, r, id3, g3)
+	checkRoundTrip(t, r, id3, p3)
+}
+
+// TestRecoveryTruncatesTornManifestRecord: a crash mid manifest append
+// leaves a partial final line; recovery truncates it (the graph it was
+// committing is lost — its segment bytes become a torn tail) and keeps
+// every earlier record.
+func TestRecoveryTruncatesTornManifestRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	g1, id1, p1 := canon(t, 10, 15, 1)
+	mustPut(t, s, id1, g1)
+	g2, id2, _ := canon(t, 11, 18, 2)
+	mustPut(t, s, id2, g2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop the manifest mid-way through the second record.
+	man := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := bytes.IndexByte(data, '\n') + 1
+	if err := os.WriteFile(man, data[:first+10], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, Options{})
+	st := r.Stats()
+	// One corrupt manifest tail, plus the second graph's now-orphaned
+	// segment bytes truncated.
+	if st.Recovered != 1 || st.CorruptTail != 2 {
+		t.Fatalf("recovery stats = %+v, want 1 recovered, 2 corrupt", st)
+	}
+	checkRoundTrip(t, r, id1, p1)
+	if _, err := r.Get(id2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("uncommitted graph resurfaced: %v", err)
+	}
+}
+
+// TestCRCDetectsBitFlip: a flipped payload byte must surface as a clean
+// ErrCorrupt from Get, never as a silently different graph.
+func TestCRCDetectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	g, id, _ := canon(t, 10, 15, 7)
+	mustPut(t, s, id, g)
+	e, ok := s.Info(id)
+	if !ok {
+		t.Fatal("missing entry")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := filepath.Join(dir, segName(e.Seg))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[e.Off+e.Len/2] ^= 0x40 // flip a bit mid-payload
+	if err := os.WriteFile(seg, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, Options{})
+	_, err = r.Get(id)
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("Get on bit-flipped payload: err = %v, want ErrCorrupt mentioning CRC", err)
+	}
+	if st := r.Stats(); st.LoadErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 load error", st)
+	}
+}
+
+func TestDeletePersistsAndReclaimsDeadSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentBytes: 1}) // one graph per segment
+	g1, id1, p1 := canon(t, 10, 15, 1)
+	g2, id2, _ := canon(t, 11, 18, 2)
+	g3, id3, _ := canon(t, 12, 20, 3)
+	mustPut(t, s, id1, g1)
+	mustPut(t, s, id2, g2)
+	mustPut(t, s, id3, g3) // rotates past segments 1 and 2
+
+	if ok, err := s.Delete(id2); err != nil || !ok {
+		t.Fatalf("Delete: ok=%v err=%v", ok, err)
+	}
+	if ok, err := s.Delete(id2); err != nil || ok {
+		t.Fatalf("second Delete: ok=%v err=%v", ok, err)
+	}
+	if _, err := s.Get(id2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted graph still loads: %v", err)
+	}
+	// id2 had segment 2 to itself; the file must be gone.
+	if _, err := os.Stat(filepath.Join(dir, segName(2))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("dead segment not reclaimed: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The delete survives restart; survivors are intact.
+	r := open(t, dir, Options{MaxSegmentBytes: 1})
+	st := r.Stats()
+	if st.Recovered != 2 || st.CorruptTail != 0 {
+		t.Fatalf("recovery stats = %+v", st)
+	}
+	if _, err := r.Get(id2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted graph resurrected: %v", err)
+	}
+	checkRoundTrip(t, r, id1, p1)
+
+	// Re-uploading the deleted graph works and lands in a fresh segment.
+	mustPut(t, r, id2, g2)
+	if _, err := r.Get(id2); err != nil {
+		t.Fatalf("re-uploaded graph: %v", err)
+	}
+}
+
+func TestMaxDiskBytesRejectsOverBudgetPut(t *testing.T) {
+	dir := t.TempDir()
+	g1, id1, p1 := canon(t, 10, 15, 1)
+	s := open(t, dir, Options{MaxDiskBytes: int64(len(p1))})
+	mustPut(t, s, id1, g1)
+	g2, id2, _ := canon(t, 11, 18, 2)
+	if _, err := s.Put(id2, g2); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("over-budget Put: %v, want ErrDiskFull", err)
+	}
+	// The rejected put must leave no trace: the first graph still loads
+	// and a restart sees a clean store.
+	checkRoundTrip(t, s, id1, p1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir, Options{})
+	if st := r.Stats(); st.Recovered != 1 || st.CorruptTail != 0 {
+		t.Fatalf("recovery stats after rejected put = %+v", st)
+	}
+	checkRoundTrip(t, r, id1, p1)
+}
+
+func TestConcurrentGetsAndPuts(t *testing.T) {
+	s := open(t, t.TempDir(), Options{MaxSegmentBytes: 512})
+	type stored struct {
+		id      string
+		payload []byte
+	}
+	var seeded []stored
+	for seed := int64(1); seed <= 8; seed++ {
+		g, id, p := canon(t, 10, 16, seed)
+		mustPut(t, s, id, g)
+		seeded = append(seeded, stored{id, p})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				e := seeded[(w+i)%len(seeded)]
+				g, err := s.Get(e.id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var buf bytes.Buffer
+				if err := g.Write(&buf); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(buf.Bytes(), e.payload) {
+					errs <- errors.New("concurrent Get returned wrong payload")
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g, id, _ := canon(t, 13, 22, int64(100+w))
+			if _, err := s.Put(id, g); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestWalkListsLiveGraphs(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	g1, id1, _ := canon(t, 10, 15, 1)
+	g2, id2, _ := canon(t, 11, 18, 2)
+	mustPut(t, s, id1, g1)
+	mustPut(t, s, id2, g2)
+	if _, err := s.Delete(id2); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][2]int{}
+	s.Walk(func(id string, n, m int) { got[id] = [2]int{n, m} })
+	if len(got) != 1 {
+		t.Fatalf("Walk saw %v", got)
+	}
+	if dims, ok := got[id1]; !ok || dims != [2]int{g1.N(), g1.M()} {
+		t.Fatalf("Walk(%s) = %v, want [%d %d]", id1, got[id1], g1.N(), g1.M())
+	}
+}
+
+func TestManifestRecordRoundTrip(t *testing.T) {
+	e := Entry{ID: "sha256:abc", N: 5, M: 9, Seg: 3, Off: 128, Len: 77, CRC: 12345}
+	got, del, ok := parseRecord(strings.TrimSuffix(record(e), "\n"))
+	if !ok || del || got != e {
+		t.Fatalf("parse(record) = %+v del=%v ok=%v", got, del, ok)
+	}
+	id, del, ok := parseRecord(strings.TrimSuffix(tombstone("sha256:abc"), "\n"))
+	if !ok || !del || id.ID != "sha256:abc" {
+		t.Fatalf("parse(tombstone) = %+v del=%v ok=%v", id, del, ok)
+	}
+	// A flipped byte in a record must fail the line CRC.
+	line := strings.TrimSuffix(record(e), "\n")
+	bad := strings.Replace(line, "128", "129", 1)
+	if _, _, ok := parseRecord(bad); ok {
+		t.Fatal("tampered record parsed as valid")
+	}
+}
+
+func TestOpenRejectsMissingDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open with no dir succeeded")
+	}
+}
+
+func TestStressManySmallGraphsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentBytes: 2048})
+	want := map[string][]byte{}
+	for seed := int64(1); seed <= 60; seed++ {
+		g, id, p := canon(t, 6+int(seed%7), 12, seed)
+		if _, err := s.Put(id, g); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = p
+	}
+	// Delete a third of them.
+	i := 0
+	for id := range want {
+		if i%3 == 0 {
+			if _, err := s.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(want, id)
+		}
+		i++
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir, Options{MaxSegmentBytes: 2048})
+	if st := r.Stats(); int(st.Recovered) != len(want) {
+		t.Fatalf("recovered %d, want %d (stats %+v)", st.Recovered, len(want), st)
+	}
+	for id, p := range want {
+		checkRoundTrip(t, r, id, p)
+	}
+}
+
+// TestOpenRefusesMidManifestCorruption: an invalid record that is NOT the
+// final line cannot be a torn tail — it is corruption inside the
+// committed prefix, and recovery must refuse to run rather than silently
+// truncate away (and physically delete) every later graph.
+func TestOpenRefusesMidManifestCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for seed := int64(1); seed <= 3; seed++ {
+		g, id, _ := canon(t, 10, 15, seed)
+		mustPut(t, s, id, g)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	man := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[5] ^= 0x01 // flip a byte inside the FIRST record
+	if err := os.WriteFile(man, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(Options{Dir: dir}); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("Open over mid-manifest corruption: err = %v, want refusal", err)
+	}
+	// Nothing was truncated or deleted by the refusal.
+	after, err := os.ReadFile(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data) {
+		t.Fatalf("refusing Open still truncated the manifest: %d -> %d bytes", len(data), len(after))
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); err != nil {
+		t.Fatalf("refusing Open removed segment data: %v", err)
+	}
+}
+
+// TestPutRollsBackWhenDiskFullMidSegment: a rejected Put must leave the
+// append offset consistent so the NEXT Put commits bytes that load back
+// correctly (regression for the offset-desync rollback path).
+func TestPutRollsBackWhenDiskFullMidSegment(t *testing.T) {
+	g1, id1, p1 := canon(t, 10, 15, 1)
+	g2, id2, _ := canon(t, 14, 30, 2) // bigger than the remaining budget
+	g3, id3, p3 := canon(t, 10, 15, 3)
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxDiskBytes: int64(len(p1) + len(p3))})
+	mustPut(t, s, id1, g1)
+	if _, err := s.Put(id2, g2); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("over-budget Put: %v", err)
+	}
+	mustPut(t, s, id3, g3) // must land exactly after p1, not after orphan bytes
+	checkRoundTrip(t, s, id1, p1)
+	checkRoundTrip(t, s, id3, p3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir, Options{})
+	if st := r.Stats(); st.Recovered != 2 || st.CorruptTail != 0 {
+		t.Fatalf("recovery stats = %+v", st)
+	}
+	checkRoundTrip(t, r, id3, p3)
+}
