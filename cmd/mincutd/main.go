@@ -26,6 +26,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,7 +48,21 @@ func main() {
 	solvePar := flag.Int("solve-parallelism", 0, "executor width per solver worker (0 = ceil(GOMAXPROCS/workers), partitioning the machine across workers)")
 	dataDir := flag.String("data-dir", "", "directory for the persistent graph store (empty = memory-only, graphs lost on restart)")
 	maxDiskBytes := flag.Int64("max-disk-bytes", 0, "disk budget for the graph store; uploads are rejected past it (0 = unbounded)")
+	classWeights := flag.String("class-weights", "", `per-class dispatch weights, e.g. "interactive=8,batch=4,background=1" (unlisted classes keep their defaults)`)
+	classCaps := flag.String("class-queue-caps", "", `per-class queued-job caps, e.g. "batch=1000,background=5000"; submissions past a cap get 429 (0/unlisted = unbounded)`)
+	maxQueue := flag.Int("max-queue", 0, "total queued-job bound across classes; submissions past it get 429 (0 = unbounded)")
 	flag.Parse()
+	// Weights must be >= 1 (a zero weight would otherwise be silently
+	// replaced by the class default — sched treats non-positive weights
+	// as "use the default"); caps allow 0, which means unbounded.
+	weights, err := parseClassInts(*classWeights, 1)
+	if err != nil {
+		log.Fatalf("-class-weights: %v", err)
+	}
+	caps, err := parseClassInts(*classCaps, 0)
+	if err != nil {
+		log.Fatalf("-class-queue-caps: %v", err)
+	}
 	if err := run(config{
 		addr:         *addr,
 		workers:      *workers,
@@ -56,9 +72,38 @@ func main() {
 		solvePar:     *solvePar,
 		dataDir:      *dataDir,
 		maxDiskBytes: *maxDiskBytes,
+		classWeights: weights,
+		classCaps:    caps,
+		maxQueue:     *maxQueue,
 	}, nil); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// parseClassInts parses "class=n,class=n" lists for -class-weights
+// (minVal 1) and -class-queue-caps (minVal 0). The empty string is an
+// empty map (all defaults).
+func parseClassInts(s string, minVal int) (map[sched.Class]int, error) {
+	out := make(map[sched.Class]int)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad entry %q (want class=n)", part)
+		}
+		class, err := sched.ParseClass(strings.TrimSpace(name))
+		if err != nil || strings.TrimSpace(name) == "" {
+			return nil, fmt.Errorf("bad entry %q: unknown class %q", part, name)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < minVal {
+			return nil, fmt.Errorf("bad entry %q: value must be an integer >= %d", part, minVal)
+		}
+		out[class] = n
+	}
+	return out, nil
 }
 
 // config carries the flag values into run.
@@ -71,6 +116,9 @@ type config struct {
 	solvePar     int
 	dataDir      string
 	maxDiskBytes int64
+	classWeights map[sched.Class]int
+	classCaps    map[sched.Class]int
+	maxQueue     int
 }
 
 // run starts the service and blocks until the listener fails or a
@@ -95,7 +143,14 @@ func run(cfg config, ready chan<- string) error {
 		backend = st
 	}
 	reg := registry.New(cfg.cacheBytes, backend)
-	sch := sched.New(sched.Config{Workers: cfg.workers, MaxFanout: cfg.boostFanout, SolveParallelism: cfg.solvePar})
+	sch := sched.New(sched.Config{
+		Workers:          cfg.workers,
+		MaxFanout:        cfg.boostFanout,
+		SolveParallelism: cfg.solvePar,
+		ClassWeights:     cfg.classWeights,
+		ClassQueueCaps:   cfg.classCaps,
+		MaxQueue:         cfg.maxQueue,
+	})
 	api := httpapi.New(reg, sch, st)
 	srv := &http.Server{Handler: api.Handler()}
 

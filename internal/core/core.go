@@ -14,6 +14,7 @@ import (
 	"repro/internal/mst"
 	"repro/internal/packing"
 	"repro/internal/par"
+	"repro/internal/progress"
 	"repro/internal/respect"
 	"repro/internal/tree"
 	"repro/internal/wd"
@@ -38,6 +39,10 @@ type Options struct {
 	Pool *par.Pool
 	// Meter, when non-nil, accumulates Work-Depth model costs.
 	Meter *wd.Meter
+	// Progress, when non-nil, receives live phase and counter updates at
+	// the cooperative-cancellation seams. It is write-only for the solver:
+	// attaching a sink never changes the Result at any pool width.
+	Progress *progress.Sink
 }
 
 // Result of a minimum cut computation.
@@ -94,12 +99,17 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 	if err := ctx.Err(); err != nil {
 		return Result{}, fmt.Errorf("core: canceled before packing: %w", err)
 	}
+	sink := opt.Progress
+	sink.EnterPhase(progress.PhasePacking)
 	popt := opt.Packing
 	if popt.Seed == 0 {
 		popt.Seed = opt.Seed + 1
 	}
-	pk, err := packing.SampleTrees(g, popt, pool, m)
+	pk, err := packing.SampleTreesContext(ctx, g, popt, pool, m, sink)
 	if err != nil {
+		if ctx.Err() != nil {
+			return Result{}, fmt.Errorf("core: tree packing canceled: %w", ctx.Err())
+		}
 		return Result{}, fmt.Errorf("core: tree packing failed: %v", err)
 	}
 	// Scan every tree in parallel; each scan is itself parallel.
@@ -110,6 +120,8 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 	}
 	outs := make([]scanOut, len(pk.Trees))
 	locals := make([]*wd.Meter, len(pk.Trees))
+	sink.AddTrees(int64(len(pk.Trees)))
+	sink.EnterPhase(progress.PhaseScan)
 	pool.ForGrain(len(pk.Trees), 1, func(i int) {
 		// Cancellation checkpoint between trees: a canceled context skips
 		// every scan that has not started yet.
@@ -130,11 +142,14 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 		}
 		var f respect.Finding
 		if opt.ParallelPhases {
-			f, err = respect.ScanParallelPhasesContext(ctx, g, parent, pool, locals[i])
+			f, err = respect.ScanParallelPhasesContext(ctx, g, parent, pool, locals[i], sink)
 		} else {
-			f, err = respect.ScanContext(ctx, g, parent, pool, locals[i])
+			f, err = respect.ScanContext(ctx, g, parent, pool, locals[i], sink)
 		}
 		outs[i] = scanOut{finding: f, parent: parent, err: err}
+		if err == nil {
+			sink.TreeDone()
+		}
 	})
 	m.Par(locals...) // trees are searched in parallel (§4.3 step 3)
 	best := Result{Value: minDeg, TreesScanned: len(pk.Trees), Estimate: pk.Estimate, PackValue: pk.PackValue}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/listrank"
 	"repro/internal/par"
+	"repro/internal/progress"
 	"repro/internal/tree"
 	"repro/internal/wd"
 )
@@ -83,8 +84,10 @@ func Decompose(t *tree.Tree, pool *par.Pool, m *wd.Meter) *Decomposition {
 // Boughs returns only the first peeling phase of t: the bough paths (front
 // first) and the membership indicator, leaving t conceptually unmodified.
 // This is the per-phase step the two-respecting cut search drives itself
-// (§4.3 re-contracts the graph between phases).
-func Boughs(t *tree.Tree, pool *par.Pool, m *wd.Meter) (paths [][]int32, member []bool) {
+// (§4.3 re-contracts the graph between phases). sink (nil OK) records the
+// number of boughs found, so live progress can report bough counts from
+// the decomposition itself rather than from its callers.
+func Boughs(t *tree.Tree, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (paths [][]int32, member []bool) {
 	n := t.N()
 	alive := make([]bool, n)
 	count := make([]int32, n)
@@ -101,6 +104,7 @@ func Boughs(t *tree.Tree, pool *par.Pool, m *wd.Meter) (paths [][]int32, member 
 	}
 	st := newPhaseState(n)
 	members, ps, _ := peelPhase(t, alive, count, st, d, pool, m)
+	sink.AddBoughs(len(ps))
 	member = make([]bool, n)
 	for _, v := range members {
 		member[v] = true

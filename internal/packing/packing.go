@@ -18,6 +18,7 @@
 package packing
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mst"
 	"repro/internal/par"
+	"repro/internal/progress"
 	"repro/internal/wd"
 )
 
@@ -168,6 +170,16 @@ func EstimateCut(g *graph.Graph, seed int64, pool *par.Pool, m *wd.Meter) int64 
 
 // SampleTrees runs the full Lemma 1 pipeline on a connected graph.
 func SampleTrees(g *graph.Graph, opt Options, pool *par.Pool, m *wd.Meter) (*Result, error) {
+	return SampleTreesContext(context.Background(), g, opt, pool, m, nil)
+}
+
+// SampleTreesContext is SampleTrees with cooperative cancellation and a
+// live progress sink. ctx is checked between estimate guesses and between
+// greedy packing rounds — the packing phase dominates many solves, so a
+// canceled solve must be able to unwind from inside it, not only at the
+// phase boundary before it. sink (nil OK) is advanced one PackRoundDone
+// per greedy round; instrumentation never affects the sampled trees.
+func SampleTreesContext(ctx context.Context, g *graph.Graph, opt Options, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (*Result, error) {
 	opt = opt.withDefaults()
 	n := g.N()
 	if n < 2 {
@@ -187,6 +199,9 @@ func SampleTrees(g *graph.Graph, opt Options, pool *par.Pool, m *wd.Meter) (*Res
 	if upper < 1 {
 		return nil, fmt.Errorf("packing: graph has an isolated vertex")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("packing: canceled: %w", err)
+	}
 	est := EstimateCut(g, opt.Seed, pool, m)
 	ch := 2 * est
 	if ch > upper {
@@ -202,13 +217,20 @@ func SampleTrees(g *graph.Graph, opt Options, pool *par.Pool, m *wd.Meter) (*Res
 		if guess > 64 {
 			return nil, fmt.Errorf("packing: estimate loop failed to converge")
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("packing: canceled: %w", err)
+		}
 		p := opt.Kappa * lnN / float64(ch)
 		if p > 1 {
 			p = 1
 		}
 		edges, origin := skeleton(g, p, ch, int64(rounds), rng)
 		atFloor := p >= 1
-		trees, maxLoad, ok := pack(n, edges, rounds, pool, m)
+		sink.AddPackRounds(int64(rounds))
+		trees, maxLoad, ok, err := pack(ctx, n, edges, rounds, pool, m, sink)
+		if err != nil {
+			return nil, err
+		}
 		if ok {
 			tau := float64(rounds) / float64(maxLoad)
 			if tau >= threshold || atFloor {
@@ -233,21 +255,26 @@ func SampleTrees(g *graph.Graph, opt Options, pool *par.Pool, m *wd.Meter) (*Res
 // tree with respect to the current integer loads, then increments the
 // loads of its edges. Returns the trees (as skeleton edge indices), the
 // maximum load (the packing value is rounds/maxLoad), and whether the
-// skeleton was connected.
-func pack(n int, edges []graph.Edge, rounds int, pool *par.Pool, m *wd.Meter) (trees [][]int32, maxLoad int64, ok bool) {
+// skeleton was connected. Each round is a cancellation seam (and a
+// progress tick): rounds are the packing phase's unit of work.
+func pack(ctx context.Context, n int, edges []graph.Edge, rounds int, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (trees [][]int32, maxLoad int64, ok bool, err error) {
 	if len(edges) < n-1 {
-		return nil, 0, false
+		return nil, 0, false, nil
 	}
 	load := make([]int64, len(edges))
 	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, false, fmt.Errorf("packing: canceled at round %d/%d: %w", r, rounds, err)
+		}
 		sel, comps := mst.Forest(n, edges, load, pool, m)
 		if comps != 1 {
-			return nil, 0, false
+			return nil, 0, false, nil
 		}
 		for _, i := range sel {
 			load[i]++
 		}
 		trees = append(trees, sel)
+		sink.PackRoundDone()
 	}
 	maxLoad = 1
 	for _, l := range load {
@@ -255,7 +282,7 @@ func pack(n int, edges []graph.Edge, rounds int, pool *par.Pool, m *wd.Meter) (t
 			maxLoad = l
 		}
 	}
-	return trees, maxLoad, true
+	return trees, maxLoad, true, nil
 }
 
 // chooseTrees samples treeCount trees uniformly from the packing (Karger:

@@ -1,0 +1,61 @@
+package progress
+
+import "testing"
+
+// TestNilSinkIsSafe: every update and read must be a no-op on a nil sink,
+// so code paths can thread one unconditionally.
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	s.EnterPhase(PhasePacking)
+	s.SetRuns(3)
+	s.RunDone()
+	s.AddPackRounds(10)
+	s.PackRoundDone()
+	s.AddTrees(5)
+	s.TreeDone()
+	s.AddBoughs(2)
+	s.BoughPhaseDone()
+	if got := s.Snapshot(); got != (Snapshot{}) {
+		t.Fatalf("nil sink snapshot = %+v, want zero", got)
+	}
+	if s.Phase() != PhaseNone {
+		t.Fatalf("nil sink phase = %v", s.Phase())
+	}
+}
+
+// TestSinkCountersAndNotify: counters accumulate and the hook fires at
+// milestones but not on per-round updates.
+func TestSinkCountersAndNotify(t *testing.T) {
+	var s Sink
+	notifies := 0
+	s.Notify = func() { notifies++ }
+	s.SetRuns(2)
+	s.EnterPhase(PhasePacking) // notify 1
+	s.AddPackRounds(24)
+	for i := 0; i < 24; i++ {
+		s.PackRoundDone() // no notify: hot path
+	}
+	s.AddTrees(3)
+	s.EnterPhase(PhaseScan) // notify 2
+	s.AddBoughs(4)
+	s.BoughPhaseDone() // notify 3
+	s.TreeDone()       // notify 4
+	s.RunDone()        // notify 5
+
+	got := s.Snapshot()
+	want := Snapshot{
+		Phase: PhaseScan, RunsDone: 1, RunsTotal: 2,
+		PackRoundsDone: 24, PackRoundsTotal: 24,
+		TreesDone: 1, TreesTotal: 3,
+		BoughPhasesDone: 1, BoughsProcessed: 4,
+	}
+	if got != want {
+		t.Fatalf("snapshot = %+v, want %+v", got, want)
+	}
+	if notifies != 5 {
+		t.Fatalf("notify fired %d times, want 5", notifies)
+	}
+	if PhasePacking.String() != "packing" || PhaseScan.String() != "scan" || PhaseNone.String() != "none" {
+		t.Fatal("phase names drifted from the wire format")
+	}
+}

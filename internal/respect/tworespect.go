@@ -9,6 +9,7 @@ import (
 	"repro/internal/lca"
 	"repro/internal/minpath"
 	"repro/internal/par"
+	"repro/internal/progress"
 	"repro/internal/tree"
 	"repro/internal/wd"
 )
@@ -116,10 +117,10 @@ func (j *phaseJob) run(pool *par.Pool, m *wd.Meter) {
 // scan instead stops before executing batches of that phase and stores
 // the phase state in *out (witness rebuild mode).
 func scan(g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, pool *par.Pool, m *wd.Meter) (int64, provenance, error) {
-	return scanMode(context.Background(), g, parent, stopAtPhase, out, false, pool, m)
+	return scanMode(context.Background(), g, parent, stopAtPhase, out, false, pool, m, nil)
 }
 
-func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, parallelPhases bool, pool *par.Pool, m *wd.Meter) (int64, provenance, error) {
+func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, parallelPhases bool, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (int64, provenance, error) {
 	t, err := tree.FromParentParallel(parent, pool, m)
 	if err != nil {
 		return 0, provenance{}, fmt.Errorf("respect: invalid spanning tree: %v", err)
@@ -142,7 +143,7 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 		}
 		l := lca.New(curT, pool, m)
 		c, rho := CutValues(curG, curT, l, pool, m)
-		paths, member := decomp.Boughs(curT, pool, m)
+		paths, member := decomp.Boughs(curT, pool, m, sink)
 		if stopAtPhase == phase {
 			*out = phaseView{g: curG, t: curT, c: c, rho: rho, paths: paths, member: member, origOf: origOf}
 			return best, prov, nil
@@ -162,6 +163,9 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 			if job.best < best {
 				best, prov = job.best, job.prov
 			}
+			// A completed bough phase is both a progress milestone and the
+			// cancellation seam the next loop iteration checks.
+			sink.BoughPhaseDone()
 		}
 		// Contract the boughs and recurse.
 		ctr := contractBoughs(curG, curT, member, paths, pool, m)
@@ -185,6 +189,7 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 			}
 			locals[i] = new(wd.Meter)
 			deferred[i].run(pool, locals[i])
+			sink.BoughPhaseDone()
 		})
 		if err := ctx.Err(); err != nil {
 			return 0, provenance{}, fmt.Errorf("respect: scan canceled: %w", err)
@@ -205,16 +210,17 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 // ScanParallelPhases is Scan with the paper-faithful concurrent phase
 // execution (§4.3): lower depth, O(m log n) memory.
 func ScanParallelPhases(g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter) (Finding, error) {
-	return ScanParallelPhasesContext(context.Background(), g, parent, pool, m)
+	return ScanParallelPhasesContext(context.Background(), g, parent, pool, m, nil)
 }
 
-// ScanContext is Scan with cooperative cancellation: ctx is checked between
-// bough phases, so cancellation latency is bounded by a single phase.
-func ScanContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter) (Finding, error) {
+// ScanContext is Scan with cooperative cancellation and live progress:
+// ctx is checked between bough phases, so cancellation latency is bounded
+// by a single phase, and sink (nil OK) is advanced at exactly those seams.
+func ScanContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (Finding, error) {
 	if g.N() < 2 {
 		return Finding{}, fmt.Errorf("respect: graph needs at least 2 vertices")
 	}
-	v, p, err := scanMode(ctx, g, parent, -1, nil, false, pool, m)
+	v, p, err := scanMode(ctx, g, parent, -1, nil, false, pool, m, sink)
 	if err != nil {
 		return Finding{}, err
 	}
@@ -222,12 +228,13 @@ func ScanContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.
 }
 
 // ScanParallelPhasesContext is ScanParallelPhases with cooperative
-// cancellation between bough phases.
-func ScanParallelPhasesContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter) (Finding, error) {
+// cancellation between bough phases and the same progress seams as
+// ScanContext.
+func ScanParallelPhasesContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (Finding, error) {
 	if g.N() < 2 {
 		return Finding{}, fmt.Errorf("respect: graph needs at least 2 vertices")
 	}
-	v, p, err := scanMode(ctx, g, parent, -1, nil, true, pool, m)
+	v, p, err := scanMode(ctx, g, parent, -1, nil, true, pool, m, sink)
 	if err != nil {
 		return Finding{}, err
 	}

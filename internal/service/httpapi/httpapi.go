@@ -5,9 +5,10 @@
 //	POST   /v1/graphs:batch              upload many graphs in one request
 //	GET    /v1/graphs/{id}               stored graph info
 //	DELETE /v1/graphs/{id}               remove a graph (memory, disk, result cache)
-//	POST   /v1/graphs/{id}/mincut        solve (sync by default, async opt-in)
+//	POST   /v1/graphs/{id}/mincut        solve (sync by default, async opt-in, QoS class opt-in)
 //	POST   /v1/graphs/{id}/mincut:batch  solve many seeds in one request
-//	GET    /v1/jobs/{id}                 job status / result
+//	GET    /v1/jobs/{id}                 job status / result / live progress
+//	GET    /v1/jobs/{id}/events          NDJSON event stream until the job is terminal
 //	DELETE /v1/jobs/{id}                 cancel a queued or running job
 //	GET    /healthz                      liveness (503 while draining)
 //	GET    /metrics                      Prometheus text exposition
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -58,6 +60,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/graphs/{id}/mincut", s.handleMinCut)
 	mux.HandleFunc("POST /v1/graphs/{id}/mincut:batch", s.handleMinCutBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -192,9 +195,13 @@ type batchUploadEntry struct {
 }
 
 // handleUploadBatch ingests many graphs in one round trip — the bulk
-// re-ingestion path after a migration or a data-dir loss. Items succeed
-// or fail independently; the response reports per-item status in input
-// order. The HTTP status is 200 as long as the envelope was well-formed.
+// re-ingestion path after a migration or a data-dir loss. All parseable
+// items are committed as one registry batch, which group-commits to the
+// disk store (two fsync barriers for the whole batch instead of two per
+// graph). Items succeed or fail independently, except that a failed
+// group commit fails every new item; the response reports per-item
+// status in input order. The HTTP status is 200 as long as the envelope
+// was well-formed.
 func (s *Server) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchUploadRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUploadBytes)).Decode(&req); err != nil {
@@ -215,42 +222,43 @@ func (s *Server) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results := make([]batchUploadEntry, len(req.Graphs))
+	// Parse every item first; only the parseable ones join the group
+	// commit (parse failures are the item's own problem, not the batch's).
+	graphs := make([]*parcut.Graph, 0, len(req.Graphs))
+	graphIdx := make([]int, 0, len(req.Graphs))
 	for i, item := range req.Graphs {
-		results[i] = s.ingestBatchItem(i, item)
+		g, err := parseBatchItem(item)
+		if err != nil {
+			results[i] = batchUploadEntry{Index: i, Status: "failed", Error: err.Error()}
+			continue
+		}
+		graphs = append(graphs, g)
+		graphIdx = append(graphIdx, i)
+	}
+	for k, br := range s.reg.PutGraphBatch(graphs) {
+		i := graphIdx[k]
+		switch {
+		case br.Err != nil:
+			results[i] = batchUploadEntry{Index: i, Status: "failed", Error: br.Err.Error()}
+		case br.Existed:
+			results[i] = batchUploadEntry{Index: i, Status: "existed", ID: br.Info.ID, N: br.Info.N, M: br.Info.M, Bytes: br.Info.Bytes}
+		default:
+			results[i] = batchUploadEntry{Index: i, Status: "created", ID: br.Info.ID, N: br.Info.N, M: br.Info.M, Bytes: br.Info.Bytes}
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
-// ingestBatchItem parses and registers one batch upload item.
-func (s *Server) ingestBatchItem(i int, item batchUploadItem) batchUploadEntry {
-	fail := func(format string, args ...any) batchUploadEntry {
-		return batchUploadEntry{Index: i, Status: "failed", Error: fmt.Sprintf(format, args...)}
-	}
-	var (
-		info    registry.Info
-		existed bool
-		err     error
-	)
+// parseBatchItem decodes one batch upload item in either encoding.
+func parseBatchItem(item batchUploadItem) (*parcut.Graph, error) {
 	switch {
 	case item.Text != "" && item.N == nil && item.Edges == nil:
-		info, existed, err = s.reg.Put(strings.NewReader(item.Text))
+		return parcut.ReadGraph(strings.NewReader(item.Text))
 	case item.Text == "" && item.N != nil:
-		g, berr := buildJSONGraph(*item.N, item.Edges)
-		if berr != nil {
-			return fail("%v", berr)
-		}
-		info, existed, err = s.reg.PutGraph(g)
+		return buildJSONGraph(*item.N, item.Edges)
 	default:
-		return fail(`graph needs exactly one of "text" or "n"+"edges"`)
+		return nil, fmt.Errorf(`graph needs exactly one of "text" or "n"+"edges"`)
 	}
-	if err != nil {
-		return fail("%v", err)
-	}
-	status := "created"
-	if existed {
-		status = "existed"
-	}
-	return batchUploadEntry{Index: i, Status: status, ID: info.ID, N: info.N, M: info.M, Bytes: info.Bytes}
 }
 
 // getGraph fetches a registered graph, writing the HTTP error (404 for
@@ -314,6 +322,10 @@ type mincutRequest struct {
 	WantPartition  bool  `json:"want_partition"`
 	Boost          int   `json:"boost"`
 	ParallelPhases bool  `json:"parallel_phases"`
+	// Class is the job's QoS class: "interactive" (default), "batch", or
+	// "background". Classes share the worker pool by weighted fairness;
+	// see the scheduler docs.
+	Class string `json:"class,omitempty"`
 	// Async returns 202 with a job ID instead of waiting for the result.
 	Async bool `json:"async"`
 	// TimeoutMs bounds how long a synchronous request waits (and, if it is
@@ -326,14 +338,36 @@ type jobResponse struct {
 	JobID        string `json:"job_id"`
 	GraphID      string `json:"graph_id"`
 	Status       string `json:"status"`
+	Class        string `json:"class,omitempty"`
 	Cached       bool   `json:"cached,omitempty"`
 	Value        *int64 `json:"value,omitempty"`
 	InCut        []bool `json:"in_cut,omitempty"`
 	TreesScanned int    `json:"trees_scanned,omitempty"`
 	// Fanout is the number of scheduler sub-jobs a boosted solve was
 	// decomposed into; absent for single-run solves.
-	Fanout int    `json:"fanout,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Fanout int `json:"fanout,omitempty"`
+	// Phase, Progress, and Fraction report live solver progress for
+	// queued/running jobs (phase "fanout" aggregates a boost's sub-jobs).
+	Phase    string                   `json:"phase,omitempty"`
+	Progress *parcut.ProgressSnapshot `json:"progress,omitempty"`
+	Fraction *float64                 `json:"fraction,omitempty"`
+	Error    string                   `json:"error,omitempty"`
+}
+
+// submitErr maps a Submit failure to its HTTP response. Queue-pressure
+// rejections are 429s (the client should back off and retry), draining is
+// 503, an unknown class is the client's 400.
+func submitErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, sched.ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrClassQueueFull):
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, sched.ErrUnknownClass):
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
@@ -357,25 +391,27 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "boost and timeout_ms must be non-negative")
 		return
 	}
+	class, cerr := sched.ParseClass(req.Class)
+	if cerr != nil {
+		writeErr(w, http.StatusBadRequest, "%v", cerr)
+		return
+	}
 	key := sched.Key{GraphID: id, Opt: sched.SolveOptions{
 		Seed:           req.Seed,
 		WantPartition:  req.WantPartition,
 		Boost:          req.Boost,
 		ParallelPhases: req.ParallelPhases,
 	}}
-	job, hit, err := s.sch.Submit(key, g, req.Async)
-	if errors.Is(err, sched.ErrDraining) {
-		writeErr(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
+	job, hit, err := s.sch.Submit(key, g, sched.SubmitOpts{Class: class, Detached: req.Async})
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		submitErr(w, err)
 		return
 	}
 	if req.Async {
 		st, _ := s.sch.Job(job.ID())
 		writeJSON(w, http.StatusAccepted, jobResponse{
-			JobID: job.ID(), GraphID: id, Status: string(st.State), Cached: hit, Fanout: job.Fanout(),
+			JobID: job.ID(), GraphID: id, Status: string(st.State), Class: string(st.Class),
+			Cached: hit, Fanout: job.Fanout(),
 		})
 		return
 	}
@@ -402,7 +438,7 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, jobResponse{
-		JobID: job.ID(), GraphID: id, Status: string(sched.StateDone), Cached: hit,
+		JobID: job.ID(), GraphID: id, Status: string(sched.StateDone), Class: string(class), Cached: hit,
 		Value: &res.Value, InCut: res.InCut, TreesScanned: res.TreesScanned, Fanout: job.Fanout(),
 	})
 }
@@ -427,6 +463,9 @@ type batchRequest struct {
 	Boost          int         `json:"boost"`
 	WantPartition  bool        `json:"want_partition"`
 	ParallelPhases bool        `json:"parallel_phases"`
+	// Class is the QoS class of every solve in the batch; batches default
+	// to "batch" (a bulk request is bulk work), unlike single solves.
+	Class string `json:"class,omitempty"`
 	// TimeoutMs bounds how long the whole batch waits. 0 means no timeout
 	// beyond the client disconnecting.
 	TimeoutMs int64 `json:"timeout_ms"`
@@ -471,6 +510,14 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "boost and timeout_ms must be non-negative")
 		return
 	}
+	if req.Class == "" {
+		req.Class = string(sched.ClassBatch)
+	}
+	class, cerr := sched.ParseClass(req.Class)
+	if cerr != nil {
+		writeErr(w, http.StatusBadRequest, "%v", cerr)
+		return
+	}
 	items := make([]batchItem, 0, len(req.Seeds)+len(req.Items))
 	for _, seed := range req.Seeds {
 		items = append(items, batchItem{Seed: seed, Boost: req.Boost})
@@ -507,7 +554,7 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 			Boost:          it.Boost,
 			ParallelPhases: req.ParallelPhases,
 		}}
-		subs[i].job, subs[i].hit, subs[i].err = s.sch.Submit(key, g, false)
+		subs[i].job, subs[i].hit, subs[i].err = s.sch.Submit(key, g, sched.SubmitOpts{Class: class})
 	}
 
 	ctx := r.Context()
@@ -564,7 +611,19 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	resp := jobResponse{JobID: st.ID, GraphID: st.GraphID, Status: string(st.State), Fanout: st.Fanout, Error: st.Err}
+	resp := jobResponse{
+		JobID: st.ID, GraphID: st.GraphID, Status: string(st.State), Class: string(st.Class),
+		Fanout: st.Fanout, Error: st.Err,
+	}
+	fraction := st.Fraction
+	resp.Fraction = &fraction
+	if st.State == sched.StateQueued || st.State == sched.StateRunning {
+		// Live progress: current phase plus the raw counters, so clients
+		// can render "trees 7/21" alongside the coarse fraction.
+		prog := st.Progress
+		resp.Phase = prog.Phase
+		resp.Progress = &prog
+	}
 	if st.State == sched.StateDone {
 		v := st.Value
 		resp.Value = &v
@@ -572,6 +631,59 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		resp.TreesScanned = st.TreesScanned
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobEvents streams the job's event log as NDJSON — one JSON object
+// per line: lifecycle transitions, solver phase changes, throttled
+// progress updates, and a final terminal "result" event, after which the
+// stream ends. A client that lost its stream resumes without duplicates
+// via ?from=<next seq>. Watch a long solve live with
+//
+//	curl -N localhost:8080/v1/jobs/job-7/events
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.sch.Lookup(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, "bad from=%q", q)
+			return
+		}
+		from = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		evs, wake, ended := j.Events(from)
+		from += len(evs)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return // client gone
+			}
+		}
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		// ended also covers a resume cursor already past a finished log
+		// (?from= beyond the terminal event): nothing more will ever be
+		// appended, so waiting would hang the connection forever.
+		if ended {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
@@ -605,17 +717,58 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
-	counter("mincutd_jobs_submitted_total", "Accepted solve submissions, including cache hits.", m.Submitted)
-	counter("mincutd_jobs_rejected_total", "Solve submissions rejected while draining.", m.Rejected)
-	counter("mincutd_jobs_completed_total", "Jobs that finished successfully.", m.Completed)
+	// Per-class/per-reason breakdowns keep the old unlabelled series as
+	// the sum, so dashboards written against earlier versions keep
+	// working next to the labelled ones.
+	counter("mincutd_jobs_submitted_total", "Accepted solve submissions, including cache hits (sum; class label breaks it down).", m.Submitted)
+	for _, c := range m.Classes {
+		fmt.Fprintf(&b, "mincutd_jobs_submitted_total{class=%q} %d\n", c.Class, c.Submitted)
+	}
+	counter("mincutd_jobs_rejected_total", "Solve submissions rejected (sum; reason label breaks it down).", m.Rejected)
+	fmt.Fprintf(&b, "mincutd_jobs_rejected_total{reason=\"draining\"} %d\n", m.RejectedDraining)
+	fmt.Fprintf(&b, "mincutd_jobs_rejected_total{reason=\"queue_full\"} %d\n", m.RejectedQueueFull)
+	fmt.Fprintf(&b, "mincutd_jobs_rejected_total{reason=\"class_cap\"} %d\n", m.RejectedClassCap)
+	counter("mincutd_jobs_completed_total", "Jobs that finished successfully (sum; class label breaks it down).", m.Completed)
+	for _, c := range m.Classes {
+		fmt.Fprintf(&b, "mincutd_jobs_completed_total{class=%q} %d\n", c.Class, c.Completed)
+	}
 	counter("mincutd_jobs_failed_total", "Jobs that ended in a solver error.", m.Failed)
 	counter("mincutd_jobs_canceled_total", "Jobs canceled before completion.", m.Canceled)
+	var dispatched int64
+	for _, c := range m.Classes {
+		dispatched += c.Dispatched
+	}
+	counter("mincutd_jobs_dispatched_total", "Jobs handed to a worker (sum; class label breaks it down).", dispatched)
+	for _, c := range m.Classes {
+		fmt.Fprintf(&b, "mincutd_jobs_dispatched_total{class=%q} %d\n", c.Class, c.Dispatched)
+	}
+	counter("mincutd_jobs_escalated_total", "Queued jobs promoted to a stronger class by coalescing.", m.Escalated)
+	fmt.Fprintf(&b, "# HELP mincutd_queue_wait_seconds_total Total queued-to-dispatched wall time per class.\n# TYPE mincutd_queue_wait_seconds_total counter\n")
+	for _, c := range m.Classes {
+		fmt.Fprintf(&b, "mincutd_queue_wait_seconds_total{class=%q} %g\n", c.Class, time.Duration(c.QueueWaitNanos).Seconds())
+	}
+	fmt.Fprintf(&b, "# HELP mincutd_solve_phase_seconds Solver wall time attributed to pipeline phases (canceled tails included).\n# TYPE mincutd_solve_phase_seconds summary\n")
+	for _, ph := range m.PhaseSeconds {
+		fmt.Fprintf(&b, "mincutd_solve_phase_seconds_sum{phase=%q} %g\n", ph.Phase, time.Duration(ph.Nanos).Seconds())
+		fmt.Fprintf(&b, "mincutd_solve_phase_seconds_count{phase=%q} %d\n", ph.Phase, ph.Count)
+	}
 	counter("mincutd_cache_hits_total", "Submissions served without a new solver run (cached result or coalesced onto an in-flight job).", m.CacheHits)
 	counter("mincutd_jobs_coalesced_total", "Submissions that joined an in-flight job (subset of cache hits).", m.Coalesced)
 	counter("mincutd_boost_fanouts_total", "Boosted solves decomposed into parallel sub-jobs.", m.Fanouts)
 	counter("mincutd_boost_subjobs_total", "Sub-jobs requested by boost fan-outs.", m.SubJobs)
 	counter("mincutd_boost_subjobs_shared_total", "Fan-out sub-jobs served by an existing or cached run.", m.SubJobsShared)
-	gauge("mincutd_queue_depth", "Jobs waiting for a worker.", int64(m.QueueDepth))
+	gauge("mincutd_queue_depth", "Jobs waiting for a worker (sum; class label breaks it down).", int64(m.QueueDepth))
+	for _, c := range m.Classes {
+		fmt.Fprintf(&b, "mincutd_queue_depth{class=%q} %d\n", c.Class, c.QueueDepth)
+	}
+	fmt.Fprintf(&b, "# HELP mincutd_class_weight Deficit-round-robin dispatch weight per class.\n# TYPE mincutd_class_weight gauge\n")
+	for _, c := range m.Classes {
+		fmt.Fprintf(&b, "mincutd_class_weight{class=%q} %d\n", c.Class, c.Weight)
+	}
+	fmt.Fprintf(&b, "# HELP mincutd_class_queue_cap Per-class queued-job admission cap (0 = unbounded).\n# TYPE mincutd_class_queue_cap gauge\n")
+	for _, c := range m.Classes {
+		fmt.Fprintf(&b, "mincutd_class_queue_cap{class=%q} %d\n", c.Class, c.QueueCap)
+	}
 	gauge("mincutd_jobs_running", "Jobs currently on a worker.", int64(m.Running))
 	gauge("mincutd_jobs_running_peak", "High-water mark of jobs concurrently on workers.", int64(m.PeakRunning))
 	gauge("mincutd_workers", "Worker pool size.", int64(m.Workers))
@@ -648,6 +801,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("mincutd_store_corrupt_tail_total", "Torn tail writes truncated during startup recovery.", ss.CorruptTail)
 		counter("mincutd_store_puts_total", "Graphs durably committed to disk.", ss.Puts)
 		counter("mincutd_store_deletes_total", "Graphs tombstoned on disk.", ss.Deletes)
+		counter("mincutd_store_fsyncs_total", "Fsync barriers issued by the commit protocol (group commit amortizes these over batches).", ss.Syncs)
 	}
 	_, _ = io.WriteString(w, b.String())
 }

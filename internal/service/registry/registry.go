@@ -49,6 +49,15 @@ var ErrNotFound = errors.New("registry: graph not found")
 // through errors.Is.
 var ErrStore = errors.New("registry: backend store failure")
 
+// BatchBackend is optionally implemented by backends that can commit many
+// graphs with one set of fsync barriers (the store's group commit).
+// PutGraphBatch uses it when present and falls back to per-item Puts
+// otherwise. The result slice aligns with ids; a batch error means
+// nothing new was committed.
+type BatchBackend interface {
+	PutMany(ids []string, gs []*parcut.Graph) (existed []bool, err error)
+}
+
 // Backend is a durable second level under the in-memory LRU. Implemented
 // by internal/service/store; all methods must be safe for concurrent use.
 type Backend interface {
@@ -161,21 +170,11 @@ func (r *Registry) Put(src io.Reader) (Info, bool, error) {
 // order, so results for an ID are reproducible across permuted uploads.
 // With a backend, the graph is durable before PutGraph returns.
 func (r *Registry) PutGraph(g *parcut.Graph) (Info, bool, error) {
-	g = g.Canonical()
 	// Hash the canonical serialization as a stream; materializing it would
 	// transiently cost hundreds of MB for graphs near the budget.
-	h := sha256.New()
-	if err := g.Write(h); err != nil {
-		return Info{}, false, fmt.Errorf("registry: canonicalize: %v", err)
-	}
-	info := Info{
-		ID:    IDPrefix + hex.EncodeToString(h.Sum(nil)),
-		N:     g.N(),
-		M:     g.M(),
-		Bytes: int64(g.M()) * edgeBytes,
-	}
-	if r.capacity > 0 && info.Bytes > r.capacity {
-		return Info{}, false, fmt.Errorf("registry: graph needs %d edge bytes, capacity is %d", info.Bytes, r.capacity)
+	g, info, err := r.hashGraph(g)
+	if err != nil {
+		return Info{}, false, err
 	}
 
 	r.mu.Lock()
@@ -223,7 +222,7 @@ func (r *Registry) PutGraph(g *parcut.Graph) (Info, bool, error) {
 	r.entries[info.ID] = e
 	r.mu.Unlock()
 
-	_, err := r.backend.Put(info.ID, g)
+	_, err = r.backend.Put(info.ID, g)
 
 	r.mu.Lock()
 	close(e.loading)
@@ -241,6 +240,166 @@ func (r *Registry) PutGraph(g *parcut.Graph) (Info, bool, error) {
 	}
 	r.mu.Unlock()
 	return info, false, nil
+}
+
+// BatchResult is one item's outcome of PutGraphBatch, aligned with the
+// input slice.
+type BatchResult struct {
+	Info    Info
+	Existed bool
+	Err     error
+}
+
+// hashGraph canonicalizes g and computes its content-addressed Info.
+func (r *Registry) hashGraph(g *parcut.Graph) (*parcut.Graph, Info, error) {
+	g = g.Canonical()
+	h := sha256.New()
+	if err := g.Write(h); err != nil {
+		return nil, Info{}, fmt.Errorf("registry: canonicalize: %v", err)
+	}
+	info := Info{
+		ID:    IDPrefix + hex.EncodeToString(h.Sum(nil)),
+		N:     g.N(),
+		M:     g.M(),
+		Bytes: int64(g.M()) * edgeBytes,
+	}
+	if r.capacity > 0 && info.Bytes > r.capacity {
+		return nil, Info{}, fmt.Errorf("registry: graph needs %d edge bytes, capacity is %d", info.Bytes, r.capacity)
+	}
+	return g, info, nil
+}
+
+// PutGraphBatch stores many graphs at once. With a backend that supports
+// group commit (BatchBackend — the disk store), all new graphs of the
+// batch are made durable with two fsync barriers total instead of two
+// per graph; without one it degrades to per-item PutGraph calls. Items
+// succeed or fail independently except that a group-commit failure fails
+// every new item of the batch (nothing was committed). Duplicates —
+// against the registry, the backend, or earlier items of the same batch
+// — report Existed.
+func (r *Registry) PutGraphBatch(gs []*parcut.Graph) []BatchResult {
+	out := make([]BatchResult, len(gs))
+	bb, batchable := r.backend.(BatchBackend)
+	if !batchable {
+		for i, g := range gs {
+			out[i].Info, out[i].Existed, out[i].Err = r.PutGraph(g)
+		}
+		return out
+	}
+	type item struct {
+		g    *parcut.Graph
+		info Info
+	}
+	items := make([]item, len(gs))
+	for i, g := range gs {
+		cg, info, err := r.hashGraph(g)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		items[i] = item{g: cg, info: info}
+	}
+	// Classify under the lock: known ids resolve immediately, brand-new
+	// ids get pending placeholders (durability before visibility, same
+	// protocol as PutGraph), and ids with an upload or load already in
+	// flight fall back to the singular path, which knows how to wait.
+	var newIdx, fallback []int
+	firstOf := make(map[string]int) // id -> index of the batch's first copy
+	var dups []int
+	placeholders := make(map[string]*entry)
+	r.mu.Lock()
+	for i := range items {
+		if out[i].Err != nil || items[i].g == nil {
+			continue
+		}
+		id := items[i].info.ID
+		// A repeat of an id this batch already claimed must be checked
+		// before the entries lookup: the first copy's placeholder is in
+		// entries with loading set, and the loading branch below would
+		// misroute the duplicate to the singular fallback (re-hashing the
+		// graph and, on a failed group commit, committing it solo against
+		// the all-or-nothing contract).
+		if _, dup := firstOf[id]; dup {
+			dups = append(dups, i)
+			continue
+		}
+		if e, ok := r.entries[id]; ok {
+			if e.loading != nil {
+				fallback = append(fallback, i)
+				continue
+			}
+			r.dedups.Add(1)
+			if e.elem != nil {
+				r.lru.MoveToFront(e.elem)
+			} else {
+				r.makeResidentLocked(e, items[i].g)
+			}
+			out[i].Info, out[i].Existed = e.info, true
+			continue
+		}
+		firstOf[id] = i
+		e := &entry{info: items[i].info, loading: make(chan struct{}), pending: true}
+		r.entries[id] = e
+		placeholders[id] = e
+		newIdx = append(newIdx, i)
+	}
+	r.mu.Unlock()
+
+	var batchErr error
+	var existedB []bool
+	if len(newIdx) > 0 {
+		ids := make([]string, len(newIdx))
+		graphs := make([]*parcut.Graph, len(newIdx))
+		for k, i := range newIdx {
+			ids[k] = items[i].info.ID
+			graphs[k] = items[i].g
+		}
+		existedB, batchErr = bb.PutMany(ids, graphs)
+	}
+
+	r.mu.Lock()
+	for k, i := range newIdx {
+		id := items[i].info.ID
+		e := placeholders[id]
+		close(e.loading)
+		e.loading = nil
+		e.pending = false
+		if batchErr != nil {
+			if r.entries[id] == e {
+				delete(r.entries, id)
+			}
+			out[i].Err = fmt.Errorf("store %s: %w", id, errors.Join(ErrStore, batchErr))
+			continue
+		}
+		out[i].Info = items[i].info
+		if existedB[k] {
+			// The backend held it from before this registry's lifetime
+			// (e.g. a restart recovered it to disk but the index entry was
+			// deleted meanwhile) — a dedup from the caller's point of view.
+			out[i].Existed = true
+			r.dedups.Add(1)
+		}
+		if r.entries[id] == e && e.g == nil {
+			r.makeResidentLocked(e, items[i].g)
+		}
+	}
+	// Later copies of an id within the batch share the first copy's
+	// outcome, as Existed (their content is durable iff the first commit
+	// succeeded).
+	for _, i := range dups {
+		first := firstOf[items[i].info.ID]
+		out[i] = out[first]
+		if out[i].Err == nil {
+			out[i].Existed = true
+			r.dedups.Add(1)
+		}
+	}
+	r.mu.Unlock()
+
+	for _, i := range fallback {
+		out[i].Info, out[i].Existed, out[i].Err = r.PutGraph(gs[i])
+	}
+	return out
 }
 
 // makeResidentLocked installs g as e's resident bytes and charges the

@@ -1,0 +1,83 @@
+package registry
+
+import (
+	"testing"
+
+	parcut "repro"
+	"repro/internal/service/store"
+)
+
+// TestPutGraphBatchGroupCommits: the registry's batch path commits every
+// new graph of the batch through the store's group commit — two fsync
+// barriers for the whole batch — and resolves dedup against the registry,
+// the disk, and earlier items of the same batch.
+func TestPutGraphBatchGroupCommits(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir(), NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	r := New(0, st)
+
+	pre := parcut.RandomGraph(10, 20, 9, 1)
+	preInfo, _, err := r.PutGraph(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gs := []*parcut.Graph{
+		parcut.RandomGraph(10, 20, 9, 2),
+		pre, // known to the registry already
+		parcut.RandomGraph(10, 20, 9, 3),
+		parcut.RandomGraph(10, 20, 9, 2), // duplicate of item 0 within the batch
+	}
+	base := st.Stats().Syncs
+	out := r.PutGraphBatch(gs)
+	if got := st.Stats().Syncs - base; got != 2 {
+		t.Fatalf("batch issued %d fsync barriers, want 2 (group commit)", got)
+	}
+	for i, br := range out {
+		if br.Err != nil {
+			t.Fatalf("item %d: %v", i, br.Err)
+		}
+	}
+	if out[0].Existed || out[2].Existed {
+		t.Fatalf("fresh items reported existed: %+v", out)
+	}
+	if !out[1].Existed || out[1].Info != preInfo {
+		t.Fatalf("pre-registered item = %+v, want existed with info %+v", out[1], preInfo)
+	}
+	if !out[3].Existed || out[3].Info != out[0].Info {
+		t.Fatalf("within-batch duplicate = %+v, want existed with item 0's info", out[3])
+	}
+
+	// Every committed graph answers Get and survives in the store.
+	for _, br := range out {
+		if _, _, err := r.Get(br.Info.ID); err != nil {
+			t.Fatalf("Get(%s): %v", br.Info.ID, err)
+		}
+		if _, ok := st.Info(br.Info.ID); !ok {
+			t.Fatalf("store missing %s after batch", br.Info.ID)
+		}
+	}
+	if s := r.Stats(); s.Graphs != 3 || s.Dedups != 2 {
+		t.Fatalf("stats = %+v, want 3 graphs, 2 dedups", s)
+	}
+}
+
+// TestPutGraphBatchMemoryOnly: without a batch-capable backend the path
+// degrades to per-item semantics with identical outcomes.
+func TestPutGraphBatchMemoryOnly(t *testing.T) {
+	r := New(0, nil)
+	g := parcut.RandomGraph(10, 20, 9, 4)
+	out := r.PutGraphBatch([]*parcut.Graph{g, g})
+	if out[0].Err != nil || out[1].Err != nil {
+		t.Fatalf("batch errors: %+v", out)
+	}
+	if out[0].Existed || !out[1].Existed {
+		t.Fatalf("existed flags = %v/%v, want false/true", out[0].Existed, out[1].Existed)
+	}
+	if s := r.Stats(); s.Graphs != 1 {
+		t.Fatalf("stats = %+v, want 1 graph", s)
+	}
+}

@@ -21,6 +21,21 @@ type counters struct {
 	cacheHits atomic.Int64
 	coalesced atomic.Int64
 
+	// Rejections by reason; their sum is `rejected`.
+	rejectedDraining  atomic.Int64
+	rejectedQueueFull atomic.Int64
+	rejectedClassCap  atomic.Int64
+
+	// Per-class counters, indexed by classRank.
+	submittedBy      [numClasses]atomic.Int64
+	dispatchedBy     [numClasses]atomic.Int64
+	completedBy      [numClasses]atomic.Int64
+	queueWaitNanosBy [numClasses]atomic.Int64
+
+	// escalated counts queued jobs requeued onto a stronger class after a
+	// higher-class request coalesced onto them.
+	escalated atomic.Int64
+
 	fanouts       atomic.Int64
 	subJobs       atomic.Int64
 	subJobsShared atomic.Int64
@@ -28,6 +43,14 @@ type counters struct {
 	solveCount atomic.Int64
 	solveNanos atomic.Int64
 	buckets    [len(latencyBuckets)]atomic.Int64 // cumulative, le semantics
+
+	// Wall time per solver phase, fed by the jobs' progress hooks (tails
+	// of canceled runs included — operators care where time went, not
+	// only where it succeeded).
+	phasePackingNanos atomic.Int64
+	phasePackingCount atomic.Int64
+	phaseScanNanos    atomic.Int64
+	phaseScanCount    atomic.Int64
 }
 
 func (c *counters) observeSolve(d time.Duration) {
@@ -41,19 +64,62 @@ func (c *counters) observeSolve(d time.Duration) {
 	}
 }
 
+// observePhase attributes d of solver wall time to the named phase.
+func (c *counters) observePhase(phase string, d time.Duration) {
+	switch phase {
+	case "packing":
+		c.phasePackingNanos.Add(int64(d))
+		c.phasePackingCount.Add(1)
+	case "scan":
+		c.phaseScanNanos.Add(int64(d))
+		c.phaseScanCount.Add(1)
+	}
+}
+
 // LatencyBucket is one cumulative histogram bucket.
 type LatencyBucket struct {
 	UpperBound float64 // seconds; the final +Inf bucket is SolveCount
 	Count      int64
 }
 
+// ClassMetrics is one QoS class's share of the scheduler's counters.
+type ClassMetrics struct {
+	Class Class
+	// Weight is the class's DRR quantum; QueueCap its admission bound
+	// (0 = unbounded).
+	Weight, QueueCap int
+	// QueueDepth is the class's current queued jobs; Submitted,
+	// Dispatched, and Completed its monotonic lifecycle counters, and
+	// QueueWaitNanos the total queued-to-dispatched wall time (so
+	// QueueWaitNanos/Dispatched is the class's mean queue wait).
+	QueueDepth                       int
+	Submitted, Dispatched, Completed int64
+	QueueWaitNanos                   int64
+}
+
+// PhaseSeconds is wall time attributed to one solver phase.
+type PhaseSeconds struct {
+	Phase string
+	Nanos int64
+	Count int64 // completed phase spans
+}
+
 // Metrics is a point-in-time snapshot of the scheduler's counters and
 // gauges.
 type Metrics struct {
 	// Submitted counts accepted Submit calls; Rejected the submissions
-	// turned away while draining. Completed/Failed/Canceled partition the
-	// jobs that reached a terminal state.
-	Submitted, Rejected, Completed, Failed, Canceled int64
+	// turned away (RejectedDraining + RejectedQueueFull +
+	// RejectedClassCap partition it by reason). Completed/Failed/Canceled
+	// partition the jobs that reached a terminal state.
+	Submitted, Rejected, Completed, Failed, Canceled      int64
+	RejectedDraining, RejectedQueueFull, RejectedClassCap int64
+	// Classes breaks the load down by QoS class, indexed by classRank
+	// (i.e. the order of the package-level Classes list). Escalated
+	// counts queued jobs promoted to a stronger class by coalescing.
+	Classes   [numClasses]ClassMetrics
+	Escalated int64
+	// PhaseSeconds attributes solver wall time to pipeline phases.
+	PhaseSeconds []PhaseSeconds
 	// CacheHits counts Submit calls served without a new solver run —
 	// either a finished cached result or joining an in-flight job.
 	// Coalesced is the in-flight-join subset.
@@ -76,18 +142,35 @@ type Metrics struct {
 
 func (c *counters) snapshot() Metrics {
 	m := Metrics{
-		Submitted:     c.submitted.Load(),
-		Rejected:      c.rejected.Load(),
-		Completed:     c.completed.Load(),
-		Failed:        c.failed.Load(),
-		Canceled:      c.canceled.Load(),
-		CacheHits:     c.cacheHits.Load(),
-		Coalesced:     c.coalesced.Load(),
-		Fanouts:       c.fanouts.Load(),
-		SubJobs:       c.subJobs.Load(),
-		SubJobsShared: c.subJobsShared.Load(),
-		SolveCount:    c.solveCount.Load(),
-		SolveNanos:    c.solveNanos.Load(),
+		Submitted:         c.submitted.Load(),
+		Rejected:          c.rejected.Load(),
+		Completed:         c.completed.Load(),
+		Failed:            c.failed.Load(),
+		Canceled:          c.canceled.Load(),
+		RejectedDraining:  c.rejectedDraining.Load(),
+		RejectedQueueFull: c.rejectedQueueFull.Load(),
+		RejectedClassCap:  c.rejectedClassCap.Load(),
+		Escalated:         c.escalated.Load(),
+		CacheHits:         c.cacheHits.Load(),
+		Coalesced:         c.coalesced.Load(),
+		Fanouts:           c.fanouts.Load(),
+		SubJobs:           c.subJobs.Load(),
+		SubJobsShared:     c.subJobsShared.Load(),
+		SolveCount:        c.solveCount.Load(),
+		SolveNanos:        c.solveNanos.Load(),
+	}
+	for i := range Classes {
+		m.Classes[i] = ClassMetrics{
+			Class:          Classes[i],
+			Submitted:      c.submittedBy[i].Load(),
+			Dispatched:     c.dispatchedBy[i].Load(),
+			Completed:      c.completedBy[i].Load(),
+			QueueWaitNanos: c.queueWaitNanosBy[i].Load(),
+		}
+	}
+	m.PhaseSeconds = []PhaseSeconds{
+		{Phase: "packing", Nanos: c.phasePackingNanos.Load(), Count: c.phasePackingCount.Load()},
+		{Phase: "scan", Nanos: c.phaseScanNanos.Load(), Count: c.phaseScanCount.Load()},
 	}
 	for i, ub := range latencyBuckets {
 		m.LatencyBuckets = append(m.LatencyBuckets, LatencyBucket{UpperBound: ub, Count: c.buckets[i].Load()})

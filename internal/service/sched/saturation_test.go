@@ -57,7 +57,7 @@ func TestNoOversubscription(t *testing.T) {
 	}()
 	for i := 0; i < jobs; i++ {
 		key := Key{GraphID: fmt.Sprintf("g%d", i), Opt: SolveOptions{Seed: int64(i)}}
-		j, _, err := s.Submit(key, saturationGraph(int64(i)), false)
+		j, _, err := s.Submit(key, saturationGraph(int64(i)), SubmitOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func TestSolveParallelismConfig(t *testing.T) {
 	}
 	// Results on a partitioned scheduler match a plain sequential solve.
 	g := saturationGraph(99)
-	j, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 4, WantPartition: true}}, g, false)
+	j, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 4, WantPartition: true}}, g, SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func BenchmarkSaturation(b *testing.B) {
 		for pb.Next() {
 			i := seq.Add(1)
 			key := Key{GraphID: fmt.Sprintf("bench%d", i), Opt: SolveOptions{Seed: i}}
-			j, _, err := s.Submit(key, saturationGraph(7), false)
+			j, _, err := s.Submit(key, saturationGraph(7), SubmitOpts{})
 			if err != nil {
 				b.Fatal(err)
 			}

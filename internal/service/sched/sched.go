@@ -1,9 +1,22 @@
 // Package sched runs minimum-cut jobs on a bounded worker pool. It is the
 // service layer's concurrency core: requests become Jobs, identical
 // requests coalesce into one solver run (singleflight keyed by graph hash,
-// seed, and options), finished results are cached, smaller graphs are
-// solved first, every job carries a context so callers can cancel or
-// time out, and Shutdown drains in-flight work before returning.
+// seed, and options), finished results are cached, every job carries a
+// context so callers can cancel or time out, and Shutdown drains in-flight
+// work before returning.
+//
+// Jobs are classed (interactive / batch / background) and dispatched by
+// weighted fairness: each class owns a queue (smallest-graph-first within
+// the class, with periodic oldest-first aging pops), and workers pick the
+// next job by deficit round robin over the configured class weights, so
+// no class can starve another — see class.go. Per-class queue caps and a
+// global queue bound reject excess load at Submit time with typed errors
+// the API maps to 429s.
+//
+// Every job carries a live progress sink (parcut.Progress) threaded into
+// the solver and an event log: lifecycle transitions, solver phase
+// changes, and throttled counter updates, streamed to clients as NDJSON
+// and aggregated into the solve-phase-seconds metrics.
 //
 // The machine's cores are partitioned across the pool: each worker owns a
 // long-lived parcut.Executor of width Config.SolveParallelism (default
@@ -23,7 +36,7 @@
 package sched
 
 import (
-	"container/heap"
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -36,6 +49,15 @@ import (
 
 // ErrDraining is returned by Submit once Shutdown has begun.
 var ErrDraining = errors.New("sched: scheduler is draining")
+
+// ErrQueueFull is returned by Submit when the global queue bound
+// (Config.MaxQueue) is reached.
+var ErrQueueFull = errors.New("sched: queue full")
+
+// ErrClassQueueFull is returned by Submit when the submitting class's
+// queue cap (Config.ClassQueueCaps) is reached. Other classes may still
+// have room — the caller's load, not the service, is what is saturated.
+var ErrClassQueueFull = errors.New("sched: class queue cap reached")
 
 // SolveOptions is the comparable subset of parcut.Options that, together
 // with the graph ID, keys the result cache. Submit normalizes Boost (0
@@ -96,9 +118,11 @@ type Job struct {
 	key Key
 	g   *parcut.Graph
 
-	prio    int    // graph edge count; smaller solves first
-	seq     uint64 // FIFO tiebreak
-	heapIdx int    // index in the queue heap; -1 once popped or removed
+	class    Class
+	prio     int           // graph edge count; smaller solves first within a class
+	seq      uint64        // FIFO tiebreak
+	heapIdx  int           // index in its class queue heap; -1 once popped or removed
+	fifoElem *list.Element // position in its class's arrival FIFO (aging); nil once dequeued
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -107,11 +131,29 @@ type Job struct {
 	detached bool    // submitted without a waiter; never auto-canceled
 	group    *fanout // non-nil for boost fan-out parents
 
-	state    State
-	res      parcut.Result
-	err      error
-	created  time.Time
-	finished time.Time
+	// prog is the live progress sink threaded into the solver; its hook
+	// feeds the event log and the phase-seconds metrics.
+	prog *parcut.Progress
+
+	state       State
+	res         parcut.Result
+	err         error
+	created     time.Time
+	dispatched  time.Time // when a worker picked the job up
+	dispatchSeq uint64    // global dispatch order (0 = never dispatched)
+	finished    time.Time
+	histBytes   int64 // memory charged against HistoryBytes at publish
+
+	// Event log, guarded by evMu (never by the scheduler mutex: the
+	// solver hook appends while holding only evMu, so progress updates
+	// cannot contend with Submit/Wait traffic). evWake is closed and
+	// replaced on every append.
+	evMu       sync.Mutex
+	events     []Event
+	evWake     chan struct{}
+	evPhase    string
+	evPhaseAt  time.Time
+	evLastProg time.Time
 
 	done chan struct{}
 }
@@ -121,6 +163,27 @@ func (j *Job) ID() string { return j.id }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Progress returns a live snapshot of the job's solver counters. For a
+// fan-out parent it aggregates the children's sinks (phase "fanout").
+// Safe to call at any time; purely atomic reads.
+func (j *Job) Progress() parcut.ProgressSnapshot {
+	if j.group == nil {
+		return j.prog.Snapshot()
+	}
+	agg := parcut.ProgressSnapshot{Phase: "fanout", RunsTotal: int64(j.key.Opt.Boost)}
+	for _, c := range j.group.children {
+		ps := c.prog.Snapshot()
+		agg.RunsDone += ps.RunsDone
+		agg.PackRoundsDone += ps.PackRoundsDone
+		agg.PackRoundsTotal += ps.PackRoundsTotal
+		agg.TreesScanned += ps.TreesScanned
+		agg.TreesTotal += ps.TreesTotal
+		agg.BoughPhasesDone += ps.BoughPhasesDone
+		agg.BoughsProcessed += ps.BoughsProcessed
+	}
+	return agg
+}
 
 // Fanout returns the number of sub-jobs a boosted solve was decomposed
 // into, 0 for ordinary jobs. It is fixed at Submit time, so reading it
@@ -137,16 +200,29 @@ type Status struct {
 	ID           string
 	GraphID      string
 	Opt          SolveOptions
+	Class        Class
 	State        State
 	Value        int64
 	InCut        []bool
 	TreesScanned int
 	// Fanout is the number of sub-jobs a boosted solve was decomposed
 	// into; 0 for ordinary jobs.
-	Fanout   int
+	Fanout int
+	// Progress is the live solver snapshot (aggregated over sub-jobs for
+	// fan-out parents); Fraction is its display-oriented completion
+	// estimate, forced to 1 for done jobs.
+	Progress parcut.ProgressSnapshot
+	Fraction float64
 	Err      string
 	Created  time.Time
-	Finished time.Time
+	// Dispatched is when a worker picked the job up (zero while queued
+	// and for fan-out parents, which never occupy a worker);
+	// DispatchSeq is the job's position in the scheduler's global
+	// dispatch order (1-based; 0 = never dispatched) — fairness tests
+	// and audits read the weighted-fair interleaving from it.
+	Dispatched  time.Time
+	DispatchSeq uint64
+	Finished    time.Time
 }
 
 // Config sizes a Scheduler.
@@ -156,9 +232,10 @@ type Config struct {
 	// History bounds how many finished jobs (and their cached results)
 	// are retained; 0 means 1024.
 	History int
-	// HistoryBytes additionally bounds the partition bytes (Result.InCut)
-	// those retained jobs may pin, evicting oldest-first past the budget —
-	// a count bound alone would let 1024 partitions of huge graphs dwarf
+	// HistoryBytes additionally bounds the memory those retained jobs may
+	// pin — partition bytes (Result.InCut) plus their event logs —
+	// evicting oldest-first past the budget; a count bound alone would
+	// let 1024 partitions of huge graphs (or 1024 full event logs) dwarf
 	// the registry budget. 0 means 256 MiB.
 	HistoryBytes int64
 	// MaxFanout caps how many sub-jobs a boosted solve is decomposed
@@ -173,6 +250,21 @@ type Config struct {
 	// whole machine is saturated — never exceeded — when every worker is
 	// busy. Solver results are identical at every width.
 	SolveParallelism int
+	// ClassWeights sets each class's dispatch share under contention
+	// (deficit-round-robin quantum, unit cost per job). Missing or
+	// non-positive entries take the defaults (interactive 8, batch 4,
+	// background 1). nil means all defaults.
+	ClassWeights map[Class]int
+	// ClassQueueCaps bounds each class's queued jobs; a Submit that would
+	// queue past the cap returns ErrClassQueueFull. 0 or missing means
+	// unbounded. Boost fan-out children are admitted with their parent
+	// but occupy real queue slots of the parent's class, so they count
+	// against the cap for later submissions — one huge boost exerts the
+	// same backpressure as the equivalent number of plain jobs.
+	ClassQueueCaps map[Class]int
+	// MaxQueue bounds the total queued jobs across classes; Submit
+	// returns ErrQueueFull past it. 0 means unbounded.
+	MaxQueue int
 }
 
 // Scheduler owns the worker pool, the priority queue, and the result
@@ -183,21 +275,30 @@ type Scheduler struct {
 	historyBytes int64
 	maxFanout    int
 	solveWidth   int // executor width per solver worker
+	maxQueue     int
+	weights      [numClasses]int
+	caps         [numClasses]int
 
 	baseCtx    context.Context
 	cancelBase context.CancelCauseFunc
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    jobHeap
-	byID     map[string]*Job
-	byKey    map[Key]*Job // in-flight or successfully finished jobs
-	order    []string     // finished job IDs, oldest first (history ring)
-	resBytes int64        // partition bytes pinned by the history
-	nextSeq  uint64
-	draining bool
-	running  int // jobs currently on a worker (fan-out parents excluded)
-	peakRun  int // high-water mark of running
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queues      [numClasses]jobHeap    // one priority queue per class
+	fifos       [numClasses]*list.List // arrival order per class, for aging pops
+	queuedTotal int
+	deficit     [numClasses]int // remaining DRR quantum per class
+	rrIdx       int             // DRR cursor
+	agePops     [numClasses]int // pops since the last aging pop per class
+	byID        map[string]*Job
+	byKey       map[Key]*Job // in-flight or successfully finished jobs
+	order       []string     // finished job IDs, oldest first (history ring)
+	resBytes    int64        // partition bytes pinned by the history
+	nextSeq     uint64
+	dispatchSeq uint64
+	draining    bool
+	running     int // jobs currently on a worker (fan-out parents excluded)
+	peakRun     int // high-water mark of running
 
 	wg sync.WaitGroup
 	m  counters
@@ -231,11 +332,24 @@ func New(cfg Config) *Scheduler {
 		historyBytes: cfg.HistoryBytes,
 		maxFanout:    cfg.MaxFanout,
 		solveWidth:   cfg.SolveParallelism,
+		maxQueue:     cfg.MaxQueue,
 		baseCtx:      ctx,
 		cancelBase:   cancel,
 		byID:         make(map[string]*Job),
 		byKey:        make(map[Key]*Job),
 	}
+	for i, c := range Classes {
+		s.fifos[i] = list.New()
+		s.weights[i] = defaultClassWeights[c]
+		if w, ok := cfg.ClassWeights[c]; ok && w > 0 {
+			s.weights[i] = w
+		}
+		if cap := cfg.ClassQueueCaps[c]; cap > 0 {
+			s.caps[i] = cap
+		}
+	}
+	// The DRR cursor starts on interactive with a fresh quantum.
+	s.deficit[0] = s.weights[0]
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -244,24 +358,43 @@ func New(cfg Config) *Scheduler {
 	return s
 }
 
+// SubmitOpts qualifies a submission. The zero value is a plain attached
+// interactive request.
+type SubmitOpts struct {
+	// Class is the job's QoS class; the empty string means interactive.
+	Class Class
+	// Detached submissions run even if nobody waits; attached ones must
+	// be followed by exactly one Wait call on the returned job.
+	Detached bool
+}
+
 // Submit schedules a solve of g (registered under key.GraphID) or joins an
 // equivalent job that is already queued, running, or finished. It reports
-// whether the request was a cache hit (no new solver run). Unless detached,
-// the caller must follow up with exactly one Wait call on the returned job;
-// detached submissions run even if nobody waits.
+// whether the request was a cache hit (no new solver run). Joining a job
+// escalates it to the stronger of its and the new request's class, so a
+// coalesced job always serves its most latency-sensitive waiter.
 //
 // A Boost > 1 request becomes a fan-out parent: its sub-jobs occupy
-// workers, the parent itself never does. The parent reports StateRunning
-// while its sub-jobs are in flight.
-func (s *Scheduler) Submit(key Key, g *parcut.Graph, detached bool) (*Job, bool, error) {
+// workers (inheriting the parent's class), the parent itself never does.
+// The parent reports StateRunning while its sub-jobs are in flight.
+//
+// Admission control applies to genuinely new work only (joins add no
+// queue entries): past Config.MaxQueue total queued jobs Submit returns
+// ErrQueueFull, and past the class's Config.ClassQueueCaps entry it
+// returns ErrClassQueueFull.
+func (s *Scheduler) Submit(key Key, g *parcut.Graph, opts SubmitOpts) (*Job, bool, error) {
 	key.Opt = key.Opt.normalized()
+	class, err := ParseClass(string(opts.Class))
+	if err != nil {
+		return nil, false, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.m.rejected.Add(1)
+		s.m.rejectedDraining.Add(1)
 		return nil, false, ErrDraining
 	}
-	s.m.submitted.Add(1)
 	// A still-unfinished job whose context is already canceled (abandoned
 	// waiters, Cancel) is doomed; joining it would hand this fresh request
 	// a spurious cancellation error, so start over instead (the doomed job
@@ -269,23 +402,39 @@ func (s *Scheduler) Submit(key Key, g *parcut.Graph, detached bool) (*Job, bool,
 	// always have a canceled context — publish releases it — so the check
 	// must not exclude them from cache hits.
 	if prev, ok := s.byKey[key]; ok && !doomed(prev) {
+		s.m.submitted.Add(1)
+		s.m.submittedBy[class.rank()].Add(1)
 		s.m.cacheHits.Add(1)
 		if prev.state == StateQueued || prev.state == StateRunning {
 			s.m.coalesced.Add(1)
 		}
-		if !detached {
+		if !opts.Detached {
 			prev.waiters++
 		}
-		if detached {
+		if opts.Detached {
 			prev.detached = true
 		}
+		s.escalateLocked(prev, class)
 		return prev, true, nil
 	}
-	if key.Opt.Boost > 1 && s.maxFanout > 1 {
-		return s.newFanoutLocked(key, g, detached), false, nil
+	if s.maxQueue > 0 && s.queuedTotal >= s.maxQueue {
+		s.m.rejected.Add(1)
+		s.m.rejectedQueueFull.Add(1)
+		return nil, false, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, s.queuedTotal)
 	}
-	j := s.newJobLocked(key, g, detached)
-	heap.Push(&s.queue, j)
+	if cap := s.caps[class.rank()]; cap > 0 && s.queues[class.rank()].Len() >= cap {
+		s.m.rejected.Add(1)
+		s.m.rejectedClassCap.Add(1)
+		return nil, false, fmt.Errorf("%w: class %q has %d jobs queued, cap %d",
+			ErrClassQueueFull, class, s.queues[class.rank()].Len(), cap)
+	}
+	s.m.submitted.Add(1)
+	s.m.submittedBy[class.rank()].Add(1)
+	if key.Opt.Boost > 1 && s.maxFanout > 1 {
+		return s.newFanoutLocked(key, g, class, opts.Detached), false, nil
+	}
+	j := s.newJobLocked(key, g, class, opts.Detached)
+	s.pushLocked(j)
 	s.cond.Signal()
 	return j, false, nil
 }
@@ -297,14 +446,15 @@ func doomed(j *Job) bool {
 }
 
 // newJobLocked allocates and registers a queued job (without pushing it to
-// the heap — fan-out parents are never queued).
-func (s *Scheduler) newJobLocked(key Key, g *parcut.Graph, detached bool) *Job {
+// its class queue — fan-out parents are never queued).
+func (s *Scheduler) newJobLocked(key Key, g *parcut.Graph, class Class, detached bool) *Job {
 	s.nextSeq++
 	jctx, jcancel := context.WithCancelCause(s.baseCtx)
 	j := &Job{
 		id:       fmt.Sprintf("job-%d", s.nextSeq),
 		key:      key,
 		g:        g,
+		class:    class,
 		prio:     g.M(),
 		seq:      s.nextSeq,
 		heapIdx:  -1,
@@ -313,24 +463,30 @@ func (s *Scheduler) newJobLocked(key Key, g *parcut.Graph, detached bool) *Job {
 		detached: detached,
 		state:    StateQueued,
 		created:  time.Now(),
+		evWake:   make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	j.prog = parcut.NewProgress(func(ps parcut.ProgressSnapshot) { s.onProgress(j, ps) })
 	if !detached {
 		j.waiters = 1
 	}
 	s.byID[j.id] = j
 	s.byKey[key] = j
+	j.recordEvent(Event{Type: "state", State: StateQueued}, false)
 	return j
 }
 
 // newFanoutLocked decomposes a Boost=k solve into up to maxFanout
 // sub-jobs covering disjoint run ranges and registers the parent that
-// merges them. Sub-jobs go through the same singleflight keying as
-// external requests, so overlapping boost requests share runs. The merge
-// goroutine is registered on the scheduler's WaitGroup so Shutdown waits
-// for parents, not just workers.
-func (s *Scheduler) newFanoutLocked(key Key, g *parcut.Graph, detached bool) *Job {
-	parent := s.newJobLocked(key, g, detached)
+// merges them. Sub-jobs inherit the parent's class — they are the
+// parent's work wearing smaller coats, so a background boost must not
+// have its pieces compete as if they were fresh interactive arrivals —
+// and go through the same singleflight keying as external requests, so
+// overlapping boost requests share runs. The merge goroutine is
+// registered on the scheduler's WaitGroup so Shutdown waits for parents,
+// not just workers.
+func (s *Scheduler) newFanoutLocked(key Key, g *parcut.Graph, class Class, detached bool) *Job {
+	parent := s.newJobLocked(key, g, class, detached)
 	parent.state = StateRunning // its sub-jobs are in flight from the start
 	parent.group = &fanout{}
 	s.m.fanouts.Add(1)
@@ -353,12 +509,15 @@ func (s *Scheduler) newFanoutLocked(key Key, g *parcut.Graph, detached bool) *Jo
 			Boost:          size,
 			ParallelPhases: key.Opt.ParallelPhases,
 		}}
-		parent.group.children = append(parent.group.children, s.submitChildLocked(childKey, g))
+		parent.group.children = append(parent.group.children, s.submitChildLocked(childKey, g, class))
 		start += size
 	}
 	// The parent never solves; drop its graph reference now so only the
 	// children (and the registry) pin it.
 	parent.g = nil
+	parent.recordEvent(Event{Type: "state", State: StateRunning}, false)
+	ps := parent.Progress()
+	parent.recordEvent(Event{Type: "phase", Phase: ps.Phase, Progress: &ps, Fraction: fptr(ps.Fraction())}, true)
 	s.cond.Broadcast()
 	s.wg.Add(1)
 	go s.merge(parent)
@@ -366,17 +525,19 @@ func (s *Scheduler) newFanoutLocked(key Key, g *parcut.Graph, detached bool) *Jo
 }
 
 // submitChildLocked is Submit's internal sibling for fan-out sub-jobs: the
-// parent counts as one waiter, and the sub-job counters move instead of
-// the external submission counters.
-func (s *Scheduler) submitChildLocked(key Key, g *parcut.Graph) *Job {
+// parent counts as one waiter, the child inherits the parent's class, and
+// the sub-job counters move instead of the external submission counters.
+// A shared child is escalated if this parent's class is stronger.
+func (s *Scheduler) submitChildLocked(key Key, g *parcut.Graph, class Class) *Job {
 	s.m.subJobs.Add(1)
 	if prev, ok := s.byKey[key]; ok && !doomed(prev) {
 		s.m.subJobsShared.Add(1)
 		prev.waiters++
+		s.escalateLocked(prev, class)
 		return prev
 	}
-	j := s.newJobLocked(key, g, false)
-	heap.Push(&s.queue, j)
+	j := s.newJobLocked(key, g, class, false)
+	s.pushLocked(j)
 	return j
 }
 
@@ -407,7 +568,14 @@ func (s *Scheduler) merge(parent *Job) {
 				// One failed run fails the whole boost; stop waiting on
 				// (and thereby release) the siblings.
 				mcancel(err)
+				return
 			}
+			// Each finished chunk is a progress milestone on the parent's
+			// own event stream — without this, watchers of a boosted job
+			// would see nothing between "running" and the terminal result
+			// (the children's phase events land on the children's logs).
+			ps := parent.Progress()
+			parent.recordEvent(Event{Type: "progress", Phase: ps.Phase, Progress: &ps, Fraction: fptr(ps.Fraction())}, true)
 		}(i, c)
 	}
 	wg.Wait()
@@ -485,7 +653,7 @@ func (s *Scheduler) dropWaiter(j *Job) {
 	}
 	s.mu.Unlock()
 	if aborted {
-		finishPublish(j)
+		s.finishPublish(j)
 	}
 }
 
@@ -505,20 +673,20 @@ func (s *Scheduler) Cancel(id string) bool {
 	aborted := s.abortQueuedLocked(j)
 	s.mu.Unlock()
 	if aborted {
-		finishPublish(j)
+		s.finishPublish(j)
 	}
 	return true
 }
 
 // abortQueuedLocked eagerly removes a canceled-but-still-queued job from
-// the priority heap and records its terminal state. The caller must hold
+// its class queue and records its terminal state. The caller must hold
 // s.mu, must already have canceled j's context, and — when true is
 // returned — must call finishPublish(j) after unlocking.
 func (s *Scheduler) abortQueuedLocked(j *Job) bool {
 	if j.state != StateQueued || j.heapIdx < 0 {
 		return false
 	}
-	heap.Remove(&s.queue, j.heapIdx)
+	s.unqueueLocked(j)
 	s.publishLocked(j, parcut.Result{}, fmt.Errorf("sched: canceled while queued (%v): %w", context.Cause(j.ctx), j.ctx.Err()))
 	return true
 }
@@ -556,13 +724,18 @@ func (s *Scheduler) Job(id string) (Status, bool) {
 
 func (s *Scheduler) statusLocked(j *Job) Status {
 	st := Status{
-		ID:       j.id,
-		GraphID:  j.key.GraphID,
-		Opt:      j.key.Opt,
-		State:    j.state,
-		Created:  j.created,
-		Finished: j.finished,
+		ID:          j.id,
+		GraphID:     j.key.GraphID,
+		Opt:         j.key.Opt,
+		Class:       j.class,
+		State:       j.state,
+		Created:     j.created,
+		Dispatched:  j.dispatched,
+		DispatchSeq: j.dispatchSeq,
+		Finished:    j.finished,
+		Progress:    j.Progress(),
 	}
+	st.Fraction = st.Progress.Fraction()
 	if j.group != nil {
 		st.Fanout = len(j.group.children)
 	}
@@ -570,6 +743,7 @@ func (s *Scheduler) statusLocked(j *Job) Status {
 		st.Value = j.res.Value
 		st.InCut = j.res.InCut
 		st.TreesScanned = j.res.TreesScanned
+		st.Fraction = 1
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()
@@ -577,14 +751,34 @@ func (s *Scheduler) statusLocked(j *Job) Status {
 	return st
 }
 
+// Lookup returns the live job object for event streaming; most callers
+// want the Status snapshot from Job instead.
+func (s *Scheduler) Lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
 // Metrics returns a snapshot of the scheduler's counters and gauges.
 func (s *Scheduler) Metrics() Metrics {
 	m := s.m.snapshot()
 	s.mu.Lock()
-	m.QueueDepth = s.queue.Len()
+	depth := 0
+	for i := range s.queues {
+		d := s.queues[i].Len()
+		depth += d
+		m.Classes[i].QueueDepth = d
+	}
+	m.QueueDepth = depth
 	m.Running = s.running
 	m.PeakRunning = s.peakRun
 	s.mu.Unlock()
+	for i, c := range Classes {
+		m.Classes[i].Class = c
+		m.Classes[i].Weight = s.weights[i]
+		m.Classes[i].QueueCap = s.caps[i]
+	}
 	m.Workers = s.workers
 	m.PoolWidth = s.solveWidth
 	return m
@@ -616,10 +810,10 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker pops jobs in priority order until the scheduler drains. Each
-// worker owns a solveWidth-wide executor for the whole of its life, so the
-// workers together hold a fixed partition of the machine's cores: no
-// per-solve goroutine churn, and at full load exactly
+// worker pops jobs by weighted-fair class order until the scheduler
+// drains. Each worker owns a solveWidth-wide executor for the whole of
+// its life, so the workers together hold a fixed partition of the
+// machine's cores: no per-solve goroutine churn, and at full load exactly
 // workers × solveWidth lanes are live instead of the unbounded
 // workers × GOMAXPROCS oversubscription of per-call spawning.
 func (s *Scheduler) worker() {
@@ -628,20 +822,27 @@ func (s *Scheduler) worker() {
 	defer exec.Close()
 	for {
 		s.mu.Lock()
-		for s.queue.Len() == 0 && !s.draining {
+		for s.queuedTotal == 0 && !s.draining {
 			s.cond.Wait()
 		}
-		if s.queue.Len() == 0 {
+		j := s.pickLocked()
+		if j == nil {
 			s.mu.Unlock()
 			return
 		}
-		j := heap.Pop(&s.queue).(*Job)
 		j.state = StateRunning
+		s.dispatchSeq++
+		j.dispatchSeq = s.dispatchSeq
+		j.dispatched = time.Now()
 		s.running++
 		if s.running > s.peakRun {
 			s.peakRun = s.running
 		}
+		c := j.class.rank()
 		s.mu.Unlock()
+		s.m.dispatchedBy[c].Add(1)
+		s.m.queueWaitNanosBy[c].Add(int64(j.dispatched.Sub(j.created)))
+		j.recordEvent(Event{Type: "state", State: StateRunning}, false)
 		s.run(j, exec)
 	}
 }
@@ -656,6 +857,7 @@ func (s *Scheduler) run(j *Job, exec *parcut.Executor) {
 	if err = j.ctx.Err(); err == nil {
 		opt := j.key.Opt.parcut()
 		opt.Executor = exec
+		opt.Progress = j.prog
 		start := time.Now()
 		res, err = parcut.MinCutContext(j.ctx, j.g, opt)
 		if err == nil {
@@ -670,12 +872,27 @@ func (s *Scheduler) publish(j *Job, res parcut.Result, err error) {
 	s.mu.Lock()
 	s.publishLocked(j, res, err)
 	s.mu.Unlock()
-	finishPublish(j)
+	s.finishPublish(j)
 }
 
-// finishPublish completes a publishLocked outside the lock: it wakes the
-// waiters and releases the job's context resources.
-func finishPublish(j *Job) {
+// finishPublish completes a publishLocked outside the lock: it settles
+// the phase-seconds accounting, appends the terminal "result" event (so
+// event streams always end, even on failure or cancellation), wakes the
+// waiters, and releases the job's context resources.
+func (s *Scheduler) finishPublish(j *Job) {
+	s.closePhaseTimer(j)
+	ev := Event{Type: "result", State: j.state, Terminal: true, Fraction: fptr(j.Progress().Fraction())}
+	if j.state == StateDone {
+		v := j.res.Value
+		ev.Value = &v
+		ev.InCut = j.res.InCut
+		ev.Trees = j.res.TreesScanned
+		ev.Fraction = fptr(1)
+	}
+	if j.err != nil {
+		ev.Err = j.err.Error()
+	}
+	j.recordEvent(ev, false)
 	close(j.done)
 	j.cancel(nil)
 }
@@ -694,6 +911,7 @@ func (s *Scheduler) publishLocked(j *Job, res parcut.Result, err error) {
 	case err == nil:
 		j.state = StateDone
 		s.m.completed.Add(1)
+		s.m.completedBy[j.class.rank()].Add(1)
 	case isCancellation(err):
 		j.state = StateCanceled
 		s.m.canceled.Add(1)
@@ -710,13 +928,21 @@ func (s *Scheduler) publishLocked(j *Job, res parcut.Result, err error) {
 	// The graph is only needed for the solve; drop the reference so the
 	// history pins partitions (bounded below) but never whole graphs.
 	j.g = nil
+	// Charge the retained memory — partition bytes plus the event log
+	// (which a long solve grows to maxJobEvents snapshot-carrying
+	// entries) — against the history budget; the charge is remembered on
+	// the job so eviction releases exactly what was charged, even though
+	// the terminal event is appended after this point.
+	j.evMu.Lock()
+	j.histBytes = int64(len(j.res.InCut)) + int64(len(j.events)+1)*eventBytesEstimate
+	j.evMu.Unlock()
 	s.order = append(s.order, j.id)
-	s.resBytes += int64(len(j.res.InCut))
+	s.resBytes += j.histBytes
 	for len(s.order) > 1 && (len(s.order) > s.history || s.resBytes > s.historyBytes) {
 		old := s.order[0]
 		s.order = s.order[1:]
 		if oj, ok := s.byID[old]; ok {
-			s.resBytes -= int64(len(oj.res.InCut))
+			s.resBytes -= oj.histBytes
 			delete(s.byID, old)
 			if s.byKey[oj.key] == oj {
 				delete(s.byKey, oj.key)

@@ -46,7 +46,7 @@ func waitUntil(t *testing.T, what string, cond func() bool) {
 // context the cancel function ends, exercising the abandoned-waiter path.
 func block(t *testing.T, s *Scheduler) context.CancelFunc {
 	t.Helper()
-	j, _, err := s.Submit(Key{GraphID: "blocker", Opt: slowOpts()}, slow(), false)
+	j, _, err := s.Submit(Key{GraphID: "blocker", Opt: slowOpts()}, slow(), SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestSolveAndResultCache(t *testing.T) {
 	g := cycle(t, 8)
 	key := Key{GraphID: "g1", Opt: SolveOptions{Seed: 1}}
 
-	j, hit, err := s.Submit(key, g, false)
+	j, hit, err := s.Submit(key, g, SubmitOpts{})
 	if err != nil || hit {
 		t.Fatalf("first Submit: hit=%v err=%v", hit, err)
 	}
@@ -83,7 +83,7 @@ func TestSolveAndResultCache(t *testing.T) {
 		t.Fatalf("Value = %d, want 4", res.Value)
 	}
 
-	j2, hit, err := s.Submit(key, g, false)
+	j2, hit, err := s.Submit(key, g, SubmitOpts{})
 	if err != nil || !hit {
 		t.Fatalf("repeat Submit: hit=%v err=%v", hit, err)
 	}
@@ -124,7 +124,7 @@ func TestConcurrentDuplicatesCoalesce(t *testing.T) {
 	var wg sync.WaitGroup
 	results := make([]parcut.Result, dups)
 	for i := 0; i < dups; i++ {
-		j, _, err := s.Submit(key, g, false)
+		j, _, err := s.Submit(key, g, SubmitOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,11 +161,11 @@ func TestSmallGraphsJumpTheQueue(t *testing.T) {
 	unblock := block(t, s)
 	defer unblock()
 
-	big, _, err := s.Submit(Key{GraphID: "big", Opt: SolveOptions{Seed: 1}}, cycle(t, 64), false)
+	big, _, err := s.Submit(Key{GraphID: "big", Opt: SolveOptions{Seed: 1}}, cycle(t, 64), SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	small, _, err := s.Submit(Key{GraphID: "small", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), false)
+	small, _, err := s.Submit(Key{GraphID: "small", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestExpiredDeadlineReturnsPromptly(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
 	defer cancel()
-	j, _, err := s.Submit(Key{GraphID: "late", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), false)
+	j, _, err := s.Submit(Key{GraphID: "late", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestExpiredDeadlineReturnsPromptly(t *testing.T) {
 	if m := s.Metrics(); m.Canceled < 1 {
 		t.Fatalf("Canceled = %d, want >= 1", m.Canceled)
 	}
-	j2, hit, err := s.Submit(Key{GraphID: "late", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), false)
+	j2, hit, err := s.Submit(Key{GraphID: "late", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), SubmitOpts{})
 	if err != nil || hit {
 		t.Fatalf("retry Submit: hit=%v err=%v", hit, err)
 	}
@@ -234,7 +234,7 @@ func TestDoomedQueuedJobIsNotJoined(t *testing.T) {
 
 	key := Key{GraphID: "k", Opt: SolveOptions{Seed: 1}}
 	g := cycle(t, 8)
-	doomed, _, err := s.Submit(key, g, false)
+	doomed, _, err := s.Submit(key, g, SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestDoomedQueuedJobIsNotJoined(t *testing.T) {
 	}
 	// The doomed job is still queued (the worker is blocked) with a dead
 	// context; the retry must get a fresh job and a real result.
-	fresh, hit, err := s.Submit(key, g, false)
+	fresh, hit, err := s.Submit(key, g, SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestDoomedQueuedJobIsNotJoined(t *testing.T) {
 	})
 	// The doomed job's cleanup must not have evicted the fresh cached
 	// result from the key cache.
-	again, hit, err := s.Submit(key, g, false)
+	again, hit, err := s.Submit(key, g, SubmitOpts{})
 	if err != nil || !hit || again != fresh {
 		t.Fatalf("cached result lost after doomed cleanup: hit=%v err=%v", hit, err)
 	}
@@ -274,7 +274,7 @@ func TestDoomedQueuedJobIsNotJoined(t *testing.T) {
 func TestMidRunCancellationAborts(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer shutdown(t, s)
-	j, _, err := s.Submit(Key{GraphID: "slow", Opt: slowOpts()}, slow(), false)
+	j, _, err := s.Submit(Key{GraphID: "slow", Opt: slowOpts()}, slow(), SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestHistoryBytesBoundsRetainedPartitions(t *testing.T) {
 	defer shutdown(t, s)
 	g := cycle(t, 8)
 	solve := func(seed int64) *Job {
-		j, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: seed, WantPartition: true}}, g, false)
+		j, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: seed, WantPartition: true}}, g, SubmitOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +317,7 @@ func TestHistoryBytesBoundsRetainedPartitions(t *testing.T) {
 		t.Fatal("newest job was evicted")
 	}
 	// The evicted job's cached result went with it: same key re-solves.
-	j, hit, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 1, WantPartition: true}}, g, false)
+	j, hit, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 1, WantPartition: true}}, g, SubmitOpts{})
 	if err != nil || hit {
 		t.Fatalf("re-submit after eviction: hit=%v err=%v", hit, err)
 	}
@@ -331,7 +331,7 @@ func TestShutdownDrainsInFlightJobs(t *testing.T) {
 	g := cycle(t, 12)
 	var jobs []*Job
 	for i := 0; i < 6; i++ {
-		j, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: int64(i)}}, g, true)
+		j, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: int64(i)}}, g, SubmitOpts{Detached: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -348,14 +348,14 @@ func TestShutdownDrainsInFlightJobs(t *testing.T) {
 			t.Fatalf("job %s not drained: %+v", j.ID(), st)
 		}
 	}
-	if _, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 99}}, g, false); !errors.Is(err, ErrDraining) {
+	if _, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 99}}, g, SubmitOpts{}); !errors.Is(err, ErrDraining) {
 		t.Fatalf("Submit after Shutdown = %v, want ErrDraining", err)
 	}
 }
 
 func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
 	s := New(Config{Workers: 1})
-	j, _, err := s.Submit(Key{GraphID: "slow", Opt: slowOpts()}, slow(), true)
+	j, _, err := s.Submit(Key{GraphID: "slow", Opt: slowOpts()}, slow(), SubmitOpts{Detached: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +390,7 @@ func TestBoostFanOutMatchesSequential(t *testing.T) {
 
 	s := New(Config{Workers: 4})
 	defer shutdown(t, s)
-	j, hit, err := s.Submit(Key{GraphID: "m", Opt: SolveOptions{Seed: 5, Boost: 8, WantPartition: true}}, g, false)
+	j, hit, err := s.Submit(Key{GraphID: "m", Opt: SolveOptions{Seed: 5, Boost: 8, WantPartition: true}}, g, SubmitOpts{})
 	if err != nil || hit {
 		t.Fatalf("Submit: hit=%v err=%v", hit, err)
 	}
@@ -437,7 +437,7 @@ func TestBoostChunkingComposes(t *testing.T) {
 	}
 	s := New(Config{Workers: 2, MaxFanout: 3}) // chunks of 3, 3, 2 runs
 	defer shutdown(t, s)
-	j, _, err := s.Submit(Key{GraphID: "c", Opt: SolveOptions{Seed: 9, Boost: 8, WantPartition: true}}, g, false)
+	j, _, err := s.Submit(Key{GraphID: "c", Opt: SolveOptions{Seed: 9, Boost: 8, WantPartition: true}}, g, SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +465,7 @@ func TestBoostSubJobsShareRunsWithPlainRequests(t *testing.T) {
 	defer shutdown(t, s)
 	g := cycle(t, 8)
 	// Solve run 1's seed as a plain request first.
-	plain, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: parcut.BoostSeed(3, 1)}}, g, false)
+	plain, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: parcut.BoostSeed(3, 1)}}, g, SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,7 +473,7 @@ func TestBoostSubJobsShareRunsWithPlainRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The Boost=2 solve needs runs 0 and 1; run 1 is already cached.
-	boosted, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 3, Boost: 2}}, g, false)
+	boosted, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 3, Boost: 2}}, g, SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -495,7 +495,7 @@ func TestBoostSubJobsShareRunsWithPlainRequests(t *testing.T) {
 func TestCancelParentCancelsSubJobs(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer shutdown(t, s)
-	parent, _, err := s.Submit(Key{GraphID: "slow", Opt: SolveOptions{Seed: 7, Boost: 4}}, slow(), true)
+	parent, _, err := s.Submit(Key{GraphID: "slow", Opt: SolveOptions{Seed: 7, Boost: 4}}, slow(), SubmitOpts{Detached: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -528,7 +528,7 @@ func TestCancelQueuedJobLeavesHeapEagerly(t *testing.T) {
 	// The blocker's own queued sub-jobs contribute to the depth; only the
 	// victim's contribution matters here.
 	before := s.Metrics().QueueDepth
-	j, _, err := s.Submit(Key{GraphID: "victim", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), true)
+	j, _, err := s.Submit(Key{GraphID: "victim", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), SubmitOpts{Detached: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -557,11 +557,11 @@ func TestCancelQueuedJobLeavesHeapEagerly(t *testing.T) {
 func TestDrainRejectionsAreNotCountedAsSubmitted(t *testing.T) {
 	s := New(Config{Workers: 1})
 	g := cycle(t, 8)
-	if _, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 1}}, g, true); err != nil {
+	if _, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 1}}, g, SubmitOpts{Detached: true}); err != nil {
 		t.Fatal(err)
 	}
 	shutdown(t, s)
-	if _, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 2}}, g, false); !errors.Is(err, ErrDraining) {
+	if _, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 2}}, g, SubmitOpts{}); !errors.Is(err, ErrDraining) {
 		t.Fatalf("Submit while draining = %v, want ErrDraining", err)
 	}
 	m := s.Metrics()
@@ -576,14 +576,14 @@ func TestBoostZeroAndOneShareAKey(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer shutdown(t, s)
 	g := cycle(t, 8)
-	a, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 4, Boost: 0}}, g, false)
+	a, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 4, Boost: 0}}, g, SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Wait(context.Background(), a); err != nil {
 		t.Fatal(err)
 	}
-	b, hit, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 4, Boost: 1}}, g, false)
+	b, hit, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 4, Boost: 1}}, g, SubmitOpts{})
 	if err != nil || !hit || a != b {
 		t.Fatalf("Boost=1 resubmit: hit=%v err=%v", hit, err)
 	}
@@ -603,14 +603,14 @@ func TestInvalidateGraphDropsCachedResults(t *testing.T) {
 	key := Key{GraphID: "g1", Opt: SolveOptions{Seed: 1}}
 	otherKey := Key{GraphID: "g2", Opt: SolveOptions{Seed: 1}}
 
-	j, _, err := s.Submit(key, g, false)
+	j, _, err := s.Submit(key, g, SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Wait(context.Background(), j); err != nil {
 		t.Fatal(err)
 	}
-	jo, _, err := s.Submit(otherKey, g, false)
+	jo, _, err := s.Submit(otherKey, g, SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -621,7 +621,7 @@ func TestInvalidateGraphDropsCachedResults(t *testing.T) {
 	if n := s.InvalidateGraph("g1"); n != 1 {
 		t.Fatalf("InvalidateGraph removed %d keys, want 1", n)
 	}
-	j2, hit, err := s.Submit(key, g, false)
+	j2, hit, err := s.Submit(key, g, SubmitOpts{})
 	if err != nil || hit {
 		t.Fatalf("post-invalidate Submit: hit=%v err=%v", hit, err)
 	}
@@ -637,7 +637,7 @@ func TestInvalidateGraphDropsCachedResults(t *testing.T) {
 	}
 
 	// The untouched graph's cache survives.
-	_, hit, err = s.Submit(otherKey, g, false)
+	_, hit, err = s.Submit(otherKey, g, SubmitOpts{})
 	if err != nil || !hit {
 		t.Fatalf("other graph lost its cache: hit=%v err=%v", hit, err)
 	}
@@ -655,7 +655,7 @@ func TestInvalidateGraphWithInFlightJob(t *testing.T) {
 	s := New(Config{Workers: 1, MaxFanout: 1})
 	defer shutdown(t, s)
 	key := Key{GraphID: "gf", Opt: slowOpts()}
-	j, _, err := s.Submit(key, slow(), false)
+	j, _, err := s.Submit(key, slow(), SubmitOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -669,7 +669,7 @@ func TestInvalidateGraphWithInFlightJob(t *testing.T) {
 
 	n := s.InvalidateGraph("gf")
 	// A fresh submit must start a new job, not join the invalidated one.
-	j2, hit, err2 := s.Submit(key, slow(), false)
+	j2, hit, err2 := s.Submit(key, slow(), SubmitOpts{})
 	if err2 == nil {
 		s.Cancel(j2.ID())
 	}

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	parcut "repro"
+)
+
+// batchOf builds n distinct canonical graphs with their ids and payloads.
+func batchOf(t *testing.T, n int, seedBase int64) (ids []string, gs []*parcut.Graph, payloads [][]byte) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		g, id, payload := canon(t, 10, 20, seedBase+int64(i))
+		ids = append(ids, id)
+		gs = append(gs, g)
+		payloads = append(payloads, payload)
+	}
+	return ids, gs, payloads
+}
+
+// TestPutManyGroupCommitFsyncCount is the point of group commit: a batch
+// of N graphs costs exactly 2 fsync barriers (segment, manifest) where N
+// singular Puts cost 2N. The Syncs counter ticks even under NoSync, so
+// this asserts the protocol, not the disk.
+func TestPutManyGroupCommitFsyncCount(t *testing.T) {
+	s := open(t, t.TempDir(), Options{NoSync: true})
+	ids, gs, payloads := batchOf(t, 10, 100)
+
+	base := s.Stats().Syncs
+	existed, err := s.PutMany(ids, gs)
+	if err != nil {
+		t.Fatalf("PutMany: %v", err)
+	}
+	if got := s.Stats().Syncs - base; got != 2 {
+		t.Fatalf("PutMany of %d graphs issued %d fsync barriers, want 2", len(ids), got)
+	}
+	for i, e := range existed {
+		if e {
+			t.Fatalf("graph %d reported existed on first commit", i)
+		}
+		checkRoundTrip(t, s, ids[i], payloads[i])
+	}
+
+	// The singular path really is 2 per graph — the baseline the group
+	// commit beats.
+	ids2, gs2, _ := batchOf(t, 10, 200)
+	base = s.Stats().Syncs
+	for i := range ids2 {
+		mustPut(t, s, ids2[i], gs2[i])
+	}
+	if got := s.Stats().Syncs - base; got != 20 {
+		t.Fatalf("10 singular Puts issued %d fsync barriers, want 20", got)
+	}
+}
+
+// TestPutManyDurableAndRecovered: a real (synced) group commit survives
+// reopen; re-PutMany of the same batch dedups without writing.
+func TestPutManyDurableAndRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	ids, gs, payloads := batchOf(t, 5, 300)
+	if _, err := s.PutMany(ids, gs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, Options{})
+	if st := s2.Stats(); st.Graphs != 5 || st.Recovered != 5 {
+		t.Fatalf("after reopen: %+v, want 5 recovered graphs", st)
+	}
+	for i := range ids {
+		checkRoundTrip(t, s2, ids[i], payloads[i])
+	}
+	existed, err := s2.PutMany(ids, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range existed {
+		if !e {
+			t.Fatalf("graph %d not deduplicated after recovery", i)
+		}
+	}
+	if st := s2.Stats(); st.Graphs != 5 {
+		t.Fatalf("dedup re-commit changed the store: %+v", st)
+	}
+}
+
+// TestPutManyDedupsWithinBatch: the same id twice in one batch writes one
+// copy; the later occurrence reports existed.
+func TestPutManyDedupsWithinBatch(t *testing.T) {
+	s := open(t, t.TempDir(), Options{NoSync: true})
+	g, id, payload := canon(t, 10, 20, 7)
+	g2, id2, _ := canon(t, 10, 20, 8)
+	existed, err := s.PutMany([]string{id, id2, id}, []*parcut.Graph{g, g2, g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, false, true}
+	for i := range want {
+		if existed[i] != want[i] {
+			t.Fatalf("existed = %v, want %v", existed, want)
+		}
+	}
+	if st := s.Stats(); st.Graphs != 2 || st.Puts != 2 {
+		t.Fatalf("stats = %+v, want 2 graphs committed once each", st)
+	}
+	checkRoundTrip(t, s, id, payload)
+}
+
+// TestPutManyBudgetFailureIsAtomic: a batch that would blow the disk
+// budget commits nothing — not even its leading graphs — and leaves the
+// store fully usable for a smaller commit.
+func TestPutManyBudgetFailureIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	_, _, payloads := batchOf(t, 2, 400)
+	budget := int64(len(payloads[0]) + 10) // one graph fits, two do not
+	s := open(t, dir, Options{MaxDiskBytes: budget})
+	ids, gs, _ := batchOf(t, 2, 400)
+	if _, err := s.PutMany(ids, gs); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("PutMany over budget = %v, want ErrDiskFull", err)
+	}
+	if st := s.Stats(); st.Graphs != 0 {
+		t.Fatalf("failed batch left %d graphs committed, want 0 (atomic)", st.Graphs)
+	}
+	// The rolled-back store still takes a batch that fits.
+	if _, err := s.PutMany(ids[:1], gs[:1]); err != nil {
+		t.Fatalf("PutMany after rollback: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery agrees: only the second, successful commit exists.
+	s2 := open(t, dir, Options{MaxDiskBytes: budget})
+	if st := s2.Stats(); st.Graphs != 1 || st.CorruptTail != 0 {
+		t.Fatalf("after reopen: %+v, want exactly 1 graph and no torn tails", st)
+	}
+}
+
+// TestPutManyMixedWithExisting: graphs already committed singularly are
+// skipped; only the new ones join the group commit.
+func TestPutManyMixedWithExisting(t *testing.T) {
+	s := open(t, t.TempDir(), Options{NoSync: true})
+	ids, gs, payloads := batchOf(t, 3, 500)
+	mustPut(t, s, ids[1], gs[1])
+
+	base := s.Stats().Syncs
+	existed, err := s.PutMany(ids, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Syncs - base; got != 2 {
+		t.Fatalf("mixed batch issued %d barriers, want 2", got)
+	}
+	if existed[0] || !existed[1] || existed[2] {
+		t.Fatalf("existed = %v, want [false true false]", existed)
+	}
+	for i := range ids {
+		checkRoundTrip(t, s, ids[i], payloads[i])
+	}
+}

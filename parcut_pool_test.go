@@ -15,7 +15,9 @@ func widthsUnderTest() []int {
 
 // TestMinCutWidthEquivalence is the determinism invariant of the pool
 // refactor: identical seed and input must produce a bit-identical Result
-// at every executor width, including partitions and model stats.
+// at every executor width, including partitions and model stats — and
+// attaching live progress instrumentation (with an active event hook)
+// must never perturb it: the sink is write-only for the solver.
 func TestMinCutWidthEquivalence(t *testing.T) {
 	graphs := []*Graph{
 		RandomGraph(140, 560, 50, 11),
@@ -25,23 +27,29 @@ func TestMinCutWidthEquivalence(t *testing.T) {
 		for _, boost := range []int{1, 3} {
 			var ref Result
 			for i, w := range widthsUnderTest() {
-				res, err := MinCut(g, Options{
-					Seed:          42,
-					WantPartition: true,
-					CollectStats:  true,
-					Boost:         boost,
-					Parallelism:   w,
-				})
-				if err != nil {
-					t.Fatalf("graph %d width %d: %v", gi, w, err)
-				}
-				if i == 0 {
-					ref = res
-					continue
-				}
-				if !reflect.DeepEqual(res, ref) {
-					t.Fatalf("graph %d boost %d: width %d result %+v differs from width-1 result %+v",
-						gi, boost, w, res, ref)
+				for _, instrumented := range []bool{false, true} {
+					opt := Options{
+						Seed:          42,
+						WantPartition: true,
+						CollectStats:  true,
+						Boost:         boost,
+						Parallelism:   w,
+					}
+					if instrumented {
+						opt.Progress = NewProgress(func(ProgressSnapshot) {})
+					}
+					res, err := MinCut(g, opt)
+					if err != nil {
+						t.Fatalf("graph %d width %d instrumented=%v: %v", gi, w, instrumented, err)
+					}
+					if i == 0 && !instrumented {
+						ref = res
+						continue
+					}
+					if !reflect.DeepEqual(res, ref) {
+						t.Fatalf("graph %d boost %d: width %d (instrumented=%v) result %+v differs from width-1 result %+v",
+							gi, boost, w, instrumented, res, ref)
+					}
 				}
 			}
 		}
