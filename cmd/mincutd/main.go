@@ -10,6 +10,14 @@
 // recovers them — the in-memory registry becomes a cache over the store.
 // Without it the service is memory-only and a restart starts empty.
 //
+// Observability: every log line is structured (text by default,
+// -log-format json for machines), finished solves keep their span trees
+// in a ring served by GET /v1/traces (size -trace-buffer, 0 disables),
+// solves slower than -trace-slow-threshold are flagged in the log, and
+// -debug-addr starts a separate listener exposing net/http/pprof —
+// opt-in and separately bindable so profiling endpoints never face the
+// service's own clients.
+//
 // On SIGTERM or SIGINT the server stops accepting work, finishes in-flight
 // requests and jobs, and exits; jobs still running when -drain-timeout
 // expires are canceled.
@@ -20,9 +28,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,11 +44,16 @@ import (
 	"repro/internal/service/registry"
 	"repro/internal/service/sched"
 	"repro/internal/service/store"
+	"repro/internal/trace"
 )
 
+// version identifies the build on /healthz, in mincutd_build_info, and in
+// the startup log line. Override at build time with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/mincutd
+var version = "dev"
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mincutd: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "solver worker pool size")
 	cacheBytes := flag.Int64("graph-cache-bytes", 1<<30, "graph registry budget in edge bytes (0 = unbounded)")
@@ -51,17 +65,34 @@ func main() {
 	classWeights := flag.String("class-weights", "", `per-class dispatch weights, e.g. "interactive=8,batch=4,background=1" (unlisted classes keep their defaults)`)
 	classCaps := flag.String("class-queue-caps", "", `per-class queued-job caps, e.g. "batch=1000,background=5000"; submissions past a cap get 429 (0/unlisted = unbounded)`)
 	maxQueue := flag.Int("max-queue", 0, "total queued-job bound across classes; submissions past it get 429 (0 = unbounded)")
+	logFormat := flag.String("log-format", "text", `log output format: "text" or "json"`)
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof profiling endpoints (empty = disabled)")
+	traceBuffer := flag.Int("trace-buffer", 256, "finished solve traces retained for GET /v1/traces (0 = tracing disabled)")
+	traceSlow := flag.Duration("trace-slow-threshold", 0, "log one structured line per solve slower than this (0 = disabled)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mincutd: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 	// Weights must be >= 1 (a zero weight would otherwise be silently
 	// replaced by the class default — sched treats non-positive weights
 	// as "use the default"); caps allow 0, which means unbounded.
 	weights, err := parseClassInts(*classWeights, 1)
 	if err != nil {
-		log.Fatalf("-class-weights: %v", err)
+		fatal("bad -class-weights", "error", err)
 	}
 	caps, err := parseClassInts(*classCaps, 0)
 	if err != nil {
-		log.Fatalf("-class-queue-caps: %v", err)
+		fatal("bad -class-queue-caps", "error", err)
+	}
+	if *traceBuffer < 0 {
+		fatal("bad -trace-buffer", "error", "must be >= 0")
 	}
 	if err := run(config{
 		addr:         *addr,
@@ -75,9 +106,25 @@ func main() {
 		classWeights: weights,
 		classCaps:    caps,
 		maxQueue:     *maxQueue,
+		debugAddr:    *debugAddr,
+		traceBuffer:  *traceBuffer,
+		traceSlow:    *traceSlow,
+		logger:       logger,
 	}, nil); err != nil {
-		log.Fatal(err)
+		fatal("exiting", "error", err)
 	}
+}
+
+// newLogger builds the process logger in the requested format, writing to
+// stderr like the stdlib logger it replaces.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf(`bad -log-format %q (want "text" or "json")`, format)
 }
 
 // parseClassInts parses "class=n,class=n" lists for -class-weights
@@ -119,6 +166,23 @@ type config struct {
 	classWeights map[sched.Class]int
 	classCaps    map[sched.Class]int
 	maxQueue     int
+	debugAddr    string
+	traceBuffer  int
+	traceSlow    time.Duration
+	logger       *slog.Logger // nil means slog.Default()
+}
+
+// debugHandler is the pprof route table, registered explicitly on a
+// private mux (importing net/http/pprof for its DefaultServeMux side
+// effect would expose the profiles on the service listener too).
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // run starts the service and blocks until the listener fails or a
@@ -126,21 +190,29 @@ type config struct {
 // address is sent on it once the server accepts connections (used by
 // tests, which listen on port 0).
 func run(cfg config, ready chan<- string) error {
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	var st *store.Store
 	if cfg.dataDir != "" {
 		var err error
-		st, err = store.Open(store.Options{Dir: cfg.dataDir, MaxDiskBytes: cfg.maxDiskBytes})
+		st, err = store.Open(store.Options{Dir: cfg.dataDir, MaxDiskBytes: cfg.maxDiskBytes, Log: logger})
 		if err != nil {
 			return fmt.Errorf("open store: %w", err)
 		}
 		defer st.Close()
 		ss := st.Stats()
-		log.Printf("store %s: recovered %d graphs (%d segments, %d bytes, %d corrupt tails truncated)",
-			cfg.dataDir, ss.Recovered, ss.Segments, ss.Bytes, ss.CorruptTail)
+		logger.Info("store recovered", "dir", cfg.dataDir,
+			"graphs", ss.Recovered, "segments", ss.Segments, "bytes", ss.Bytes, "corrupt_tails", ss.CorruptTail)
 	}
 	var backend registry.Backend
 	if st != nil {
 		backend = st
+	}
+	var ring *trace.Ring
+	if cfg.traceBuffer > 0 {
+		ring = trace.NewRing(cfg.traceBuffer)
 	}
 	reg := registry.New(cfg.cacheBytes, backend)
 	sch := sched.New(sched.Config{
@@ -150,15 +222,33 @@ func run(cfg config, ready chan<- string) error {
 		ClassWeights:     cfg.classWeights,
 		ClassQueueCaps:   cfg.classCaps,
 		MaxQueue:         cfg.maxQueue,
+		Traces:           ring,
+		SlowSolve:        cfg.traceSlow,
+		Logger:           logger,
 	})
-	api := httpapi.New(reg, sch, st)
+	api := httpapi.New(reg, sch, st, httpapi.Options{Traces: ring, Logger: logger, Version: version})
 	srv := &http.Server{Handler: api.Handler()}
+
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		defer dln.Close()
+		go func() {
+			if err := http.Serve(dln, debugHandler()); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+		logger.Info("pprof debug listener on", "addr", dln.Addr().String())
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	log.Printf("listening on %s (%d workers, %d graph cache bytes)", ln.Addr(), cfg.workers, cfg.cacheBytes)
+	logger.Info("listening", "addr", ln.Addr().String(), "version", version, "go_version", runtime.Version(),
+		"workers", cfg.workers, "graph_cache_bytes", cfg.cacheBytes, "trace_buffer", cfg.traceBuffer)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -174,18 +264,18 @@ func run(cfg config, ready chan<- string) error {
 	case err := <-serveErr:
 		return fmt.Errorf("serve: %w", err)
 	case got := <-sig:
-		log.Printf("received %v, draining (timeout %v)", got, cfg.drainTimeout)
+		logger.Info("draining on signal", "signal", got.String(), "timeout", cfg.drainTimeout)
 	}
 	api.SetDraining()
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	// First finish in-flight HTTP requests (waiters), then in-flight jobs.
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := sch.Shutdown(ctx); err != nil {
 		return fmt.Errorf("scheduler drain: %w", err)
 	}
-	log.Print("drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

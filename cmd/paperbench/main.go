@@ -30,6 +30,7 @@ import (
 	"repro/internal/minprefix"
 	"repro/internal/par"
 	"repro/internal/respect"
+	"repro/internal/trace"
 	"repro/internal/tree"
 	"repro/internal/wd"
 )
@@ -478,24 +479,38 @@ func expScaling() {
 		Millis  float64 `json:"ms"`
 		Speedup float64 `json:"speedup"`
 		Value   int64   `json:"value"`
+		// PackingMs and ScanMs attribute the best rep's wall clock to the
+		// solver's phases, read off the run's trace spans — the same spans
+		// mincutd serves on /v1/traces.
+		PackingMs float64 `json:"packing_ms"`
+		ScanMs    float64 `json:"scan_ms"`
 	}
 	rows := make([]widthRow, 0, len(widths))
-	fmt.Println("| width | ms | speedup vs width 1 | value |")
-	fmt.Println("|-------|----|--------------------|-------|")
+	fmt.Println("| width | ms | speedup vs width 1 | packing ms | scan ms | value |")
+	fmt.Println("|-------|----|--------------------|------------|---------|-------|")
 	var baseMS float64
 	var refValue int64
 	for i, w := range widths {
 		exec := parcut.NewExecutor(w)
 		best := math.Inf(1)
 		var res parcut.Result
+		var packMS, scanMS float64
 		for r := 0; r < reps; r++ {
+			var published *trace.Trace
+			rec := trace.NewRecorder("bench", 0, func(tr *trace.Trace) { published = tr })
+			opt := parcut.Options{Seed: seed, Executor: exec, Trace: rec.Start("solve")}
 			start := time.Now()
-			got, err := parcut.MinCut(g, parcut.Options{Seed: seed, Executor: exec})
+			got, err := parcut.MinCut(g, opt)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if el := time.Since(start).Seconds() * 1000; el < best {
+			el := time.Since(start).Seconds() * 1000
+			opt.Trace.End()
+			rec.Release()
+			if el < best {
 				best = el
+				packMS = phaseMillis(published, "packing")
+				scanMS = phaseMillis(published, "scan")
 			}
 			res = got
 		}
@@ -506,8 +521,8 @@ func expScaling() {
 		} else if res.Value != refValue {
 			log.Fatalf("scaling: width %d produced value %d, width 1 produced %d (determinism violated)", w, res.Value, refValue)
 		}
-		rows = append(rows, widthRow{Width: w, Millis: best, Speedup: baseMS / best, Value: res.Value})
-		fmt.Printf("| %d | %.1f | %.2fx | %d |\n", w, best, baseMS/best, res.Value)
+		rows = append(rows, widthRow{Width: w, Millis: best, Speedup: baseMS / best, Value: res.Value, PackingMs: packMS, ScanMs: scanMS})
+		fmt.Printf("| %d | %.1f | %.2fx | %.1f | %.1f | %d |\n", w, best, baseMS/best, packMS, scanMS, res.Value)
 	}
 	if *scalingOut == "" {
 		return
@@ -531,6 +546,21 @@ func expScaling() {
 }
 
 // --- helpers ---
+
+// phaseMillis sums the durations of a trace's spans with the given name
+// (one "packing" and one "scan" span per boost run).
+func phaseMillis(tr *trace.Trace, name string) float64 {
+	if tr == nil {
+		return 0
+	}
+	var ns int64
+	for _, sp := range tr.Spans {
+		if sp.Name == name {
+			ns += sp.Duration
+		}
+	}
+	return float64(ns) / 1e6
+}
 
 func randomTreeParent(n int, seed int64) []int32 {
 	rng := rand.New(rand.NewSource(seed))

@@ -16,6 +16,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/progress"
 	"repro/internal/respect"
+	"repro/internal/trace"
 	"repro/internal/tree"
 	"repro/internal/wd"
 )
@@ -43,6 +44,12 @@ type Options struct {
 	// the cooperative-cancellation seams. It is write-only for the solver:
 	// attaching a sink never changes the Result at any pool width.
 	Progress *progress.Sink
+	// Trace, when active, receives a span tree attributing the solve's
+	// wall clock: "packing" and "scan" phase spans with estimate,
+	// per-attempt, per-tree, and per-bough-phase children. Like Progress
+	// it is write-only — attaching a recorder never changes the Result at
+	// any pool width — and the zero SpanRef costs one branch per seam.
+	Trace trace.SpanRef
 }
 
 // Result of a minimum cut computation.
@@ -105,13 +112,17 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 	if popt.Seed == 0 {
 		popt.Seed = opt.Seed + 1
 	}
-	pk, err := packing.SampleTreesContext(ctx, g, popt, pool, m, sink)
+	packSp := opt.Trace.Child("packing")
+	pk, err := packing.SampleTreesContext(ctx, g, popt, pool, m, sink, packSp)
 	if err != nil {
+		packSp.End()
 		if ctx.Err() != nil {
 			return Result{}, fmt.Errorf("core: tree packing canceled: %w", ctx.Err())
 		}
 		return Result{}, fmt.Errorf("core: tree packing failed: %v", err)
 	}
+	packSp.AttrInt("trees", int64(len(pk.Trees))).AttrInt("estimate", pk.Estimate).
+		AttrInt("packings", int64(pk.Packings)).End()
 	// Scan every tree in parallel; each scan is itself parallel.
 	type scanOut struct {
 		finding respect.Finding
@@ -122,13 +133,23 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 	locals := make([]*wd.Meter, len(pk.Trees))
 	sink.AddTrees(int64(len(pk.Trees)))
 	sink.EnterPhase(progress.PhaseScan)
-	pool.ForGrain(len(pk.Trees), 1, func(i int) {
+	scanSp := opt.Trace.Child("scan").AttrInt("trees", int64(len(pk.Trees)))
+	var obs par.RegionFunc
+	if scanSp.Active() {
+		obs = func(name string, items, width int) func() {
+			fsp := scanSp.Child(name).AttrInt("items", int64(items)).AttrInt("width", int64(width))
+			return fsp.End
+		}
+	}
+	pool.ForGrainRegion("fork:trees", obs, len(pk.Trees), 1, func(i int) {
 		// Cancellation checkpoint between trees: a canceled context skips
 		// every scan that has not started yet.
 		if err := ctx.Err(); err != nil {
 			outs[i].err = fmt.Errorf("canceled: %w", err)
 			return
 		}
+		tsp := scanSp.Child("tree-scan").AttrInt("tree", int64(i))
+		defer tsp.End()
 		edges := make([][2]int32, len(pk.Trees[i]))
 		for j, ei := range pk.Trees[i] {
 			e := g.Edge(int(ei))
@@ -142,15 +163,16 @@ func MinCutContext(ctx context.Context, g *graph.Graph, opt Options) (Result, er
 		}
 		var f respect.Finding
 		if opt.ParallelPhases {
-			f, err = respect.ScanParallelPhasesContext(ctx, g, parent, pool, locals[i], sink)
+			f, err = respect.ScanParallelPhasesContext(ctx, g, parent, pool, locals[i], sink, tsp)
 		} else {
-			f, err = respect.ScanContext(ctx, g, parent, pool, locals[i], sink)
+			f, err = respect.ScanContext(ctx, g, parent, pool, locals[i], sink, tsp)
 		}
 		outs[i] = scanOut{finding: f, parent: parent, err: err}
 		if err == nil {
 			sink.TreeDone()
 		}
 	})
+	scanSp.End()
 	m.Par(locals...) // trees are searched in parallel (§4.3 step 3)
 	best := Result{Value: minDeg, TreesScanned: len(pk.Trees), Estimate: pk.Estimate, PackValue: pk.PackValue}
 	bestTree := -1

@@ -18,6 +18,7 @@ import (
 	"repro/internal/listrank"
 	"repro/internal/par"
 	"repro/internal/progress"
+	"repro/internal/trace"
 	"repro/internal/tree"
 	"repro/internal/wd"
 )
@@ -86,8 +87,11 @@ func Decompose(t *tree.Tree, pool *par.Pool, m *wd.Meter) *Decomposition {
 // This is the per-phase step the two-respecting cut search drives itself
 // (§4.3 re-contracts the graph between phases). sink (nil OK) records the
 // number of boughs found, so live progress can report bough counts from
-// the decomposition itself rather than from its callers.
-func Boughs(t *tree.Tree, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (paths [][]int32, member []bool) {
+// the decomposition itself rather than from its callers. sp (zero OK)
+// gets a "boughs" child span annotated with the bough count, attributing
+// the decomposition's share of each phase's wall clock.
+func Boughs(t *tree.Tree, pool *par.Pool, m *wd.Meter, sink *progress.Sink, sp trace.SpanRef) (paths [][]int32, member []bool) {
+	dsp := sp.Child("boughs")
 	n := t.N()
 	alive := make([]bool, n)
 	count := make([]int32, n)
@@ -105,6 +109,7 @@ func Boughs(t *tree.Tree, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (pat
 	st := newPhaseState(n)
 	members, ps, _ := peelPhase(t, alive, count, st, d, pool, m)
 	sink.AddBoughs(len(ps))
+	dsp.AttrInt("boughs", int64(len(ps))).End()
 	member = make([]bool, n)
 	for _, v := range members {
 		member[v] = true

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/trace"
 	"repro/internal/tree"
 	"repro/internal/wd"
 )
@@ -101,7 +102,7 @@ func TestFigure11Boughs(t *testing.T) {
 	//    7
 	parent := []int32{tree.None, 0, 1, 1, 2, 2, 3, 4}
 	tr := mustTree(t, parent)
-	paths, member := Boughs(tr, nil, nil, nil)
+	paths, member := Boughs(tr, nil, nil, nil, trace.SpanRef{})
 	// Boughs: {6,3} is not a bough (3's parent 1 has 2 children, and 3 has
 	// only child 6 => subtree of 3 is chain {3,6}: 3 IS a bough member).
 	// Members: 7,4 form a chain (4's subtree {4,7}), 5 alone, 3,6 chain.
@@ -205,7 +206,7 @@ func TestBoughsMatchDecomposePhase1(t *testing.T) {
 	for seed := int64(20); seed < 25; seed++ {
 		tr := mustTree(t, randomParent(300, seed))
 		d := Decompose(tr, nil, nil)
-		_, member := Boughs(tr, nil, nil, nil)
+		_, member := Boughs(tr, nil, nil, nil, trace.SpanRef{})
 		for v := 0; v < tr.N(); v++ {
 			if member[v] != (d.PhaseOf[v] == 1) {
 				t.Fatalf("seed %d: vertex %d bough membership %v but phase %d", seed, v, member[v], d.PhaseOf[v])

@@ -28,6 +28,7 @@ import (
 	"repro/internal/mst"
 	"repro/internal/par"
 	"repro/internal/progress"
+	"repro/internal/trace"
 	"repro/internal/wd"
 )
 
@@ -170,7 +171,7 @@ func EstimateCut(g *graph.Graph, seed int64, pool *par.Pool, m *wd.Meter) int64 
 
 // SampleTrees runs the full Lemma 1 pipeline on a connected graph.
 func SampleTrees(g *graph.Graph, opt Options, pool *par.Pool, m *wd.Meter) (*Result, error) {
-	return SampleTreesContext(context.Background(), g, opt, pool, m, nil)
+	return SampleTreesContext(context.Background(), g, opt, pool, m, nil, trace.SpanRef{})
 }
 
 // SampleTreesContext is SampleTrees with cooperative cancellation and a
@@ -178,8 +179,10 @@ func SampleTrees(g *graph.Graph, opt Options, pool *par.Pool, m *wd.Meter) (*Res
 // greedy packing rounds — the packing phase dominates many solves, so a
 // canceled solve must be able to unwind from inside it, not only at the
 // phase boundary before it. sink (nil OK) is advanced one PackRoundDone
-// per greedy round; instrumentation never affects the sampled trees.
-func SampleTreesContext(ctx context.Context, g *graph.Graph, opt Options, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (*Result, error) {
+// per greedy round, and sp (zero OK) gets child spans for the cut
+// estimate and each packing attempt; instrumentation never affects the
+// sampled trees.
+func SampleTreesContext(ctx context.Context, g *graph.Graph, opt Options, pool *par.Pool, m *wd.Meter, sink *progress.Sink, sp trace.SpanRef) (*Result, error) {
 	opt = opt.withDefaults()
 	n := g.N()
 	if n < 2 {
@@ -202,7 +205,9 @@ func SampleTreesContext(ctx context.Context, g *graph.Graph, opt Options, pool *
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("packing: canceled: %w", err)
 	}
+	esp := sp.Child("estimate")
 	est := EstimateCut(g, opt.Seed, pool, m)
+	esp.AttrInt("estimate", est).End()
 	ch := 2 * est
 	if ch > upper {
 		ch = upper
@@ -224,16 +229,20 @@ func SampleTreesContext(ctx context.Context, g *graph.Graph, opt Options, pool *
 		if p > 1 {
 			p = 1
 		}
+		asp := sp.Child("pack-attempt").AttrInt("guess", int64(guess)).AttrInt("target", ch)
 		edges, origin := skeleton(g, p, ch, int64(rounds), rng)
 		atFloor := p >= 1
 		sink.AddPackRounds(int64(rounds))
-		trees, maxLoad, ok, err := pack(ctx, n, edges, rounds, pool, m, sink)
+		trees, maxLoad, ok, err := pack(ctx, n, edges, rounds, pool, m, sink, asp)
 		if err != nil {
+			asp.End()
 			return nil, err
 		}
+		asp.AttrInt("skeleton_copies", int64(len(edges)))
 		if ok {
 			tau := float64(rounds) / float64(maxLoad)
 			if tau >= threshold || atFloor {
+				asp.Attr("accepted", "true").End()
 				res.Estimate = ch
 				res.PackValue = tau
 				res.SkeletonCopies = len(edges)
@@ -242,8 +251,10 @@ func SampleTreesContext(ctx context.Context, g *graph.Graph, opt Options, pool *
 				return res, nil
 			}
 		} else if atFloor {
+			asp.End()
 			return nil, fmt.Errorf("packing: graph is disconnected")
 		}
+		asp.Attr("accepted", "false").End()
 		ch /= 2
 		if ch < 1 {
 			ch = 1
@@ -255,9 +266,10 @@ func SampleTreesContext(ctx context.Context, g *graph.Graph, opt Options, pool *
 // tree with respect to the current integer loads, then increments the
 // loads of its edges. Returns the trees (as skeleton edge indices), the
 // maximum load (the packing value is rounds/maxLoad), and whether the
-// skeleton was connected. Each round is a cancellation seam (and a
-// progress tick): rounds are the packing phase's unit of work.
-func pack(ctx context.Context, n int, edges []graph.Edge, rounds int, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (trees [][]int32, maxLoad int64, ok bool, err error) {
+// skeleton was connected. Each round is a cancellation seam, a progress
+// tick, and a "round" child span of sp: rounds are the packing phase's
+// unit of work.
+func pack(ctx context.Context, n int, edges []graph.Edge, rounds int, pool *par.Pool, m *wd.Meter, sink *progress.Sink, sp trace.SpanRef) (trees [][]int32, maxLoad int64, ok bool, err error) {
 	if len(edges) < n-1 {
 		return nil, 0, false, nil
 	}
@@ -266,14 +278,17 @@ func pack(ctx context.Context, n int, edges []graph.Edge, rounds int, pool *par.
 		if err := ctx.Err(); err != nil {
 			return nil, 0, false, fmt.Errorf("packing: canceled at round %d/%d: %w", r, rounds, err)
 		}
+		rsp := sp.Child("round").AttrInt("round", int64(r))
 		sel, comps := mst.Forest(n, edges, load, pool, m)
 		if comps != 1 {
+			rsp.End()
 			return nil, 0, false, nil
 		}
 		for _, i := range sel {
 			load[i]++
 		}
 		trees = append(trees, sel)
+		rsp.End()
 		sink.PackRoundDone()
 	}
 	maxLoad = 1

@@ -1,6 +1,10 @@
 package progress
 
-import "testing"
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
 
 // TestNilSinkIsSafe: every update and read must be a no-op on a nil sink,
 // so code paths can thread one unconditionally.
@@ -57,5 +61,56 @@ func TestSinkCountersAndNotify(t *testing.T) {
 	}
 	if PhasePacking.String() != "packing" || PhaseScan.String() != "scan" || PhaseNone.String() != "none" {
 		t.Fatal("phase names drifted from the wire format")
+	}
+}
+
+// TestSinkConcurrentNotifyFlood hammers one sink from many goroutines —
+// the shape of a wide parallel scan all hitting milestones at once — and
+// checks that no update is lost, the hook fires exactly once per
+// milestone, and nothing races (run under -race). This is the load the
+// scheduler's event-log throttle sits behind; the sink itself must stay
+// exact even when the hook's consumer throttles.
+func TestSinkConcurrentNotifyFlood(t *testing.T) {
+	const (
+		workers       = 8
+		perWorker     = 500
+		roundsPerIter = 3
+	)
+	var s Sink
+	var notifies atomic.Int64
+	s.Notify = func() { notifies.Add(1) }
+	s.EnterPhase(PhaseScan) // 1 notify
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.AddPackRounds(roundsPerIter)
+				for r := 0; r < roundsPerIter; r++ {
+					s.PackRoundDone() // hot path: must not notify
+				}
+				s.AddTrees(1)
+				s.AddBoughs(2)
+				s.BoughPhaseDone() // notify
+				s.TreeDone()       // notify
+				s.RunDone()        // notify
+			}
+		}()
+	}
+	wg.Wait()
+	got := s.Snapshot()
+	n := int64(workers * perWorker)
+	want := Snapshot{
+		Phase: PhaseScan, RunsDone: n,
+		PackRoundsDone: n * roundsPerIter, PackRoundsTotal: n * roundsPerIter,
+		TreesDone: n, TreesTotal: n,
+		BoughPhasesDone: n, BoughsProcessed: 2 * n,
+	}
+	if got != want {
+		t.Fatalf("flood snapshot = %+v, want %+v", got, want)
+	}
+	if fired := notifies.Load(); fired != 3*n+1 {
+		t.Fatalf("notify fired %d times, want %d (3 per iteration + the phase entry)", fired, 3*n+1)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/minpath"
 	"repro/internal/par"
 	"repro/internal/progress"
+	"repro/internal/trace"
 	"repro/internal/tree"
 	"repro/internal/wd"
 )
@@ -117,10 +118,10 @@ func (j *phaseJob) run(pool *par.Pool, m *wd.Meter) {
 // scan instead stops before executing batches of that phase and stores
 // the phase state in *out (witness rebuild mode).
 func scan(g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, pool *par.Pool, m *wd.Meter) (int64, provenance, error) {
-	return scanMode(context.Background(), g, parent, stopAtPhase, out, false, pool, m, nil)
+	return scanMode(context.Background(), g, parent, stopAtPhase, out, false, pool, m, nil, trace.SpanRef{})
 }
 
-func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, parallelPhases bool, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (int64, provenance, error) {
+func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase int, out *phaseView, parallelPhases bool, pool *par.Pool, m *wd.Meter, sink *progress.Sink, sp trace.SpanRef) (int64, provenance, error) {
 	t, err := tree.FromParentParallel(parent, pool, m)
 	if err != nil {
 		return 0, provenance{}, fmt.Errorf("respect: invalid spanning tree: %v", err)
@@ -141,10 +142,14 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 		if phase > int(wd.CeilLog2(g.N()))+2 {
 			return 0, provenance{}, fmt.Errorf("respect: phase bound exceeded")
 		}
+		// In parallelPhases mode the phase span covers only batch
+		// construction; execution is deferred and gets its own spans below.
+		psp := sp.Child("bough-phase").AttrInt("phase", int64(phase))
 		l := lca.New(curT, pool, m)
 		c, rho := CutValues(curG, curT, l, pool, m)
-		paths, member := decomp.Boughs(curT, pool, m, sink)
+		paths, member := decomp.Boughs(curT, pool, m, sink, psp)
 		if stopAtPhase == phase {
+			psp.End()
 			*out = phaseView{g: curG, t: curT, c: c, rho: rho, paths: paths, member: member, origOf: origOf}
 			return best, prov, nil
 		}
@@ -170,6 +175,7 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 		// Contract the boughs and recurse.
 		ctr := contractBoughs(curG, curT, member, paths, pool, m)
 		if ctr == nil {
+			psp.End()
 			break
 		}
 		next := make([]int32, len(origOf))
@@ -177,18 +183,28 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 		m.Add(int64(len(origOf)), 1)
 		origOf = next
 		curG, curT = ctr.g, ctr.t
+		psp.End()
 	}
 	if parallelPhases && len(deferred) > 0 {
 		locals := make([]*wd.Meter, len(deferred))
-		pool.ForGrain(len(deferred), 1, func(i int) {
+		var obs par.RegionFunc
+		if sp.Active() {
+			obs = func(name string, items, width int) func() {
+				fsp := sp.Child(name).AttrInt("items", int64(items)).AttrInt("width", int64(width))
+				return fsp.End
+			}
+		}
+		pool.ForGrainRegion("fork:bough-phases", obs, len(deferred), 1, func(i int) {
 			// The deferred batches are where this mode spends its work, so
 			// cancellation must be honored here too, not just while the
 			// contraction chain was being built.
 			if ctx.Err() != nil {
 				return
 			}
+			esp := sp.Child("bough-phase-exec").AttrInt("phase", int64(deferred[i].phase))
 			locals[i] = new(wd.Meter)
 			deferred[i].run(pool, locals[i])
+			esp.End()
 			sink.BoughPhaseDone()
 		})
 		if err := ctx.Err(); err != nil {
@@ -210,17 +226,19 @@ func scanMode(ctx context.Context, g *graph.Graph, parent []int32, stopAtPhase i
 // ScanParallelPhases is Scan with the paper-faithful concurrent phase
 // execution (§4.3): lower depth, O(m log n) memory.
 func ScanParallelPhases(g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter) (Finding, error) {
-	return ScanParallelPhasesContext(context.Background(), g, parent, pool, m, nil)
+	return ScanParallelPhasesContext(context.Background(), g, parent, pool, m, nil, trace.SpanRef{})
 }
 
-// ScanContext is Scan with cooperative cancellation and live progress:
-// ctx is checked between bough phases, so cancellation latency is bounded
-// by a single phase, and sink (nil OK) is advanced at exactly those seams.
-func ScanContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (Finding, error) {
+// ScanContext is Scan with cooperative cancellation and live
+// instrumentation: ctx is checked between bough phases, so cancellation
+// latency is bounded by a single phase; sink (nil OK) is advanced at
+// exactly those seams; and sp (zero OK) gets one child span per bough
+// phase.
+func ScanContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter, sink *progress.Sink, sp trace.SpanRef) (Finding, error) {
 	if g.N() < 2 {
 		return Finding{}, fmt.Errorf("respect: graph needs at least 2 vertices")
 	}
-	v, p, err := scanMode(ctx, g, parent, -1, nil, false, pool, m, sink)
+	v, p, err := scanMode(ctx, g, parent, -1, nil, false, pool, m, sink, sp)
 	if err != nil {
 		return Finding{}, err
 	}
@@ -228,13 +246,13 @@ func ScanContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.
 }
 
 // ScanParallelPhasesContext is ScanParallelPhases with cooperative
-// cancellation between bough phases and the same progress seams as
-// ScanContext.
-func ScanParallelPhasesContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter, sink *progress.Sink) (Finding, error) {
+// cancellation between bough phases and the same progress and tracing
+// seams as ScanContext.
+func ScanParallelPhasesContext(ctx context.Context, g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter, sink *progress.Sink, sp trace.SpanRef) (Finding, error) {
 	if g.N() < 2 {
 		return Finding{}, fmt.Errorf("respect: graph needs at least 2 vertices")
 	}
-	v, p, err := scanMode(ctx, g, parent, -1, nil, true, pool, m, sink)
+	v, p, err := scanMode(ctx, g, parent, -1, nil, true, pool, m, sink, sp)
 	if err != nil {
 		return Finding{}, err
 	}

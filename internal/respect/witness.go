@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lca"
 	"repro/internal/par"
+	"repro/internal/trace"
 	"repro/internal/wd"
 )
 
@@ -21,7 +22,7 @@ type Finding struct {
 // provenance to reconstruct the partition later (so callers can scan many
 // trees and extract a witness only for the winner).
 func Scan(g *graph.Graph, parent []int32, pool *par.Pool, m *wd.Meter) (Finding, error) {
-	return ScanContext(context.Background(), g, parent, pool, m, nil)
+	return ScanContext(context.Background(), g, parent, pool, m, nil, trace.SpanRef{})
 }
 
 // Witness reconstructs one side of the cut found by Scan over the original

@@ -10,8 +10,14 @@
 //	GET    /v1/jobs/{id}                 job status / result / live progress
 //	GET    /v1/jobs/{id}/events          NDJSON event stream until the job is terminal
 //	DELETE /v1/jobs/{id}                 cancel a queued or running job
-//	GET    /healthz                      liveness (503 while draining)
+//	GET    /v1/traces                    finished solve traces (filter by graph, min_duration)
+//	GET    /v1/traces/{id}               one trace's full span tree
+//	GET    /healthz                      liveness (503 while draining), build info
 //	GET    /metrics                      Prometheus text exposition
+//
+// Every response carries an X-Request-Id (echoing the client's, or
+// minted), each request logs one structured access line, and solve
+// requests attach an "http" span to the job trace they touch.
 package httpapi
 
 import (
@@ -20,7 +26,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -30,6 +38,7 @@ import (
 	"repro/internal/service/registry"
 	"repro/internal/service/sched"
 	"repro/internal/service/store"
+	"repro/internal/trace"
 )
 
 // maxUploadBytes caps graph upload bodies (single and batch).
@@ -40,17 +49,42 @@ type Server struct {
 	reg      *registry.Registry
 	sch      *sched.Scheduler
 	st       *store.Store // nil when running memory-only; metrics only
+	traces   *trace.Ring  // nil when tracing is disabled; trace routes 404
+	log      *slog.Logger
+	version  string
+	reqSeq   atomic.Int64
+	httpm    httpMetrics
 	draining atomic.Bool
+}
+
+// Options carries the server's observability wiring; the zero value is a
+// server with tracing disabled, the default logger, and version "dev".
+type Options struct {
+	// Traces is the ring the scheduler publishes finished solve traces
+	// into; the trace endpoints serve from it. Nil disables them.
+	Traces *trace.Ring
+	// Logger receives the access log; nil means slog.Default().
+	Logger *slog.Logger
+	// Version is the build version reported by /healthz and the
+	// mincutd_build_info metric; "" means "dev".
+	Version string
 }
 
 // New wires a server around the given registry and scheduler. st is the
 // disk store backing the registry, used for the persistence metrics; nil
 // means the service runs memory-only.
-func New(reg *registry.Registry, sch *sched.Scheduler, st *store.Store) *Server {
-	return &Server{reg: reg, sch: sch, st: st}
+func New(reg *registry.Registry, sch *sched.Scheduler, st *store.Store, opt Options) *Server {
+	if opt.Logger == nil {
+		opt.Logger = slog.Default()
+	}
+	if opt.Version == "" {
+		opt.Version = "dev"
+	}
+	return &Server{reg: reg, sch: sch, st: st, traces: opt.Traces, log: opt.Logger, version: opt.Version}
 }
 
-// Handler returns the route table.
+// Handler returns the route table wrapped in the request middleware
+// (request IDs, access log, latency histogram).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
@@ -62,9 +96,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.middleware(mux)
+}
+
+// attachJobSpan links the HTTP request into job's trace: an "http" span
+// under the job root carrying the method, path, and request ID. The
+// returned func ends the span and releases the hold; it is a no-op when
+// the job is untraced or its trace already published (a cached hit).
+func attachJobSpan(r *http.Request, job *sched.Job) func() {
+	sp := job.TraceSpan()
+	rec := sp.Recorder()
+	if !sp.Active() || !rec.Hold() {
+		return func() {}
+	}
+	hsp := sp.Child("http").Attr("method", r.Method).Attr("path", r.URL.Path)
+	if rid := RequestID(r.Context()); rid != "" {
+		hsp.Attr("request_id", rid)
+	}
+	return func() {
+		hsp.End()
+		rec.Release()
+	}
 }
 
 // SetDraining flips /healthz to 503 and rejects new solves; uploads and
@@ -407,6 +463,8 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		submitErr(w, err)
 		return
 	}
+	detach := attachJobSpan(r, job)
+	defer detach()
 	if req.Async {
 		st, _ := s.sch.Job(job.ID())
 		writeJSON(w, http.StatusAccepted, jobResponse{
@@ -578,7 +636,9 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 			entry.JobID = sub.job.ID()
 			entry.Cached = sub.hit
 			entry.Fanout = sub.job.Fanout()
+			detach := attachJobSpan(r, sub.job)
 			res, err := s.sch.Wait(ctx, sub.job)
+			detach()
 			if err != nil {
 				entry.Status = "unfinished"
 				entry.Error = err.Error()
@@ -697,11 +757,15 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, code, map[string]string{
+		"status":     status,
+		"version":    s.version,
+		"go_version": runtime.Version(),
+	})
 }
 
 // handleMetrics renders the scheduler and registry counters in Prometheus
@@ -717,6 +781,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	// writeHist renders one labelled histogram in le semantics; the
+	// implicit +Inf bucket is the count.
+	writeHist := func(name, labels string, h sched.Histogram) {
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, bk.UpperBound, bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.Count)
+		fmt.Fprintf(&b, "%s_sum{%s} %g\n", name, labels, time.Duration(h.SumNanos).Seconds())
+		fmt.Fprintf(&b, "%s_count{%s} %d\n", name, labels, h.Count)
+	}
+	fmt.Fprintf(&b, "# HELP mincutd_build_info Build metadata; the value is always 1.\n# TYPE mincutd_build_info gauge\n")
+	fmt.Fprintf(&b, "mincutd_build_info{version=%q,go_version=%q} 1\n", s.version, runtime.Version())
 	// Per-class/per-reason breakdowns keep the old unlabelled series as
 	// the sum, so dashboards written against earlier versions keep
 	// working next to the labelled ones.
@@ -751,6 +827,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, ph := range m.PhaseSeconds {
 		fmt.Fprintf(&b, "mincutd_solve_phase_seconds_sum{phase=%q} %g\n", ph.Phase, time.Duration(ph.Nanos).Seconds())
 		fmt.Fprintf(&b, "mincutd_solve_phase_seconds_count{phase=%q} %d\n", ph.Phase, ph.Count)
+	}
+	fmt.Fprintf(&b, "# HELP mincutd_queue_wait_seconds Queued-to-dispatched wall time per class.\n# TYPE mincutd_queue_wait_seconds histogram\n")
+	for _, c := range m.Classes {
+		writeHist("mincutd_queue_wait_seconds", fmt.Sprintf("class=%q", c.Class), c.QueueWait)
+	}
+	fmt.Fprintf(&b, "# HELP mincutd_solve_duration_seconds Solver phase wall time per dispatch class (canceled tails included).\n# TYPE mincutd_solve_duration_seconds histogram\n")
+	for _, c := range m.Classes {
+		for _, ph := range c.PhaseDurations {
+			writeHist("mincutd_solve_duration_seconds", fmt.Sprintf("class=%q,phase=%q", c.Class, ph.Phase), ph.Hist)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP mincutd_http_request_duration_seconds HTTP request latency per route and status code.\n# TYPE mincutd_http_request_duration_seconds histogram\n")
+	for _, sr := range s.httpm.snapshot() {
+		labels := fmt.Sprintf("route=%q,code=\"%d\"", sr.Route, sr.Code)
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(&b, "mincutd_http_request_duration_seconds_bucket{%s,le=\"%g\"} %d\n", labels, ub, sr.Buckets[i])
+		}
+		fmt.Fprintf(&b, "mincutd_http_request_duration_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, sr.Count)
+		fmt.Fprintf(&b, "mincutd_http_request_duration_seconds_sum{%s} %g\n", labels, time.Duration(sr.SumNanos).Seconds())
+		fmt.Fprintf(&b, "mincutd_http_request_duration_seconds_count{%s} %d\n", labels, sr.Count)
 	}
 	counter("mincutd_cache_hits_total", "Submissions served without a new solver run (cached result or coalesced onto an in-flight job).", m.CacheHits)
 	counter("mincutd_jobs_coalesced_total", "Submissions that joined an in-flight job (subset of cache hits).", m.Coalesced)

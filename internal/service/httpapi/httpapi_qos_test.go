@@ -24,7 +24,7 @@ func newTestServerCfg(t *testing.T, cfg sched.Config) *testServer {
 	t.Helper()
 	reg := registry.New(0, nil)
 	sch := sched.New(cfg)
-	api := New(reg, sch, nil)
+	api := New(reg, sch, nil, Options{})
 	ts := httptest.NewServer(api.Handler())
 	t.Cleanup(func() {
 		ts.Close()

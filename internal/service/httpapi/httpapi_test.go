@@ -30,7 +30,7 @@ func newTestServer(t *testing.T, workers int) *testServer {
 	t.Helper()
 	reg := registry.New(0, nil)
 	sch := sched.New(sched.Config{Workers: workers})
-	api := New(reg, sch, nil)
+	api := New(reg, sch, nil, Options{})
 	ts := httptest.NewServer(api.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -538,7 +538,7 @@ func newStoreServer(t *testing.T, dir string, cacheBytes, maxDiskBytes int64) *t
 	}
 	reg := registry.New(cacheBytes, st)
 	sch := sched.New(sched.Config{Workers: 2})
-	api := New(reg, sch, st)
+	api := New(reg, sch, st, Options{})
 	ts := httptest.NewServer(api.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -1,0 +1,92 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// traceSummary is one row of the trace listing: enough to pick a trace
+// worth opening without shipping every span of every solve.
+type traceSummary struct {
+	ID         string    `json:"id"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Dropped    int       `json:"dropped_spans,omitempty"`
+	Graph      string    `json:"graph,omitempty"`
+	Class      string    `json:"class,omitempty"`
+	State      string    `json:"state,omitempty"`
+}
+
+// parseMinDuration accepts either a Go duration string ("250ms", "1.5s")
+// or a bare integer of milliseconds.
+func parseMinDuration(q string) (time.Duration, error) {
+	if ms, err := strconv.ParseInt(q, 10, 64); err == nil {
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	return time.ParseDuration(q)
+}
+
+// handleTraces lists retained solve traces, newest first. Query
+// parameters: graph=<id> keeps only that graph's solves, min_duration=<d>
+// (duration string or integer milliseconds) keeps only slow ones, and
+// limit=<n> caps the rows.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeErr(w, http.StatusNotFound, "tracing disabled (start mincutd with -trace-buffer > 0)")
+		return
+	}
+	f := trace.Filter{Graph: r.URL.Query().Get("graph")}
+	if q := r.URL.Query().Get("min_duration"); q != "" {
+		d, err := parseMinDuration(q)
+		if err != nil || d < 0 {
+			writeErr(w, http.StatusBadRequest, "bad min_duration=%q", q)
+			return
+		}
+		f.MinDuration = d
+	}
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "bad limit=%q", q)
+			return
+		}
+		f.Limit = n
+	}
+	list := s.traces.List(f)
+	rows := make([]traceSummary, 0, len(list))
+	for _, t := range list {
+		rows = append(rows, traceSummary{
+			ID:         t.ID,
+			Start:      t.Start,
+			DurationMs: time.Duration(t.Duration).Seconds() * 1e3,
+			Spans:      len(t.Spans),
+			Dropped:    t.Dropped,
+			Graph:      t.RootAttr("graph"),
+			Class:      t.RootAttr("class"),
+			State:      t.RootAttr("state"),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces": rows,
+		"total":  s.traces.Total(),
+	})
+}
+
+// handleTrace returns one trace's full span tree.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeErr(w, http.StatusNotFound, "tracing disabled (start mincutd with -trace-buffer > 0)")
+		return
+	}
+	id := r.PathValue("id")
+	t, ok := s.traces.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no trace %q (evicted, still running, or never traced)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}

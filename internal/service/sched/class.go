@@ -260,7 +260,7 @@ func (s *Scheduler) onProgress(j *Job, ps parcut.ProgressSnapshot) {
 	j.evMu.Lock()
 	if ps.Phase != j.evPhase {
 		if j.evPhase != "" && !j.evPhaseAt.IsZero() {
-			s.m.observePhase(j.evPhase, now.Sub(j.evPhaseAt))
+			s.observePhaseLocked(j, j.evPhase, now.Sub(j.evPhaseAt))
 		}
 		j.evPhase, j.evPhaseAt = ps.Phase, now
 		j.evMu.Unlock()
@@ -282,8 +282,22 @@ func (s *Scheduler) onProgress(j *Job, ps parcut.ProgressSnapshot) {
 func (s *Scheduler) closePhaseTimer(j *Job) {
 	j.evMu.Lock()
 	if j.evPhase != "" && !j.evPhaseAt.IsZero() {
-		s.m.observePhase(j.evPhase, time.Since(j.evPhaseAt))
+		s.observePhaseLocked(j, j.evPhase, time.Since(j.evPhaseAt))
 	}
 	j.evPhase, j.evPhaseAt = "", time.Time{}
 	j.evMu.Unlock()
+}
+
+// observePhaseLocked attributes d of solver wall time to the named phase:
+// the scheduler-wide counters and histograms (labeled with the job's
+// dispatch class) and the job's own accounting for the slow-solve log.
+// Caller holds j.evMu.
+func (s *Scheduler) observePhaseLocked(j *Job, phase string, d time.Duration) {
+	s.m.observePhase(j.metricClass, phase, d)
+	switch phase {
+	case "packing":
+		j.packNanos += int64(d)
+	case "scan":
+		j.scanNanos += int64(d)
+	}
 }

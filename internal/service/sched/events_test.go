@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	parcut "repro"
+)
+
+// newBareJob builds a job with just the event-log machinery wired, so the
+// throttle and cap can be exercised directly without a worker pool.
+func newBareJob(id string) *Job {
+	return &Job{id: id, evWake: make(chan struct{})}
+}
+
+// eventTypes tallies a job's event log by type.
+func eventTypes(j *Job) map[string]int {
+	evs, _, _ := j.Events(0)
+	out := map[string]int{}
+	for _, ev := range evs {
+		out[ev.Type]++
+	}
+	return out
+}
+
+// TestEventLogThrottlesProgressFlood: a solver hammering the progress
+// hook within one phase must not grow the event log per call — counter
+// updates inside progressEventInterval collapse into one event.
+func TestEventLogThrottlesProgressFlood(t *testing.T) {
+	s := &Scheduler{}
+	j := newBareJob("job-t")
+	const flood = 5000
+	start := time.Now()
+	for i := 0; i < flood; i++ {
+		s.onProgress(j, parcut.ProgressSnapshot{Phase: "packing", PackRoundsDone: int64(i)})
+	}
+	elapsed := time.Since(start)
+	types := eventTypes(j)
+	if types["phase"] != 1 {
+		t.Fatalf("phase events = %d, want 1 (single transition)", types["phase"])
+	}
+	// The throttle admits at most one progress event per interval elapsed
+	// (+1 for the leading edge); everything else must collapse.
+	maxProgress := int(elapsed/progressEventInterval) + 1
+	if types["progress"] > maxProgress {
+		t.Fatalf("flood of %d updates produced %d progress events in %v (max %d)",
+			flood, types["progress"], elapsed, maxProgress)
+	}
+}
+
+// TestEventLogPhaseTransitionsNotThrottled: phase changes always append,
+// back-to-back or not — a client must never miss one.
+func TestEventLogPhaseTransitionsNotThrottled(t *testing.T) {
+	s := &Scheduler{}
+	j := newBareJob("job-p")
+	const flips = 40
+	for i := 0; i < flips; i++ {
+		phase := "packing"
+		if i%2 == 1 {
+			phase = "scan"
+		}
+		s.onProgress(j, parcut.ProgressSnapshot{Phase: phase})
+	}
+	if types := eventTypes(j); types["phase"] != flips {
+		t.Fatalf("phase events = %d, want %d", types["phase"], flips)
+	}
+}
+
+// TestEventLogCapKeepsTerminal: past maxJobEvents the limited events stop
+// appending, but the terminal result still lands, so a capped log still
+// ends the stream cleanly.
+func TestEventLogCapKeepsTerminal(t *testing.T) {
+	j := newBareJob("job-c")
+	for i := 0; i < maxJobEvents+100; i++ {
+		j.recordEvent(Event{Type: "progress", Phase: "scan"}, true)
+	}
+	evs, _, ended := j.Events(0)
+	if len(evs) != maxJobEvents {
+		t.Fatalf("capped log holds %d events, want %d", len(evs), maxJobEvents)
+	}
+	if ended {
+		t.Fatal("log reports ended before the terminal event")
+	}
+	j.recordEvent(Event{Type: "result", Terminal: true}, false)
+	evs, _, ended = j.Events(0)
+	if len(evs) != maxJobEvents+1 || !ended || !evs[len(evs)-1].Terminal {
+		t.Fatalf("terminal event missing from capped log: len=%d ended=%v", len(evs), ended)
+	}
+	// Sequence numbers stay dense so resume cursors stay exact.
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	// A resume cursor past the end of the finished log: no events, ended.
+	evs, _, ended = j.Events(len(evs) + 50)
+	if len(evs) != 0 || !ended {
+		t.Fatalf("cursor past finished log: %d events, ended=%v", len(evs), ended)
+	}
+}
+
+// TestEventWakeOnAppend: each append closes the previous wake channel, so
+// a parked streamer always observes the event that woke it.
+func TestEventWakeOnAppend(t *testing.T) {
+	j := newBareJob("job-w")
+	_, wake, _ := j.Events(0)
+	select {
+	case <-wake:
+		t.Fatal("wake channel closed before any append")
+	default:
+	}
+	j.recordEvent(Event{Type: "state", State: StateQueued}, false)
+	select {
+	case <-wake:
+	case <-time.After(time.Second):
+		t.Fatal("append did not wake the streamer")
+	}
+	evs, _, _ := j.Events(0)
+	if len(evs) != 1 || evs[0].Type != "state" {
+		t.Fatalf("streamer woke to %+v", evs)
+	}
+}

@@ -10,6 +10,46 @@ import (
 // solver spans from toy graphs to millions of edges.
 var latencyBuckets = [...]float64{0.001, 0.01, 0.1, 1, 10, 60}
 
+// phaseNames are the solver phases the class-labeled duration histograms
+// track, indexed like counters.solveHist's second dimension.
+var phaseNames = [...]string{"packing", "scan"}
+
+// hist is a cumulative (Prometheus le-semantics) histogram over
+// latencyBuckets: atomic buckets plus count and sum, so the solver-side
+// hooks record observations without any lock.
+type hist struct {
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	buckets  [len(latencyBuckets)]atomic.Int64
+}
+
+func (h *hist) observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.buckets[i].Add(1)
+		}
+	}
+}
+
+// Histogram is a point-in-time histogram snapshot. Buckets are cumulative
+// (le semantics); the implicit +Inf bucket is Count.
+type Histogram struct {
+	Count    int64
+	SumNanos int64
+	Buckets  []LatencyBucket
+}
+
+func (h *hist) snapshot() Histogram {
+	out := Histogram{Count: h.count.Load(), SumNanos: h.sumNanos.Load()}
+	for i, ub := range latencyBuckets {
+		out.Buckets = append(out.Buckets, LatencyBucket{UpperBound: ub, Count: h.buckets[i].Load()})
+	}
+	return out
+}
+
 // counters aggregates the scheduler's monotonic metrics. All fields are
 // atomics so the hot path never takes the scheduler lock to record them.
 type counters struct {
@@ -51,6 +91,11 @@ type counters struct {
 	phasePackingCount atomic.Int64
 	phaseScanNanos    atomic.Int64
 	phaseScanCount    atomic.Int64
+
+	// Real histograms layered on the sums above: per-phase solve
+	// durations labeled by dispatch class, and queue wait per class.
+	solveHist     [numClasses][len(phaseNames)]hist
+	queueWaitHist [numClasses]hist
 }
 
 func (c *counters) observeSolve(d time.Duration) {
@@ -64,15 +109,18 @@ func (c *counters) observeSolve(d time.Duration) {
 	}
 }
 
-// observePhase attributes d of solver wall time to the named phase.
-func (c *counters) observePhase(phase string, d time.Duration) {
+// observePhase attributes d of solver wall time to the named phase, both
+// in the legacy unlabeled sums and in the class-labeled histogram.
+func (c *counters) observePhase(class int, phase string, d time.Duration) {
 	switch phase {
 	case "packing":
 		c.phasePackingNanos.Add(int64(d))
 		c.phasePackingCount.Add(1)
+		c.solveHist[class][0].observe(d)
 	case "scan":
 		c.phaseScanNanos.Add(int64(d))
 		c.phaseScanCount.Add(1)
+		c.solveHist[class][1].observe(d)
 	}
 }
 
@@ -95,6 +143,18 @@ type ClassMetrics struct {
 	QueueDepth                       int
 	Submitted, Dispatched, Completed int64
 	QueueWaitNanos                   int64
+	// QueueWait is the class's queue-wait histogram (same data as
+	// QueueWaitNanos/Dispatched, with distribution).
+	QueueWait Histogram
+	// PhaseDurations holds the class's per-phase solve-duration
+	// histograms, indexed like phaseNames (packing, scan).
+	PhaseDurations []PhaseHistogram
+}
+
+// PhaseHistogram is one phase's duration histogram for one class.
+type PhaseHistogram struct {
+	Phase string
+	Hist  Histogram
 }
 
 // PhaseSeconds is wall time attributed to one solver phase.
@@ -166,6 +226,11 @@ func (c *counters) snapshot() Metrics {
 			Dispatched:     c.dispatchedBy[i].Load(),
 			Completed:      c.completedBy[i].Load(),
 			QueueWaitNanos: c.queueWaitNanosBy[i].Load(),
+			QueueWait:      c.queueWaitHist[i].snapshot(),
+		}
+		for p, name := range phaseNames {
+			m.Classes[i].PhaseDurations = append(m.Classes[i].PhaseDurations,
+				PhaseHistogram{Phase: name, Hist: c.solveHist[i][p].snapshot()})
 		}
 	}
 	m.PhaseSeconds = []PhaseSeconds{

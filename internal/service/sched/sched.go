@@ -40,11 +40,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	parcut "repro"
+	"repro/internal/trace"
 )
 
 // ErrDraining is returned by Submit once Shutdown has begun.
@@ -135,6 +137,19 @@ type Job struct {
 	// feeds the event log and the phase-seconds metrics.
 	prog *parcut.Progress
 
+	// Tracing (all nil/zero when the scheduler has no trace ring). rec
+	// publishes the job's span tree when its last holder releases it; the
+	// scheduler's own hold is released in finishPublish. rootSp and
+	// queueSp are written once at creation and immutable afterwards.
+	rec     *trace.Recorder
+	rootSp  trace.SpanRef
+	queueSp trace.SpanRef
+	// metricClass is the class rank frozen at dispatch (creation rank
+	// until then): the label the solver-side metric hooks use, so they
+	// never race with escalation's writes to class. Written under s.mu
+	// before the solve starts; read by the solver hooks afterwards.
+	metricClass int
+
 	state       State
 	res         parcut.Result
 	err         error
@@ -154,6 +169,10 @@ type Job struct {
 	evPhase    string
 	evPhaseAt  time.Time
 	evLastProg time.Time
+	// Per-job phase wall time (evMu-guarded, same writers as evPhaseAt):
+	// the slow-solve log reads these to say where a slow job's time went.
+	packNanos int64
+	scanNanos int64
 
 	done chan struct{}
 }
@@ -265,6 +284,19 @@ type Config struct {
 	// MaxQueue bounds the total queued jobs across classes; Submit
 	// returns ErrQueueFull past it. 0 means unbounded.
 	MaxQueue int
+	// Traces, when non-nil, turns on per-job tracing: every job records a
+	// span tree (root "job" span, "queue-wait" and "run" children, solver
+	// phase spans below) published into the ring when the job finishes and
+	// its last holder releases it. nil disables tracing entirely — jobs
+	// carry a nil recorder and every span operation is a single branch.
+	Traces *trace.Ring
+	// SlowSolve, when positive, logs one structured line (via Logger) for
+	// every job whose creation-to-finish wall time reaches it, with queue
+	// wait and per-phase attribution.
+	SlowSolve time.Duration
+	// Logger receives the scheduler's structured logs (currently the
+	// slow-solve lines). nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // Scheduler owns the worker pool, the priority queue, and the result
@@ -278,6 +310,9 @@ type Scheduler struct {
 	maxQueue     int
 	weights      [numClasses]int
 	caps         [numClasses]int
+	traces       *trace.Ring
+	slowSolve    time.Duration
+	log          *slog.Logger
 
 	baseCtx    context.Context
 	cancelBase context.CancelCauseFunc
@@ -325,6 +360,9 @@ func New(cfg Config) *Scheduler {
 		p := runtime.GOMAXPROCS(0)
 		cfg.SolveParallelism = (p + cfg.Workers - 1) / cfg.Workers
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Scheduler{
 		workers:      cfg.Workers,
@@ -333,6 +371,9 @@ func New(cfg Config) *Scheduler {
 		maxFanout:    cfg.MaxFanout,
 		solveWidth:   cfg.SolveParallelism,
 		maxQueue:     cfg.MaxQueue,
+		traces:       cfg.Traces,
+		slowSolve:    cfg.SlowSolve,
+		log:          cfg.Logger,
 		baseCtx:      ctx,
 		cancelBase:   cancel,
 		byID:         make(map[string]*Job),
@@ -467,6 +508,13 @@ func (s *Scheduler) newJobLocked(key Key, g *parcut.Graph, class Class, detached
 		done:     make(chan struct{}),
 	}
 	j.prog = parcut.NewProgress(func(ps parcut.ProgressSnapshot) { s.onProgress(j, ps) })
+	j.metricClass = class.rank()
+	if s.traces != nil {
+		j.rec = trace.NewRecorder(j.id, 0, s.traces.Add)
+		j.rootSp = j.rec.Start("job").Attr("job", j.id).Attr("graph", key.GraphID).
+			Attr("class", string(class)).AttrInt("seed", key.Opt.Seed).AttrInt("boost", int64(key.Opt.Boost))
+		j.queueSp = j.rootSp.Child("queue-wait").Attr("class", string(class))
+	}
 	if !detached {
 		j.waiters = 1
 	}
@@ -475,6 +523,11 @@ func (s *Scheduler) newJobLocked(key Key, g *parcut.Graph, class Class, detached
 	j.recordEvent(Event{Type: "state", State: StateQueued}, false)
 	return j
 }
+
+// TraceSpan returns the job's root span (the zero SpanRef when tracing is
+// disabled). HTTP handlers hang request spans off it; they must take a
+// Hold on its Recorder first and Release when done.
+func (j *Job) TraceSpan() trace.SpanRef { return j.rootSp }
 
 // newFanoutLocked decomposes a Boost=k solve into up to maxFanout
 // sub-jobs covering disjoint run ranges and registers the parent that
@@ -509,9 +562,20 @@ func (s *Scheduler) newFanoutLocked(key Key, g *parcut.Graph, class Class, detac
 			Boost:          size,
 			ParallelPhases: key.Opt.ParallelPhases,
 		}}
-		parent.group.children = append(parent.group.children, s.submitChildLocked(childKey, g, class))
+		child, fresh := s.submitChildLocked(childKey, g, class)
+		parent.group.children = append(parent.group.children, child)
+		// Link the traces both ways: the parent's trace names each child
+		// trace, and each child (when this parent created it) names the
+		// parent. A shared child keeps its original parent_trace link.
+		parent.rootSp.Attr("child_trace", child.id)
+		if fresh {
+			child.rootSp.Attr("parent_trace", parent.id)
+		}
 		start += size
 	}
+	// A fan-out parent never queues — its sub-jobs do — so its queue-wait
+	// span closes immediately.
+	parent.queueSp.End()
 	// The parent never solves; drop its graph reference now so only the
 	// children (and the registry) pin it.
 	parent.g = nil
@@ -527,18 +591,20 @@ func (s *Scheduler) newFanoutLocked(key Key, g *parcut.Graph, class Class, detac
 // submitChildLocked is Submit's internal sibling for fan-out sub-jobs: the
 // parent counts as one waiter, the child inherits the parent's class, and
 // the sub-job counters move instead of the external submission counters.
-// A shared child is escalated if this parent's class is stronger.
-func (s *Scheduler) submitChildLocked(key Key, g *parcut.Graph, class Class) *Job {
+// A shared child is escalated if this parent's class is stronger. fresh
+// reports whether the child was created here (false: joined an existing
+// or cached job).
+func (s *Scheduler) submitChildLocked(key Key, g *parcut.Graph, class Class) (j *Job, fresh bool) {
 	s.m.subJobs.Add(1)
 	if prev, ok := s.byKey[key]; ok && !doomed(prev) {
 		s.m.subJobsShared.Add(1)
 		prev.waiters++
 		s.escalateLocked(prev, class)
-		return prev
+		return prev, false
 	}
-	j := s.newJobLocked(key, g, class, false)
+	j = s.newJobLocked(key, g, class, false)
 	s.pushLocked(j)
-	return j
+	return j, true
 }
 
 // merge waits for a fan-out parent's children and publishes the reduced
@@ -839,9 +905,13 @@ func (s *Scheduler) worker() {
 			s.peakRun = s.running
 		}
 		c := j.class.rank()
+		j.metricClass = c
 		s.mu.Unlock()
+		j.queueSp.End()
+		wait := j.dispatched.Sub(j.created)
 		s.m.dispatchedBy[c].Add(1)
-		s.m.queueWaitNanosBy[c].Add(int64(j.dispatched.Sub(j.created)))
+		s.m.queueWaitNanosBy[c].Add(int64(wait))
+		s.m.queueWaitHist[c].observe(wait)
 		j.recordEvent(Event{Type: "state", State: StateRunning}, false)
 		s.run(j, exec)
 	}
@@ -858,8 +928,10 @@ func (s *Scheduler) run(j *Job, exec *parcut.Executor) {
 		opt := j.key.Opt.parcut()
 		opt.Executor = exec
 		opt.Progress = j.prog
+		opt.Trace = j.rootSp.Child("run").AttrInt("width", int64(s.solveWidth))
 		start := time.Now()
 		res, err = parcut.MinCutContext(j.ctx, j.g, opt)
+		opt.Trace.End()
 		if err == nil {
 			s.m.observeSolve(time.Since(start))
 		}
@@ -893,6 +965,33 @@ func (s *Scheduler) finishPublish(j *Job) {
 		ev.Err = j.err.Error()
 	}
 	j.recordEvent(ev, false)
+	if j.rec != nil {
+		j.rootSp.Attr("state", string(j.state))
+		j.rootSp.End()
+		j.rec.Release() // publish unless an HTTP handler still holds it
+	}
+	if s.slowSolve > 0 {
+		if d := j.finished.Sub(j.created); d >= s.slowSolve {
+			j.evMu.Lock()
+			pack, scan := j.packNanos, j.scanNanos
+			j.evMu.Unlock()
+			var wait time.Duration
+			if !j.dispatched.IsZero() {
+				wait = j.dispatched.Sub(j.created)
+			}
+			s.log.Warn("slow solve",
+				"job", j.id,
+				"graph", j.key.GraphID,
+				"class", Classes[j.metricClass],
+				"state", j.state,
+				"duration", d,
+				"queue_wait", wait,
+				"packing", time.Duration(pack),
+				"scan", time.Duration(scan),
+				"trees", j.res.TreesScanned,
+				"fanout", j.Fanout())
+		}
+	}
 	close(j.done)
 	j.cancel(nil)
 }

@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// spanNames collects the distinct span names of a trace.
+func spanNames(tr *trace.Trace) map[string]int {
+	out := map[string]int{}
+	for _, sp := range tr.Spans {
+		out[sp.Name]++
+	}
+	return out
+}
+
+// TestJobTracePublished: a traced solve publishes a span tree into the
+// ring with the full chain — job root, queue-wait, run, packing, scan —
+// and the phase spans' durations are contained in the job span's.
+func TestJobTracePublished(t *testing.T) {
+	ring := trace.NewRing(8)
+	s := New(Config{Workers: 1, Traces: ring})
+	defer shutdown(t, s)
+
+	j, _, err := s.Submit(Key{GraphID: "g1", Opt: SolveOptions{Seed: 3}}, cycle(t, 32), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := ring.Get(j.ID())
+	if !ok {
+		t.Fatalf("no trace for %s in ring (len %d)", j.ID(), ring.Len())
+	}
+	names := spanNames(tr)
+	for _, want := range []string{"job", "queue-wait", "run", "packing", "scan", "estimate", "tree-scan", "bough-phase"} {
+		if names[want] == 0 {
+			t.Fatalf("trace lacks %q span; have %v", want, names)
+		}
+	}
+	if tr.RootAttr("graph") != "g1" || tr.RootAttr("class") != "interactive" || tr.RootAttr("state") != "done" {
+		t.Fatalf("root attrs wrong: %+v", tr.Spans[0].Attrs)
+	}
+	// Phase spans must nest inside the root's duration (the acceptance
+	// criterion's sum-within-slack property follows from containment).
+	for _, sp := range tr.Spans {
+		if sp.Duration > tr.Duration {
+			t.Fatalf("span %q (%d ns) longer than trace (%d ns)", sp.Name, sp.Duration, tr.Duration)
+		}
+	}
+}
+
+// TestFanoutTraceLinks: a boosted solve's parent trace names its child
+// traces, fresh children point back, and every trace publishes.
+func TestFanoutTraceLinks(t *testing.T) {
+	ring := trace.NewRing(16)
+	s := New(Config{Workers: 2, MaxFanout: 3, Traces: ring})
+	defer shutdown(t, s)
+
+	j, _, err := s.Submit(Key{GraphID: "g1", Opt: SolveOptions{Seed: 3, Boost: 3}}, cycle(t, 24), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Fanout() != 3 {
+		t.Fatalf("fanout = %d, want 3", j.Fanout())
+	}
+	if _, err := s.Wait(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	parent, ok := ring.Get(j.ID())
+	if !ok {
+		t.Fatal("parent trace missing")
+	}
+	var children []string
+	for _, a := range parent.Spans[0].Attrs {
+		if a.Key == "child_trace" {
+			children = append(children, a.Value)
+		}
+	}
+	if len(children) != 3 {
+		t.Fatalf("parent links %d children, want 3 (%+v)", len(children), parent.Spans[0].Attrs)
+	}
+	for _, id := range children {
+		ct, ok := ring.Get(id)
+		if !ok {
+			t.Fatalf("child trace %s missing", id)
+		}
+		if got := ct.RootAttr("parent_trace"); got != j.ID() {
+			t.Fatalf("child %s parent_trace = %q, want %q", id, got, j.ID())
+		}
+	}
+}
+
+// TestUntracedSchedulerHasNoSpans: without a ring, jobs carry no recorder
+// and TraceSpan is inert.
+func TestUntracedSchedulerHasNoSpans(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	j, _, err := s.Submit(Key{GraphID: "g1", Opt: SolveOptions{Seed: 3}}, cycle(t, 16), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.TraceSpan().Active() {
+		t.Fatal("untraced job has an active span")
+	}
+	if _, err := s.Wait(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlowSolveLog: a threshold of 1ns flags every solve; the structured
+// line carries the job, phase attribution, and duration.
+func TestSlowSolveLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	s := New(Config{Workers: 1, SlowSolve: time.Nanosecond, Logger: logger})
+	defer shutdown(t, s)
+	j, _, err := s.Submit(Key{GraphID: "g1", Opt: SolveOptions{Seed: 3}}, cycle(t, 32), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "slow-solve line", func() bool {
+		return strings.Contains(buf.String(), "slow solve")
+	})
+	line := buf.String()
+	for _, want := range []string{"job=" + j.ID(), "graph=g1", "class=interactive", "packing=", "scan=", "queue_wait="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("slow-solve line lacks %q: %s", want, line)
+		}
+	}
+}
+
+// TestPhaseHistograms: completed solves populate the class/phase duration
+// histograms and the queue-wait histogram.
+func TestPhaseHistograms(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	j, _, err := s.Submit(Key{GraphID: "g1", Opt: SolveOptions{Seed: 3}}, cycle(t, 32), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	// finishPublish (which settles the phase tail) runs before done is
+	// closed, so the histograms are settled once Wait returns.
+	m := s.Metrics()
+	cm := m.Classes[ClassInteractive.rank()]
+	if cm.QueueWait.Count == 0 {
+		t.Fatalf("queue-wait histogram empty: %+v", cm.QueueWait)
+	}
+	if len(cm.PhaseDurations) != 2 {
+		t.Fatalf("phase histograms = %+v", cm.PhaseDurations)
+	}
+	for _, ph := range cm.PhaseDurations {
+		if ph.Hist.Count == 0 {
+			t.Fatalf("phase %q histogram empty", ph.Phase)
+		}
+		// The cumulative buckets must be monotone and end at Count.
+		last := int64(0)
+		for _, b := range ph.Hist.Buckets {
+			if b.Count < last {
+				t.Fatalf("phase %q buckets not cumulative: %+v", ph.Phase, ph.Hist.Buckets)
+			}
+			last = b.Count
+		}
+		if last > ph.Hist.Count {
+			t.Fatalf("phase %q bucket count exceeds total: %+v", ph.Phase, ph.Hist)
+		}
+	}
+}

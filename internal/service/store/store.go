@@ -27,6 +27,7 @@ import (
 	"hash/crc32"
 	"io"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -77,6 +78,9 @@ type Options struct {
 	// mutating files directly should set it; a real deployment loses the
 	// crash-safety guarantee without the syncs.
 	NoSync bool
+	// Log receives recovery and corruption warnings (torn tails truncated,
+	// entries dropped). Nil means slog.Default().
+	Log *slog.Logger
 }
 
 // Entry describes one committed graph: where its canonical serialization
@@ -127,6 +131,7 @@ type Store struct {
 	maxSeg int64
 	maxDsk int64
 	noSync bool
+	log    *slog.Logger
 
 	mu        sync.Mutex
 	index     map[string]Entry
@@ -168,11 +173,15 @@ func Open(opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o777); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
+	if opts.Log == nil {
+		opts.Log = slog.Default()
+	}
 	s := &Store{
 		dir:      opts.Dir,
 		maxSeg:   opts.MaxSegmentBytes,
 		maxDsk:   opts.MaxDiskBytes,
 		noSync:   opts.NoSync,
+		log:      opts.Log,
 		index:    make(map[string]Entry),
 		segBytes: make(map[int]int64),
 		segLive:  make(map[int]int),
@@ -258,6 +267,7 @@ func (s *Store) recover() error {
 			return fmt.Errorf("store: truncate torn manifest: %w", err)
 		}
 		s.corruptTail++
+		s.log.Warn("store: truncated torn manifest record", "dir", s.dir, "committed_bytes", committed, "torn_bytes", int64(len(data))-committed)
 	}
 
 	// Drop committed entries whose segment bytes do not exist on disk —
@@ -288,6 +298,7 @@ func (s *Store) recover() error {
 			delete(s.index, id)
 			s.segLive[e.Seg]--
 			s.corruptTail++
+			s.log.Warn("store: dropped committed graph with missing segment bytes", "dir", s.dir, "graph", id, "segment", e.Seg)
 		}
 	}
 
@@ -307,6 +318,7 @@ func (s *Store) recover() error {
 				return fmt.Errorf("store: truncate torn segment: %w", err)
 			}
 			s.corruptTail++
+			s.log.Warn("store: truncated torn segment tail", "dir", s.dir, "segment", seg, "committed_bytes", end, "torn_bytes", size-end)
 			size = end
 		}
 		s.segBytes[seg] = size
@@ -638,6 +650,7 @@ func (s *Store) appendManifestLocked(line string) error {
 func (s *Store) rollbackManifestLocked() {
 	if err := s.manifest.Truncate(s.manOff); err != nil {
 		s.manBroken = true
+		s.log.Error("store: manifest rollback failed; refusing further writes", "dir", s.dir, "error", err)
 	}
 }
 

@@ -1,0 +1,33 @@
+package trace
+
+import "testing"
+
+// BenchmarkSpanDisabled guards the disabled-path contract: with no
+// recorder attached, creating, annotating, and ending a span must be a
+// few branches and zero allocations, so tracing seams can stay threaded
+// through the solver's hot loops unconditionally.
+func BenchmarkSpanDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var sp SpanRef
+	for i := 0; i < b.N; i++ {
+		c := sp.Child("round")
+		c.AttrInt("i", int64(i))
+		c.End()
+	}
+}
+
+// BenchmarkSpanEnabled sizes the enabled-path cost (mutex + append) so
+// regressions in the "tracing on" overhead are visible too.
+func BenchmarkSpanEnabled(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRecorder("bench", b.N+2, nil)
+	root := r.Start("job")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := root.Child("round")
+		c.End()
+	}
+	b.StopTimer()
+	root.End()
+	r.Release()
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Ring is a bounded in-process buffer of finished traces: the service's
+// trace store. When full, adding a trace evicts the oldest. A nil *Ring
+// is valid and discards everything, so tracing can be disabled by simply
+// not wiring a ring.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []*Trace // ring storage; nil slots while filling
+	next  int      // next write position
+	total int64    // traces ever added
+	byID  map[string]*Trace
+}
+
+// NewRing returns a ring retaining up to capacity finished traces
+// (capacity < 1 means 256).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &Ring{buf: make([]*Trace, capacity), byID: make(map[string]*Trace)}
+}
+
+// Add stores a finished trace, evicting the oldest past capacity. Re-added
+// IDs replace their lookup entry (the ring keeps both copies until the
+// older ages out).
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.buf[r.next]; old != nil && r.byID[old.ID] == old {
+		delete(r.byID, old.ID)
+	}
+	r.buf[r.next] = t
+	r.byID[t.ID] = t
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+}
+
+// Get returns the trace with the given ID, if it is still retained.
+func (r *Ring) Get(id string) (*Trace, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Len reports how many traces are currently retained; Total how many were
+// ever added (the difference is what the ring has evicted).
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// Total reports how many traces were ever added.
+func (r *Ring) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Filter selects traces for List. The zero Filter matches everything.
+type Filter struct {
+	// Graph, when non-empty, matches traces whose root span carries a
+	// "graph" attribute equal to it.
+	Graph string
+	// MinDuration drops traces shorter than it.
+	MinDuration time.Duration
+	// Limit caps the result count (0 means 100).
+	Limit int
+}
+
+// List returns retained traces matching f, newest first.
+func (r *Ring) List(f Filter) []*Trace {
+	if r == nil {
+		return nil
+	}
+	if f.Limit <= 0 {
+		f.Limit = 100
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, min(f.Limit, len(r.byID)))
+	n := len(r.buf)
+	for i := 0; i < n && len(out) < f.Limit; i++ {
+		// Walk backwards from the most recent write position.
+		t := r.buf[((r.next-1-i)%n+n)%n]
+		if t == nil {
+			break
+		}
+		if r.byID[t.ID] != t {
+			continue // superseded by a re-added ID
+		}
+		if f.Graph != "" && t.RootAttr("graph") != f.Graph {
+			continue
+		}
+		if f.MinDuration > 0 && time.Duration(t.Duration) < f.MinDuration {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/graph/gen"
 	"repro/internal/par"
 	"repro/internal/progress"
+	"repro/internal/trace"
 	"repro/internal/wd"
 )
 
@@ -193,6 +194,15 @@ type Options struct {
 	// the solve runs. Attach a fresh Progress per solve; attaching one
 	// never changes the Result at any parallelism.
 	Progress *Progress
+	// Trace, when active, receives a span tree attributing the solve's
+	// wall clock: one "run" span per boost run, each with "packing" and
+	// "scan" phase children down to per-tree and per-bough-phase spans.
+	// The zero value disables tracing at no cost. Like Progress it is
+	// write-only: attaching a span never changes the Result. The field's
+	// type lives in an internal package, so it is settable only from
+	// within this module — the mincutd service uses it; external callers
+	// leave it zero.
+	Trace trace.SpanRef
 }
 
 // ProgressSnapshot is a point-in-time view of a running solve. Totals are
@@ -363,6 +373,7 @@ func MinCutContext(ctx context.Context, G *Graph, opt Options) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, fmt.Errorf("parcut: canceled: %w", err)
 		}
+		runSp := opt.Trace.Child("run").AttrInt("run", int64(run))
 		r, err := core.MinCutContext(ctx, G.g, core.Options{
 			Seed:           BoostSeed(opt.Seed, run),
 			WantPartition:  opt.WantPartition,
@@ -370,7 +381,9 @@ func MinCutContext(ctx context.Context, G *Graph, opt Options) (Result, error) {
 			Pool:           pool,
 			Meter:          m,
 			Progress:       sink,
+			Trace:          runSp,
 		})
+		runSp.End()
 		if err != nil {
 			return Result{}, err
 		}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // widthsUnderTest: sequential, even, odd (misaligned chunk boundaries),
@@ -16,8 +18,9 @@ func widthsUnderTest() []int {
 // TestMinCutWidthEquivalence is the determinism invariant of the pool
 // refactor: identical seed and input must produce a bit-identical Result
 // at every executor width, including partitions and model stats — and
-// attaching live progress instrumentation (with an active event hook)
-// must never perturb it: the sink is write-only for the solver.
+// attaching live instrumentation (a progress sink with an active event
+// hook plus a trace recorder) must never perturb it: both sinks are
+// write-only for the solver.
 func TestMinCutWidthEquivalence(t *testing.T) {
 	graphs := []*Graph{
 		RandomGraph(140, 560, 50, 11),
@@ -35,12 +38,23 @@ func TestMinCutWidthEquivalence(t *testing.T) {
 						Boost:         boost,
 						Parallelism:   w,
 					}
+					var rec *trace.Recorder
+					var published *trace.Trace
 					if instrumented {
 						opt.Progress = NewProgress(func(ProgressSnapshot) {})
+						rec = trace.NewRecorder("test", 0, func(tr *trace.Trace) { published = tr })
+						opt.Trace = rec.Start("solve")
 					}
 					res, err := MinCut(g, opt)
 					if err != nil {
 						t.Fatalf("graph %d width %d instrumented=%v: %v", gi, w, instrumented, err)
+					}
+					if instrumented {
+						opt.Trace.End()
+						rec.Release()
+						if published == nil || len(published.Spans) < 2 {
+							t.Fatalf("graph %d width %d: trace not published or empty (%+v)", gi, w, published)
+						}
 					}
 					if i == 0 && !instrumented {
 						ref = res
