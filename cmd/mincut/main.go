@@ -6,12 +6,15 @@
 //	mincut -in graph.txt
 //	mincut -gen random:n=2000,m=8000,w=100 -seed 3
 //
-// Algorithms: parcut (the paper's parallel algorithm, default),
-// stoerwagner (exact deterministic O(n³)), kargerstein (Monte Carlo
-// recursive contraction), brute (exhaustive, n ≤ 24).
+// Algorithms are the registered solve engines plus two conveniences:
+// geissmann (the paper's parallel algorithm; "parcut" is an alias, the
+// default), stoerwagner (exact deterministic O(n³)), kargerstein (Monte
+// Carlo recursive contraction), auto (pick by graph size; the chosen
+// engine is printed), and brute (exhaustive, n ≤ 24 — not an engine).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,7 +22,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/wd"
@@ -31,7 +34,7 @@ func main() {
 	in := flag.String("in", "", "input graph file (- for stdin)")
 	genSpec := flag.String("gen", "", "generate the input instead (see graphgen -spec)")
 	seed := flag.Int64("seed", 1, "random seed")
-	algo := flag.String("algo", "parcut", "parcut | stoerwagner | kargerstein | brute")
+	algo := flag.String("algo", "parcut", "parcut (= geissmann) | stoerwagner | kargerstein | auto | brute")
 	partition := flag.Bool("partition", false, "print one side of the cut")
 	stats := flag.Bool("stats", false, "print work/depth model statistics (parcut only)")
 	flag.Parse()
@@ -44,29 +47,39 @@ func main() {
 		err   error
 	)
 	var meter *wd.Meter
-	switch *algo {
-	case "parcut":
-		if *stats {
+	engName := ""
+	if *algo == "brute" {
+		value, inCut, err = baseline.BruteForce(g)
+	} else {
+		// Everything else routes through the engine registry; "parcut" stays
+		// as an alias for the paper engine, and "auto" resolves by graph
+		// size (the chosen engine is printed below).
+		name := *algo
+		if name == "parcut" {
+			name = engine.Default
+		}
+		eng, rerr := engine.Resolve(name, g.N(), g.M())
+		if rerr != nil {
+			log.Fatalf("unknown algorithm %q: %v (plus the aliases parcut, brute)", *algo, rerr)
+		}
+		engName = eng.Name()
+		if *stats && engName == engine.Default {
 			meter = new(wd.Meter)
 		}
-		var res core.Result
-		res, err = core.MinCut(g, core.Options{Seed: *seed, WantPartition: *partition, Meter: meter})
+		var res engine.Result
+		res, err = eng.Solve(context.Background(), g, engine.Options{Seed: *seed, WantPartition: *partition, Meter: meter})
 		value, inCut = res.Value, res.InCut
-	case "stoerwagner":
-		value, inCut, err = baseline.StoerWagner(g)
-	case "kargerstein":
-		value, inCut, err = baseline.KargerStein(g, *seed)
-	case "brute":
-		value, inCut, err = baseline.BruteForce(g)
-	default:
-		log.Fatalf("unknown algorithm %q", *algo)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("n=%d m=%d algo=%s\n", g.N(), g.M(), *algo)
+	if engName != "" {
+		fmt.Printf("n=%d m=%d algo=%s engine=%s\n", g.N(), g.M(), *algo, engName)
+	} else {
+		fmt.Printf("n=%d m=%d algo=%s\n", g.N(), g.M(), *algo)
+	}
 	fmt.Printf("minimum cut value: %d\n", value)
 	fmt.Printf("time: %v\n", elapsed.Round(time.Microsecond))
 	if truth != nil {

@@ -51,9 +51,12 @@ func TestSigtermDrainsInFlightJobs(t *testing.T) {
 	resp.Body.Close()
 
 	// Park a moderately boosted solve in flight (async so the HTTP request
-	// itself does not hold the drain open), then SIGTERM mid-run.
+	// itself does not hold the drain open), then SIGTERM mid-run. The paper
+	// engine is pinned: under the default "auto" this graph resolves to the
+	// exact backend, where boost collapses and the job would finish before
+	// the signal lands.
 	resp, err = http.Post(base+"/v1/graphs/"+up.ID+"/mincut", "application/json",
-		bytes.NewReader([]byte(`{"seed": 3, "boost": 2000, "async": true}`)))
+		bytes.NewReader([]byte(`{"seed": 3, "boost": 2000, "async": true, "engine": "geissmann"}`)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	paperbench -exp table1|depth|minpath|decomp|tworespect|packing|cache|agree|ablation|all [-quick]
+//	paperbench -exp table1|depth|minpath|decomp|tworespect|packing|cache|agree|ablation|engines|all [-quick]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/engine"
 	"repro/internal/graph/gen"
 	"repro/internal/listrank"
 	"repro/internal/minpath"
@@ -38,6 +40,7 @@ import (
 var (
 	quick      = flag.Bool("quick", false, "smaller grids (sanity runs)")
 	scalingOut = flag.String("scaling-out", "", "write the scaling experiment's per-width timings as JSON to this file")
+	enginesOut = flag.String("engines-out", "", "write the engines experiment's per-cell timings and crossovers as JSON to this file")
 )
 
 func main() {
@@ -56,9 +59,10 @@ func main() {
 		"agree":      expAgree,
 		"ablation":   expAblation,
 		"scaling":    expScaling,
+		"engines":    expEngines,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "depth", "minpath", "decomp", "tworespect", "packing", "cache", "agree", "ablation", "scaling"} {
+		for _, name := range []string{"table1", "depth", "minpath", "decomp", "tworespect", "packing", "cache", "agree", "ablation", "scaling", "engines"} {
 			experiments[name]()
 		}
 		return
@@ -543,6 +547,146 @@ func expScaling() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", *scalingOut)
+}
+
+// expEngines — E13: crossover measurement behind the "auto" engine rule.
+// Every registered engine solves the same graphs across an n × density
+// grid (each engine capped at the sizes where it finishes in reasonable
+// time), the exact baseline's value cross-checks the randomized engines,
+// and the per-family crossover points — the largest n where Stoer–Wagner
+// still beats the paper engine — are derived from the timings. The JSON
+// artifact (-engines-out, BENCH_engines.json in CI) records the grid, the
+// suggested thresholds, and the calibration engine.DefaultThresholds
+// ships with, so drift between measurement and shipped rule is visible.
+func expEngines() {
+	header("E13 (engines): engine crossover by n and density")
+	type cell struct {
+		family string
+		n, m   int
+	}
+	sparseNs := []int{64, 128, 256, 512, 1024, 2048}
+	denseNs := []int{64, 128, 256, 512}
+	reps := 3
+	if *quick {
+		sparseNs = []int{64, 128, 256}
+		denseNs = []int{64, 128}
+		reps = 1
+	}
+	var cells []cell
+	for _, n := range sparseNs {
+		cells = append(cells, cell{"sparse", n, 4 * n})
+	}
+	for _, n := range denseNs {
+		cells = append(cells, cell{"dense", n, n * n / 8})
+	}
+	// Per-engine size caps: the dense baselines' superquadratic work makes
+	// the large cells pointless (and slow) for them — the crossover they
+	// calibrate sits well below the cap.
+	engineMaxN := map[string]int{
+		"geissmann":   1 << 30,
+		"stoerwagner": 1024,
+		"kargerstein": 256,
+	}
+	type row struct {
+		Family string  `json:"family"`
+		N      int     `json:"n"`
+		M      int     `json:"m"`
+		Engine string  `json:"engine"`
+		Millis float64 `json:"ms"`
+		Value  int64   `json:"value"`
+	}
+	var rows []row
+	fmt.Println("| family | n | m | engine | ms | value |")
+	fmt.Println("|--------|---|---|--------|----|-------|")
+	for _, c := range cells {
+		g := gen.RandomConnected(c.n, c.m, 100, 42)
+		var exactVal int64
+		haveExact := false
+		cellVals := map[string]int64{}
+		for _, name := range engine.Names() {
+			if c.n > engineMaxN[name] {
+				continue
+			}
+			eng, ok := engine.Lookup(name)
+			if !ok {
+				log.Fatalf("engine %q vanished from the registry", name)
+			}
+			best := math.Inf(1)
+			var val int64
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				res, err := eng.Solve(context.Background(), g, engine.Options{Seed: 7})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if el := time.Since(start).Seconds() * 1000; el < best {
+					best = el
+				}
+				val = res.Value
+			}
+			if eng.Caps().Exact {
+				exactVal, haveExact = val, true
+			}
+			cellVals[name] = val
+			rows = append(rows, row{c.family, c.n, c.m, name, best, val})
+			fmt.Printf("| %s | %d | %d | %s | %.1f | %d |\n", c.family, c.n, c.m, name, best, val)
+		}
+		if haveExact {
+			for name, v := range cellVals {
+				if v != exactVal {
+					fmt.Printf("| MISMATCH %s n=%d m=%d: %s=%d exact=%d |\n", c.family, c.n, c.m, name, v, exactVal)
+				}
+			}
+		}
+	}
+	// Crossover per family: the largest n where the exact baseline still
+	// beat the paper engine (0 when it never did on the measured grid).
+	crossover := func(family string) int {
+		ms := map[string]map[int]float64{}
+		for _, r := range rows {
+			if r.Family != family {
+				continue
+			}
+			if ms[r.Engine] == nil {
+				ms[r.Engine] = map[int]float64{}
+			}
+			ms[r.Engine][r.N] = r.Millis
+		}
+		best := 0
+		for n, sw := range ms["stoerwagner"] {
+			if ge, ok := ms["geissmann"][n]; ok && sw <= ge && n > best {
+				best = n
+			}
+		}
+		return best
+	}
+	sparseX, denseX := crossover("sparse"), crossover("dense")
+	fmt.Printf("\ncrossover (largest n where stoerwagner wins): sparse %d, dense %d\n", sparseX, denseX)
+	fmt.Printf("shipped auto thresholds: small_n=%d dense_n=%d dense_frac=%g\n",
+		engine.DefaultThresholds.SmallN, engine.DefaultThresholds.DenseN, engine.DefaultThresholds.DenseFrac)
+	if *enginesOut == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(struct {
+		Experiment       string  `json:"experiment"`
+		Seed             int64   `json:"seed"`
+		Reps             int     `json:"reps"`
+		NumCPU           int     `json:"num_cpu"`
+		Rows             []row   `json:"rows"`
+		SparseCrossoverN int     `json:"sparse_crossover_n"`
+		DenseCrossoverN  int     `json:"dense_crossover_n"`
+		ShippedSmallN    int     `json:"shipped_small_n"`
+		ShippedDenseN    int     `json:"shipped_dense_n"`
+		ShippedDenseFrac float64 `json:"shipped_dense_frac"`
+	}{"engines", 7, reps, runtime.NumCPU(), rows, sparseX, denseX,
+		engine.DefaultThresholds.SmallN, engine.DefaultThresholds.DenseN, engine.DefaultThresholds.DenseFrac}, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*enginesOut, append(blob, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *enginesOut)
 }
 
 // --- helpers ---

@@ -5,23 +5,56 @@
 // Carlo algorithm, §1.2.3 [18], which is also the "best previous
 // polylog-depth, quadratic-work" regime the paper improves on), and
 // exhaustive enumeration for tiny instances.
+//
+// Both comparison algorithms come in a Context form (cancellation,
+// par.Pool, progress, tracing) so internal/engine can serve them behind
+// the same scheduler seams as the paper solver.
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/progress"
+	"repro/internal/trace"
 )
+
+// swGrain keeps the pool off tiny inner loops: the O(n) weight
+// accumulation per maximum-adjacency step only forks once a phase has at
+// least this many active supernodes. Below it, fork overhead dominates
+// the loop body.
+const swGrain = 2048
 
 // StoerWagner computes an exact global minimum cut deterministically in
 // O(n³) time (the simple array implementation of the O(nm + n² log n)
 // algorithm). A disconnected graph yields value 0. Returns the cut value
 // and one side of an optimal partition.
 func StoerWagner(g *graph.Graph) (int64, []bool, error) {
+	return StoerWagnerContext(context.Background(), g, nil, nil, trace.SpanRef{})
+}
+
+// StoerWagnerContext is StoerWagner promoted to a serveable engine: ctx
+// is checked between contraction phases (there are n-1 of them, each
+// O(active²) work) so cancellation is prompt; the per-phase weight
+// loops run on pool (nil means the shared default pool) — every parallel
+// loop writes disjoint indices and the phase's vertex selection stays
+// sequential, so the result is bit-identical at every pool width; sink
+// (nil-safe) enters PhaseContract and counts one coarse step per
+// contraction phase on the tree counters, notifying at the same seam
+// where ctx is checked; sp, when active, gains one "contract" child span
+// tagged with the phase count.
+func StoerWagnerContext(ctx context.Context, g *graph.Graph, pool *par.Pool, sink *progress.Sink, sp trace.SpanRef) (int64, []bool, error) {
 	n := g.N()
 	if n < 2 {
 		return 0, nil, fmt.Errorf("baseline: minimum cut needs at least 2 vertices")
 	}
+	csp := sp.Child("contract")
+	defer csp.End()
+	csp.AttrInt("phases", int64(n-1))
+	sink.EnterPhase(progress.PhaseContract)
+	sink.AddTrees(int64(n - 1))
 	// Dense weight matrix with parallel edges merged; loops dropped.
 	w := make([]int64, n*n)
 	for _, e := range g.Edges() {
@@ -45,6 +78,9 @@ func StoerWagner(g *graph.Graph) (int64, []bool, error) {
 	weight := make([]int64, n) // connectivity to the growing set A
 	inA := make([]bool, n)
 	for len(active) > 1 {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, fmt.Errorf("baseline: canceled: %w", err)
+		}
 		// Maximum adjacency (minimum cut phase) search.
 		for _, v := range active {
 			weight[v] = 0
@@ -52,12 +88,14 @@ func StoerWagner(g *graph.Graph) (int64, []bool, error) {
 		}
 		var prev, last int32 = -1, active[0]
 		inA[last] = true
-		for _, u := range active {
-			if u != last {
+		pool.ForGrain(len(active), swGrain, func(i int) {
+			if u := active[i]; u != last {
 				weight[u] = w[int(last)*n+int(u)]
 			}
-		}
+		})
 		for step := 1; step < len(active); step++ {
+			// The selection scans sequentially so ties break by position,
+			// independent of pool width.
 			var pick int32 = -1
 			for _, u := range active {
 				if !inA[u] && (pick < 0 || weight[u] > weight[pick]) {
@@ -67,11 +105,11 @@ func StoerWagner(g *graph.Graph) (int64, []bool, error) {
 			inA[pick] = true
 			prev, last = last, pick
 			if step < len(active)-1 {
-				for _, u := range active {
-					if !inA[u] {
+				pool.ForGrain(len(active), swGrain, func(i int) {
+					if u := active[i]; !inA[u] {
 						weight[u] += w[int(pick)*n+int(u)]
 					}
-				}
+				})
 			}
 		}
 		// Cut-of-the-phase: the last vertex alone against the rest.
@@ -80,12 +118,12 @@ func StoerWagner(g *graph.Graph) (int64, []bool, error) {
 			bestGroup = append([]int32(nil), groups[last]...)
 		}
 		// Merge last into prev.
-		for _, u := range active {
-			if u != last && u != prev {
+		pool.ForGrain(len(active), swGrain, func(i int) {
+			if u := active[i]; u != last && u != prev {
 				w[int(prev)*n+int(u)] += w[int(last)*n+int(u)]
 				w[int(u)*n+int(prev)] = w[int(prev)*n+int(u)]
 			}
-		}
+		})
 		groups[prev] = append(groups[prev], groups[last]...)
 		out := active[:0]
 		for _, u := range active {
@@ -94,6 +132,7 @@ func StoerWagner(g *graph.Graph) (int64, []bool, error) {
 			}
 		}
 		active = out
+		sink.TreeDone()
 	}
 	inCut := make([]bool, n)
 	for _, v := range bestGroup {

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/progress"
+)
+
+func init() {
+	Register(geissmannEngine{})
+	Register(stoerWagnerEngine{})
+	Register(kargerSteinEngine{})
+}
+
+// geissmannEngine is the paper solver (core.MinCutContext) behind the
+// Engine seam: Geissmann–Gianinazzi tree packing + 2-respecting scan,
+// O(m log⁴ n) work, O(log³ n) depth, Monte Carlo whp.
+type geissmannEngine struct{}
+
+func (geissmannEngine) Name() string { return "geissmann" }
+
+func (geissmannEngine) Caps() Caps {
+	return Caps{
+		Seeded:            true,
+		BoostDecomposable: true,
+		ParallelPhases:    true,
+		Phases:            []progress.Phase{progress.PhasePacking, progress.PhaseScan},
+	}
+}
+
+func (geissmannEngine) Solve(ctx context.Context, g *graph.Graph, opt Options) (Result, error) {
+	r, err := core.MinCutContext(ctx, g, core.Options{
+		Seed:           opt.Seed,
+		WantPartition:  opt.WantPartition,
+		ParallelPhases: opt.ParallelPhases,
+		Pool:           opt.Pool,
+		Meter:          opt.Meter,
+		Progress:       opt.Progress,
+		Trace:          opt.Trace,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Value: r.Value, InCut: r.InCut, TreesScanned: r.TreesScanned}, nil
+}

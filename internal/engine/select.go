@@ -1,0 +1,46 @@
+package engine
+
+// Thresholds parameterize the Auto selection rule. The rule is
+// intentionally coarse — two comparisons on numbers the registry already
+// has (n, m) — because the measured crossover (paperbench -exp engines,
+// BENCH_engines.json) is itself coarse: tuned sequential Stoer–Wagner
+// wins while the n³ term is small or the graph is dense enough that the
+// paper solver's O(m log⁴ n) machinery has no sparsity to exploit, and
+// loses decisively afterwards. Karger–Stein is never auto-selected: on
+// every measured cell it is dominated by one of the other two (it exists
+// for cross-checking and as the Table 1 comparator).
+type Thresholds struct {
+	// SmallN: graphs with n <= SmallN go to stoerwagner regardless of
+	// density.
+	SmallN int
+	// DenseN / DenseFrac: graphs with n <= DenseN whose edge count is at
+	// least DenseFrac·n² also go to stoerwagner (dense enough that m is
+	// Θ(n²), where the sequential baseline's cache-friendly inner loops
+	// win longer).
+	DenseN    int
+	DenseFrac float64
+}
+
+// DefaultThresholds hold the shipped calibration, refreshed from the
+// crossover measurements in BENCH_engines.json (paperbench -exp engines).
+// Last measured: on the sparse family (m = 4n) stoerwagner wins through
+// n = 512 (663 ms vs 768 ms) and loses at n = 1024 (5.0 s vs 2.5 s); on
+// the dense family (m = n²/8) it still wins 19× at n = 512 (434 ms vs
+// 8.2 s), so the dense rule extends one doubling past the sparse one.
+var DefaultThresholds = Thresholds{SmallN: 512, DenseN: 1024, DenseFrac: 0.125}
+
+// Select applies the thresholds to a graph with n vertices and m edges.
+func (t Thresholds) Select(n, m int) string {
+	if n <= t.SmallN {
+		return "stoerwagner"
+	}
+	if n <= t.DenseN && float64(m) >= t.DenseFrac*float64(n)*float64(n) {
+		return "stoerwagner"
+	}
+	return Default
+}
+
+// Select is the Auto rule at the default calibration.
+func Select(n, m int) string {
+	return DefaultThresholds.Select(n, m)
+}

@@ -24,6 +24,10 @@ const (
 	// PhaseScan covers the per-tree 2-respecting cut searches (paper §4):
 	// bough decomposition and the Minimum Path batches.
 	PhaseScan
+	// PhaseContract covers the contraction loops of the baseline engines
+	// (Stoer–Wagner's maximum-adjacency phases, Karger–Stein's recursive
+	// contraction trials). The paper's solver never enters it.
+	PhaseContract
 )
 
 // String returns the phase's wire name.
@@ -33,6 +37,8 @@ func (p Phase) String() string {
 		return "packing"
 	case PhaseScan:
 		return "scan"
+	case PhaseContract:
+		return "contract"
 	default:
 		return "none"
 	}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	parcut "repro"
+	"repro/internal/engine"
 	"repro/internal/service/registry"
 	"repro/internal/service/sched"
 	"repro/internal/service/store"
@@ -378,6 +379,12 @@ type mincutRequest struct {
 	WantPartition  bool  `json:"want_partition"`
 	Boost          int   `json:"boost"`
 	ParallelPhases bool  `json:"parallel_phases"`
+	// Engine picks the solver backend: "geissmann", "stoerwagner",
+	// "kargerstein", or "auto" (the default), which selects by graph size.
+	// "auto" resolves to a concrete engine before the job is keyed, so an
+	// auto-selected solve and an explicit request for the same engine share
+	// one result-cache entry; the chosen engine is reported on the job.
+	Engine string `json:"engine,omitempty"`
 	// Class is the job's QoS class: "interactive" (default), "batch", or
 	// "background". Classes share the worker pool by weighted fairness;
 	// see the scheduler docs.
@@ -391,10 +398,13 @@ type mincutRequest struct {
 }
 
 type jobResponse struct {
-	JobID        string `json:"job_id"`
-	GraphID      string `json:"graph_id"`
-	Status       string `json:"status"`
-	Class        string `json:"class,omitempty"`
+	JobID   string `json:"job_id"`
+	GraphID string `json:"graph_id"`
+	Status  string `json:"status"`
+	Class   string `json:"class,omitempty"`
+	// Engine is the concrete solver backend the job runs on ("auto"
+	// requests report what auto picked).
+	Engine       string `json:"engine,omitempty"`
 	Cached       bool   `json:"cached,omitempty"`
 	Value        *int64 `json:"value,omitempty"`
 	InCut        []bool `json:"in_cut,omitempty"`
@@ -419,11 +429,27 @@ func submitErr(w http.ResponseWriter, err error) {
 		writeErr(w, http.StatusServiceUnavailable, "draining")
 	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrClassQueueFull):
 		writeErr(w, http.StatusTooManyRequests, "%v", err)
-	case errors.Is(err, sched.ErrUnknownClass):
+	case errors.Is(err, sched.ErrUnknownClass), errors.Is(err, sched.ErrUnknownEngine):
 		writeErr(w, http.StatusBadRequest, "%v", err)
 	default:
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 	}
+}
+
+// resolveEngine maps the wire engine name (default "auto") to a concrete
+// registered engine using the graph's size, writing the 400 itself on an
+// unknown name. Resolving before the scheduler key is built is what lets
+// "auto" share cache entries with explicit requests for the same engine.
+func resolveEngine(w http.ResponseWriter, name string, info registry.Info) (engine.Engine, bool) {
+	if name == "" {
+		name = engine.Auto
+	}
+	eng, err := engine.Resolve(name, info.N, info.M)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	return eng, true
 }
 
 func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
@@ -432,7 +458,7 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	g, _, ok := s.getGraph(w, id)
+	g, info, ok := s.getGraph(w, id)
 	if !ok {
 		return
 	}
@@ -452,11 +478,16 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", cerr)
 		return
 	}
+	eng, ok := resolveEngine(w, req.Engine, info)
+	if !ok {
+		return
+	}
 	key := sched.Key{GraphID: id, Opt: sched.SolveOptions{
 		Seed:           req.Seed,
 		WantPartition:  req.WantPartition,
 		Boost:          req.Boost,
 		ParallelPhases: req.ParallelPhases,
+		Engine:         eng.Name(),
 	}}
 	job, hit, err := s.sch.Submit(key, g, sched.SubmitOpts{Class: class, Detached: req.Async})
 	if err != nil {
@@ -469,7 +500,7 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		st, _ := s.sch.Job(job.ID())
 		writeJSON(w, http.StatusAccepted, jobResponse{
 			JobID: job.ID(), GraphID: id, Status: string(st.State), Class: string(st.Class),
-			Cached: hit, Fanout: job.Fanout(),
+			Engine: st.Engine, Cached: hit, Fanout: job.Fanout(),
 		})
 		return
 	}
@@ -496,7 +527,8 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, jobResponse{
-		JobID: job.ID(), GraphID: id, Status: string(sched.StateDone), Class: string(class), Cached: hit,
+		JobID: job.ID(), GraphID: id, Status: string(sched.StateDone), Class: string(class),
+		Engine: eng.Name(), Cached: hit,
 		Value: &res.Value, InCut: res.InCut, TreesScanned: res.TreesScanned, Fanout: job.Fanout(),
 	})
 }
@@ -521,6 +553,10 @@ type batchRequest struct {
 	Boost          int         `json:"boost"`
 	WantPartition  bool        `json:"want_partition"`
 	ParallelPhases bool        `json:"parallel_phases"`
+	// Engine picks the solver backend for every solve in the batch;
+	// defaults to "auto" (see mincutRequest.Engine). The resolved engine is
+	// echoed in the response envelope.
+	Engine string `json:"engine,omitempty"`
 	// Class is the QoS class of every solve in the batch; batches default
 	// to "batch" (a bulk request is bulk work), unlike single solves.
 	Class string `json:"class,omitempty"`
@@ -555,7 +591,7 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	g, _, ok := s.getGraph(w, id)
+	g, info, ok := s.getGraph(w, id)
 	if !ok {
 		return
 	}
@@ -574,6 +610,10 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 	class, cerr := sched.ParseClass(req.Class)
 	if cerr != nil {
 		writeErr(w, http.StatusBadRequest, "%v", cerr)
+		return
+	}
+	eng, ok := resolveEngine(w, req.Engine, info)
+	if !ok {
 		return
 	}
 	items := make([]batchItem, 0, len(req.Seeds)+len(req.Items))
@@ -611,6 +651,7 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 			WantPartition:  req.WantPartition,
 			Boost:          it.Boost,
 			ParallelPhases: req.ParallelPhases,
+			Engine:         eng.Name(),
 		}}
 		subs[i].job, subs[i].hit, subs[i].err = s.sch.Submit(key, g, sched.SubmitOpts{Class: class})
 	}
@@ -625,7 +666,7 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	fmt.Fprintf(w, `{"graph_id":%q,"results":[`, id)
+	fmt.Fprintf(w, `{"graph_id":%q,"engine":%q,"results":[`, id, eng.Name())
 	for i, sub := range subs {
 		entry := batchEntry{Seed: items[i].Seed, Boost: items[i].Boost}
 		switch {
@@ -673,7 +714,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := jobResponse{
 		JobID: st.ID, GraphID: st.GraphID, Status: string(st.State), Class: string(st.Class),
-		Fanout: st.Fanout, Error: st.Err,
+		Engine: st.Engine, Fanout: st.Fanout, Error: st.Err,
 	}
 	fraction := st.Fraction
 	resp.Fraction = &fraction
@@ -804,9 +845,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "mincutd_jobs_rejected_total{reason=\"draining\"} %d\n", m.RejectedDraining)
 	fmt.Fprintf(&b, "mincutd_jobs_rejected_total{reason=\"queue_full\"} %d\n", m.RejectedQueueFull)
 	fmt.Fprintf(&b, "mincutd_jobs_rejected_total{reason=\"class_cap\"} %d\n", m.RejectedClassCap)
-	counter("mincutd_jobs_completed_total", "Jobs that finished successfully (sum; class label breaks it down).", m.Completed)
+	counter("mincutd_jobs_completed_total", "Jobs that finished successfully (sum; class and class+engine labels break it down).", m.Completed)
 	for _, c := range m.Classes {
 		fmt.Fprintf(&b, "mincutd_jobs_completed_total{class=%q} %d\n", c.Class, c.Completed)
+	}
+	for _, c := range m.Classes {
+		for _, ec := range c.CompletedByEngine {
+			fmt.Fprintf(&b, "mincutd_jobs_completed_total{class=%q,engine=%q} %d\n", c.Class, ec.Engine, ec.Count)
+		}
 	}
 	counter("mincutd_jobs_failed_total", "Jobs that ended in a solver error.", m.Failed)
 	counter("mincutd_jobs_canceled_total", "Jobs canceled before completion.", m.Canceled)
@@ -832,10 +878,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, c := range m.Classes {
 		writeHist("mincutd_queue_wait_seconds", fmt.Sprintf("class=%q", c.Class), c.QueueWait)
 	}
-	fmt.Fprintf(&b, "# HELP mincutd_solve_duration_seconds Solver phase wall time per dispatch class (canceled tails included).\n# TYPE mincutd_solve_duration_seconds histogram\n")
+	fmt.Fprintf(&b, "# HELP mincutd_solve_duration_seconds Solver phase wall time per dispatch class (canceled tails included; the class+phase series is the sum over engines of the class+phase+engine series).\n# TYPE mincutd_solve_duration_seconds histogram\n")
 	for _, c := range m.Classes {
 		for _, ph := range c.PhaseDurations {
 			writeHist("mincutd_solve_duration_seconds", fmt.Sprintf("class=%q,phase=%q", c.Class, ph.Phase), ph.Hist)
+		}
+	}
+	for _, c := range m.Classes {
+		for _, ph := range c.PhaseDurationsByEngine {
+			writeHist("mincutd_solve_duration_seconds", fmt.Sprintf("class=%q,phase=%q,engine=%q", c.Class, ph.Phase, ph.Engine), ph.Hist)
 		}
 	}
 	fmt.Fprintf(&b, "# HELP mincutd_http_request_duration_seconds HTTP request latency per route and status code.\n# TYPE mincutd_http_request_duration_seconds histogram\n")

@@ -82,8 +82,11 @@ func TestJobEventsStream(t *testing.T) {
 	id := ts.uploadRandom(t, 60, 200, 11)
 
 	var jr jobResponse
+	// Pin the paper engine: the test asserts its packing/scan phase
+	// transitions, and the default "auto" sends a 60-vertex graph to
+	// stoerwagner (whose contract phase httpapi_engines_test covers).
 	code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json",
-		[]byte(`{"seed": 3, "class": "batch", "async": true}`), &jr)
+		[]byte(`{"seed": 3, "class": "batch", "async": true, "engine": "geissmann"}`), &jr)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: %d %s", code, raw)
 	}
@@ -228,12 +231,15 @@ func TestClassValidationAndCapRejections(t *testing.T) {
 
 	blocker := ts.startBlocker(t, id)
 	defer ts.cancelJob(t, blocker)
+	// Pin the seeded paper engine: under "auto" this graph resolves to
+	// stoerwagner, where both seeds normalize to one cache key and the
+	// second submit would coalesce instead of tripping the cap.
 	if code, raw = ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json",
-		[]byte(`{"seed": 1, "class": "background", "async": true}`), nil); code != http.StatusAccepted {
+		[]byte(`{"seed": 1, "class": "background", "async": true, "engine": "geissmann"}`), nil); code != http.StatusAccepted {
 		t.Fatalf("first background submit: %d %s", code, raw)
 	}
 	code, raw = ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json",
-		[]byte(`{"seed": 2, "class": "background", "async": true}`), nil)
+		[]byte(`{"seed": 2, "class": "background", "async": true, "engine": "geissmann"}`), nil)
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("over-cap submit: %d %s, want 429", code, raw)
 	}

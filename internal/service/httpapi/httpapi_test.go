@@ -130,12 +130,14 @@ func (ts *testServer) waitMetricCond(t *testing.T, name string, want int64, ok f
 
 // startBlocker occupies a worker with an effectively endless solve (huge
 // boost on a small graph: each run is fast, so cancellation is prompt) and
-// returns the job ID so tests can cancel it.
+// returns the job ID so tests can cancel it. The paper engine is pinned:
+// the default "auto" resolves small graphs to the exact stoerwagner
+// backend, where boost collapses to one instant run — no blocking at all.
 func (ts *testServer) startBlocker(t *testing.T, graphID string) string {
 	t.Helper()
 	var jr jobResponse
 	code, raw := ts.do(t, "POST", "/v1/graphs/"+graphID+"/mincut", "application/json",
-		[]byte(`{"seed": 999, "boost": 1048576, "async": true}`), &jr)
+		[]byte(`{"seed": 999, "boost": 1048576, "async": true, "engine": "geissmann"}`), &jr)
 	if code != http.StatusAccepted {
 		t.Fatalf("blocker submit: %d %s", code, raw)
 	}
@@ -331,7 +333,7 @@ func TestServerSideCancelIsNot499(t *testing.T) {
 	go func() {
 		var jr jobResponse
 		code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json",
-			[]byte(`{"seed": 999, "boost": 1048576}`), &jr)
+			[]byte(`{"seed": 999, "boost": 1048576, "engine": "geissmann"}`), &jr)
 		codeCh <- code
 		bodyCh <- raw
 	}()
@@ -436,8 +438,10 @@ func TestBatchBoostSharesRunsAcrossOverlappingRanges(t *testing.T) {
 	ts := newTestServer(t, 2)
 	id := ts.uploadCycle(t, 8)
 	var out batchBody
+	// Boost fan-out is paper-engine machinery; under the default "auto"
+	// this small graph would go to stoerwagner, where boost collapses.
 	code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut:batch", "application/json",
-		[]byte(`{"items": [{"seed": 5, "boost": 4}]}`), &out)
+		[]byte(`{"items": [{"seed": 5, "boost": 4}], "engine": "geissmann"}`), &out)
 	if code != http.StatusOK || len(out.Results) != 1 {
 		t.Fatalf("boosted batch: %d %s", code, raw)
 	}
@@ -448,8 +452,10 @@ func TestBatchBoostSharesRunsAcrossOverlappingRanges(t *testing.T) {
 		t.Fatalf("boost sub-jobs = %d, want 4", n)
 	}
 	hitsBefore := ts.metric(t, "mincutd_cache_hits_total")
-	// Runs 1 and 3 of the boost, requested as plain seeds.
-	body := fmt.Sprintf(`{"seeds": [%d, %d]}`, parcut.BoostSeed(5, 1), parcut.BoostSeed(5, 3))
+	// Runs 1 and 3 of the boost, requested as plain seeds (same engine, or
+	// the keys wouldn't overlap).
+	body := fmt.Sprintf(`{"seeds": [%d, %d], "engine": "geissmann"}`,
+		parcut.BoostSeed(5, 1), parcut.BoostSeed(5, 3))
 	code, raw = ts.do(t, "POST", "/v1/graphs/"+id+"/mincut:batch", "application/json", []byte(body), &out)
 	if code != http.StatusOK {
 		t.Fatalf("overlap batch: %d %s", code, raw)
@@ -475,7 +481,7 @@ func TestBatchClientDisconnectCancelsJobs(t *testing.T) {
 	go func() {
 		defer close(done)
 		req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/graphs/"+id+"/mincut:batch",
-			strings.NewReader(`{"items": [{"seed": 999, "boost": 1048576}]}`))
+			strings.NewReader(`{"items": [{"seed": 999, "boost": 1048576}], "engine": "geissmann"}`))
 		if err != nil {
 			t.Error(err)
 			return
@@ -506,7 +512,7 @@ func TestMetricsExposeFanoutAndRejections(t *testing.T) {
 	id := ts.uploadCycle(t, 8)
 	var jr jobResponse
 	code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json",
-		[]byte(`{"seed": 1, "boost": 3}`), &jr)
+		[]byte(`{"seed": 1, "boost": 3, "engine": "geissmann"}`), &jr)
 	if code != http.StatusOK || jr.Fanout != 3 {
 		t.Fatalf("boosted solve: %d %s (want fanout 3)", code, raw)
 	}

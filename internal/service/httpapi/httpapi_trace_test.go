@@ -55,7 +55,9 @@ func solveSync(t *testing.T, ts *testServer, graphID, body string) string {
 func TestTraceEndpoints(t *testing.T) {
 	ts := newTracedServer(t)
 	id := ts.uploadCycle(t, 32)
-	jobID := solveSync(t, ts, id, `{"seed": 3}`)
+	// Pin the paper engine: this test asserts its packing/scan span chain,
+	// and the default "auto" sends a 32-vertex graph to stoerwagner.
+	jobID := solveSync(t, ts, id, `{"seed": 3, "engine": "geissmann"}`)
 
 	var tr trace.Trace
 	code, raw := ts.do(t, "GET", "/v1/traces/"+jobID, "", nil, &tr)

@@ -293,11 +293,13 @@ func (s *Scheduler) closePhaseTimer(j *Job) {
 // dispatch class) and the job's own accounting for the slow-solve log.
 // Caller holds j.evMu.
 func (s *Scheduler) observePhaseLocked(j *Job, phase string, d time.Duration) {
-	s.m.observePhase(j.metricClass, phase, d)
+	s.m.observePhase(j.metricClass, j.engineIdx, phase, d)
 	switch phase {
 	case "packing":
 		j.packNanos += int64(d)
 	case "scan":
 		j.scanNanos += int64(d)
+	case "contract":
+		j.contractNanos += int64(d)
 	}
 }

@@ -3,6 +3,8 @@ package sched
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the solve-latency
@@ -11,8 +13,25 @@ import (
 var latencyBuckets = [...]float64{0.001, 0.01, 0.1, 1, 10, 60}
 
 // phaseNames are the solver phases the class-labeled duration histograms
-// track, indexed like counters.solveHist's second dimension.
-var phaseNames = [...]string{"packing", "scan"}
+// track, indexed like counters.solveHist's second dimension: the paper
+// solver's packing and scan, plus the baseline engines' contract.
+var phaseNames = [...]string{"packing", "scan", "contract"}
+
+// engineNames is the metric label space for the engine dimension, fixed
+// at package init from the registry (registration order). Engines
+// registered later by external code run fine but fold into index 0 in
+// the engine-labeled series.
+var engineNames = engine.Names()
+
+// engineRank maps an engine name to its index in engineNames.
+func engineRank(name string) int {
+	for i, n := range engineNames {
+		if n == name {
+			return i
+		}
+	}
+	return 0
+}
 
 // hist is a cumulative (Prometheus le-semantics) histogram over
 // latencyBuckets: atomic buckets plus count and sum, so the solver-side
@@ -87,15 +106,56 @@ type counters struct {
 	// Wall time per solver phase, fed by the jobs' progress hooks (tails
 	// of canceled runs included — operators care where time went, not
 	// only where it succeeded).
-	phasePackingNanos atomic.Int64
-	phasePackingCount atomic.Int64
-	phaseScanNanos    atomic.Int64
-	phaseScanCount    atomic.Int64
+	phasePackingNanos  atomic.Int64
+	phasePackingCount  atomic.Int64
+	phaseScanNanos     atomic.Int64
+	phaseScanCount     atomic.Int64
+	phaseContractNanos atomic.Int64
+	phaseContractCount atomic.Int64
 
 	// Real histograms layered on the sums above: per-phase solve
 	// durations labeled by dispatch class, and queue wait per class.
 	solveHist     [numClasses][len(phaseNames)]hist
 	queueWaitHist [numClasses]hist
+
+	// Engine-labeled series, allocated by initEngines (engineNames is not
+	// a compile-time constant): completions per {class, engine} and solve
+	// durations per {class, phase, engine}. The class- and phase-only
+	// series above stay as sums over engines, following the package's
+	// "legacy series kept" labeling convention.
+	completedByClassEngine []atomic.Int64 // [class*len(engineNames)+engine]
+	solveHistEngine        []hist         // [(class*len(phaseNames)+phase)*len(engineNames)+engine]
+}
+
+// initEngines sizes the engine-labeled series; New calls it once. A
+// counters value that skipped it (zero-value Schedulers in tests) drops
+// engine-labeled observations into the discard cells below instead of
+// panicking.
+func (c *counters) initEngines() {
+	ne := len(engineNames)
+	c.completedByClassEngine = make([]atomic.Int64, numClasses*ne)
+	c.solveHistEngine = make([]hist, numClasses*len(phaseNames)*ne)
+}
+
+var (
+	discardCount atomic.Int64
+	discardHist  hist
+)
+
+// completedCell addresses the {class, engine} completion counter.
+func (c *counters) completedCell(class, eng int) *atomic.Int64 {
+	if len(c.completedByClassEngine) == 0 {
+		return &discardCount
+	}
+	return &c.completedByClassEngine[class*len(engineNames)+eng]
+}
+
+// solveHistCell addresses the {class, phase, engine} duration histogram.
+func (c *counters) solveHistCell(class, phase, eng int) *hist {
+	if len(c.solveHistEngine) == 0 {
+		return &discardHist
+	}
+	return &c.solveHistEngine[(class*len(phaseNames)+phase)*len(engineNames)+eng]
 }
 
 func (c *counters) observeSolve(d time.Duration) {
@@ -109,19 +169,29 @@ func (c *counters) observeSolve(d time.Duration) {
 	}
 }
 
-// observePhase attributes d of solver wall time to the named phase, both
-// in the legacy unlabeled sums and in the class-labeled histogram.
-func (c *counters) observePhase(class int, phase string, d time.Duration) {
+// observePhase attributes d of solver wall time to the named phase: the
+// legacy unlabeled sums, the class-labeled histogram, and the
+// {class, phase, engine} histogram.
+func (c *counters) observePhase(class, eng int, phase string, d time.Duration) {
+	var idx int
 	switch phase {
 	case "packing":
 		c.phasePackingNanos.Add(int64(d))
 		c.phasePackingCount.Add(1)
-		c.solveHist[class][0].observe(d)
+		idx = 0
 	case "scan":
 		c.phaseScanNanos.Add(int64(d))
 		c.phaseScanCount.Add(1)
-		c.solveHist[class][1].observe(d)
+		idx = 1
+	case "contract":
+		c.phaseContractNanos.Add(int64(d))
+		c.phaseContractCount.Add(1)
+		idx = 2
+	default:
+		return
 	}
+	c.solveHist[class][idx].observe(d)
+	c.solveHistCell(class, idx, eng).observe(d)
 }
 
 // LatencyBucket is one cumulative histogram bucket.
@@ -147,14 +217,35 @@ type ClassMetrics struct {
 	// QueueWaitNanos/Dispatched, with distribution).
 	QueueWait Histogram
 	// PhaseDurations holds the class's per-phase solve-duration
-	// histograms, indexed like phaseNames (packing, scan).
+	// histograms, indexed like phaseNames (packing, scan, contract).
 	PhaseDurations []PhaseHistogram
+	// CompletedByEngine breaks Completed down by solve engine, in
+	// Metrics.Engines order.
+	CompletedByEngine []EngineCount
+	// PhaseDurationsByEngine refines PhaseDurations by engine: phases in
+	// phaseNames order, engines in Metrics.Engines order within each
+	// phase.
+	PhaseDurationsByEngine []EnginePhaseHistogram
 }
 
 // PhaseHistogram is one phase's duration histogram for one class.
 type PhaseHistogram struct {
 	Phase string
 	Hist  Histogram
+}
+
+// EngineCount is one engine's share of a per-class counter.
+type EngineCount struct {
+	Engine string
+	Count  int64
+}
+
+// EnginePhaseHistogram is one {phase, engine} duration histogram for one
+// class.
+type EnginePhaseHistogram struct {
+	Phase  string
+	Engine string
+	Hist   Histogram
 }
 
 // PhaseSeconds is wall time attributed to one solver phase.
@@ -178,6 +269,9 @@ type Metrics struct {
 	// counts queued jobs promoted to a stronger class by coalescing.
 	Classes   [numClasses]ClassMetrics
 	Escalated int64
+	// Engines lists the engine label values of the per-engine series
+	// (registration order).
+	Engines []string
 	// PhaseSeconds attributes solver wall time to pipeline phases.
 	PhaseSeconds []PhaseSeconds
 	// CacheHits counts Submit calls served without a new solver run —
@@ -232,10 +326,22 @@ func (c *counters) snapshot() Metrics {
 			m.Classes[i].PhaseDurations = append(m.Classes[i].PhaseDurations,
 				PhaseHistogram{Phase: name, Hist: c.solveHist[i][p].snapshot()})
 		}
+		for e, en := range engineNames {
+			m.Classes[i].CompletedByEngine = append(m.Classes[i].CompletedByEngine,
+				EngineCount{Engine: en, Count: c.completedCell(i, e).Load()})
+		}
+		for p, name := range phaseNames {
+			for e, en := range engineNames {
+				m.Classes[i].PhaseDurationsByEngine = append(m.Classes[i].PhaseDurationsByEngine,
+					EnginePhaseHistogram{Phase: name, Engine: en, Hist: c.solveHistCell(i, p, e).snapshot()})
+			}
+		}
 	}
+	m.Engines = append([]string(nil), engineNames...)
 	m.PhaseSeconds = []PhaseSeconds{
 		{Phase: "packing", Nanos: c.phasePackingNanos.Load(), Count: c.phasePackingCount.Load()},
 		{Phase: "scan", Nanos: c.phaseScanNanos.Load(), Count: c.phaseScanCount.Load()},
+		{Phase: "contract", Nanos: c.phaseContractNanos.Load(), Count: c.phaseContractCount.Load()},
 	}
 	for i, ub := range latencyBuckets {
 		m.LatencyBuckets = append(m.LatencyBuckets, LatencyBucket{UpperBound: ub, Count: c.buckets[i].Load()})

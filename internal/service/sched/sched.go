@@ -46,6 +46,7 @@ import (
 	"time"
 
 	parcut "repro"
+	"repro/internal/engine"
 	"repro/internal/trace"
 )
 
@@ -61,25 +62,59 @@ var ErrQueueFull = errors.New("sched: queue full")
 // have room — the caller's load, not the service, is what is saturated.
 var ErrClassQueueFull = errors.New("sched: class queue cap reached")
 
+// ErrUnknownEngine is returned by Submit for an engine name it cannot
+// schedule: one that is not registered, or the unresolved "auto"
+// pseudo-engine (callers resolve auto against the graph's size via
+// engine.Resolve before submitting, so cache keys always name a concrete
+// engine and an auto request shares its cache entry with the equivalent
+// explicit one).
+var ErrUnknownEngine = errors.New("sched: unknown engine")
+
 // SolveOptions is the comparable subset of parcut.Options that, together
-// with the graph ID, keys the result cache. Submit normalizes Boost (0
-// and 1 both mean a single run) so equivalent requests share one key.
+// with the graph ID, keys the result cache. Submit normalizes it so
+// equivalent requests share one key: Boost 0 and 1 both mean a single
+// run, the empty Engine means the default, and options the chosen engine
+// cannot use are zeroed — a non-boost-decomposable engine runs once
+// whatever Boost says, an engine without parallel phases ignores that
+// flag, and a seed-insensitive (exact) engine returns the same result for
+// every seed, so all seeds map to one cache entry. Without Engine in the
+// key, two engines' results for the same graph and seed would collide in
+// the cache.
 type SolveOptions struct {
 	Seed           int64
 	WantPartition  bool
 	Boost          int
 	ParallelPhases bool
+	// Engine names the solver backend (engine.Names lists the valid
+	// values; empty means engine.Default). It is part of the cache key.
+	Engine string
 }
 
 func (o SolveOptions) normalized() SolveOptions {
 	if o.Boost < 1 {
 		o.Boost = 1
 	}
+	if o.Engine == "" {
+		o.Engine = engine.Default
+	}
+	if eng, ok := engine.Lookup(o.Engine); ok {
+		caps := eng.Caps()
+		if !caps.BoostDecomposable {
+			o.Boost = 1
+		}
+		if !caps.ParallelPhases {
+			o.ParallelPhases = false
+		}
+		if !caps.Seeded {
+			o.Seed = 0
+		}
+	}
 	return o
 }
 
 func (o SolveOptions) parcut() parcut.Options {
 	return parcut.Options{
+		Engine:         o.Engine,
 		Seed:           o.Seed,
 		WantPartition:  o.WantPartition,
 		Boost:          o.Boost,
@@ -149,6 +184,10 @@ type Job struct {
 	// never race with escalation's writes to class. Written under s.mu
 	// before the solve starts; read by the solver hooks afterwards.
 	metricClass int
+	// engineIdx is the engine's rank in the metric label space, fixed at
+	// creation (the engine of a job never changes), so solver hooks read
+	// it without any lock.
+	engineIdx int
 
 	state       State
 	res         parcut.Result
@@ -171,8 +210,9 @@ type Job struct {
 	evLastProg time.Time
 	// Per-job phase wall time (evMu-guarded, same writers as evPhaseAt):
 	// the slow-solve log reads these to say where a slow job's time went.
-	packNanos int64
-	scanNanos int64
+	packNanos     int64
+	scanNanos     int64
+	contractNanos int64
 
 	done chan struct{}
 }
@@ -216,10 +256,13 @@ func (j *Job) Fanout() int {
 
 // Status is a snapshot of a job visible to API clients.
 type Status struct {
-	ID           string
-	GraphID      string
-	Opt          SolveOptions
-	Class        Class
+	ID      string
+	GraphID string
+	Opt     SolveOptions
+	Class   Class
+	// Engine is the concrete solver backend the job runs on (Opt.Engine
+	// after normalization — never empty or "auto").
+	Engine       string
 	State        State
 	Value        int64
 	InCut        []bool
@@ -379,6 +422,7 @@ func New(cfg Config) *Scheduler {
 		byID:         make(map[string]*Job),
 		byKey:        make(map[Key]*Job),
 	}
+	s.m.initEngines()
 	for i, c := range Classes {
 		s.fifos[i] = list.New()
 		s.weights[i] = defaultClassWeights[c]
@@ -425,6 +469,9 @@ type SubmitOpts struct {
 // returns ErrClassQueueFull.
 func (s *Scheduler) Submit(key Key, g *parcut.Graph, opts SubmitOpts) (*Job, bool, error) {
 	key.Opt = key.Opt.normalized()
+	if _, ok := engine.Lookup(key.Opt.Engine); !ok {
+		return nil, false, fmt.Errorf("%w %q", ErrUnknownEngine, key.Opt.Engine)
+	}
 	class, err := ParseClass(string(opts.Class))
 	if err != nil {
 		return nil, false, err
@@ -509,10 +556,12 @@ func (s *Scheduler) newJobLocked(key Key, g *parcut.Graph, class Class, detached
 	}
 	j.prog = parcut.NewProgress(func(ps parcut.ProgressSnapshot) { s.onProgress(j, ps) })
 	j.metricClass = class.rank()
+	j.engineIdx = engineRank(key.Opt.Engine)
 	if s.traces != nil {
 		j.rec = trace.NewRecorder(j.id, 0, s.traces.Add)
 		j.rootSp = j.rec.Start("job").Attr("job", j.id).Attr("graph", key.GraphID).
-			Attr("class", string(class)).AttrInt("seed", key.Opt.Seed).AttrInt("boost", int64(key.Opt.Boost))
+			Attr("class", string(class)).Attr("engine", key.Opt.Engine).
+			AttrInt("seed", key.Opt.Seed).AttrInt("boost", int64(key.Opt.Boost))
 		j.queueSp = j.rootSp.Child("queue-wait").Attr("class", string(class))
 	}
 	if !detached {
@@ -556,11 +605,14 @@ func (s *Scheduler) newFanoutLocked(key Key, g *parcut.Graph, class Class, detac
 		if i < rem {
 			size++
 		}
+		// Children carry the parent's engine: without it two engines'
+		// sub-runs for the same seed range would collide in the cache.
 		childKey := Key{GraphID: key.GraphID, Opt: SolveOptions{
 			Seed:           parcut.BoostSeed(key.Opt.Seed, start),
 			WantPartition:  key.Opt.WantPartition,
 			Boost:          size,
 			ParallelPhases: key.Opt.ParallelPhases,
+			Engine:         key.Opt.Engine,
 		}}
 		child, fresh := s.submitChildLocked(childKey, g, class)
 		parent.group.children = append(parent.group.children, child)
@@ -794,6 +846,7 @@ func (s *Scheduler) statusLocked(j *Job) Status {
 		GraphID:     j.key.GraphID,
 		Opt:         j.key.Opt,
 		Class:       j.class,
+		Engine:      j.key.Opt.Engine,
 		State:       j.state,
 		Created:     j.created,
 		Dispatched:  j.dispatched,
@@ -928,7 +981,7 @@ func (s *Scheduler) run(j *Job, exec *parcut.Executor) {
 		opt := j.key.Opt.parcut()
 		opt.Executor = exec
 		opt.Progress = j.prog
-		opt.Trace = j.rootSp.Child("run").AttrInt("width", int64(s.solveWidth))
+		opt.Trace = j.rootSp.Child("run").Attr("engine", j.key.Opt.Engine).AttrInt("width", int64(s.solveWidth))
 		start := time.Now()
 		res, err = parcut.MinCutContext(j.ctx, j.g, opt)
 		opt.Trace.End()
@@ -973,7 +1026,7 @@ func (s *Scheduler) finishPublish(j *Job) {
 	if s.slowSolve > 0 {
 		if d := j.finished.Sub(j.created); d >= s.slowSolve {
 			j.evMu.Lock()
-			pack, scan := j.packNanos, j.scanNanos
+			pack, scan, contract := j.packNanos, j.scanNanos, j.contractNanos
 			j.evMu.Unlock()
 			var wait time.Duration
 			if !j.dispatched.IsZero() {
@@ -983,11 +1036,13 @@ func (s *Scheduler) finishPublish(j *Job) {
 				"job", j.id,
 				"graph", j.key.GraphID,
 				"class", Classes[j.metricClass],
+				"engine", j.key.Opt.Engine,
 				"state", j.state,
 				"duration", d,
 				"queue_wait", wait,
 				"packing", time.Duration(pack),
 				"scan", time.Duration(scan),
+				"contract", time.Duration(contract),
 				"trees", j.res.TreesScanned,
 				"fanout", j.Fanout())
 		}
@@ -1011,6 +1066,7 @@ func (s *Scheduler) publishLocked(j *Job, res parcut.Result, err error) {
 		j.state = StateDone
 		s.m.completed.Add(1)
 		s.m.completedBy[j.class.rank()].Add(1)
+		s.m.completedCell(j.class.rank(), j.engineIdx).Add(1)
 	case isCancellation(err):
 		j.state = StateCanceled
 		s.m.canceled.Add(1)

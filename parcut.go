@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/par"
@@ -162,6 +163,15 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 
 // Options configure MinCut and ConstrainedMinCut.
 type Options struct {
+	// Engine selects the solver backend by name: "geissmann" (the paper's
+	// parallel solver — the default when empty), "stoerwagner" (exact,
+	// deterministic O(n³) baseline), "kargerstein" (randomized recursive
+	// contraction), or "auto" (pick by graph size: small or dense graphs
+	// go to the sequential exact baseline, everything else to the paper
+	// solver). Engines() lists the registered names. Options an engine
+	// cannot use are ignored: Boost runs once on non-boostable engines,
+	// Seed is irrelevant to exact ones.
+	Engine string
 	// Seed fixes all randomness; two runs with the same seed and input
 	// return identical results. The zero seed is a valid fixed seed.
 	Seed int64
@@ -210,7 +220,8 @@ type Options struct {
 // (each packing attempt plans more rounds, each boost run adds trees), so
 // done/total fractions can dip when a phase re-plans.
 type ProgressSnapshot struct {
-	// Phase is "none", "packing", or "scan".
+	// Phase is "none", "packing", "scan", or (for the contraction-based
+	// baseline engines) "contract".
 	Phase string `json:"phase"`
 	// RunsDone / RunsTotal count boost runs (1/1 for unboosted solves).
 	RunsDone  int64 `json:"runs_done"`
@@ -253,6 +264,11 @@ func (ps ProgressSnapshot) Fraction() float64 {
 	// run's share keeps boosted solves honest (run 44k of 1M reads ~4%,
 	// not 100%).
 	cur := 0.5*frac(ps.PackRoundsDone, ps.PackRoundsTotal) + 0.5*frac(ps.TreesScanned, ps.TreesTotal)
+	if ps.PackRoundsTotal == 0 {
+		// Engines without a packing phase (the contraction baselines)
+		// report all progress on the coarse-step counters.
+		cur = frac(ps.TreesScanned, ps.TreesTotal)
+	}
 	f := (float64(ps.RunsDone) + cur) / float64(ps.RunsTotal)
 	if f > 1 {
 		f = 1
@@ -354,6 +370,11 @@ func MinCutContext(ctx context.Context, G *Graph, opt Options) (Result, error) {
 	if G == nil || G.g == nil {
 		return Result{}, errNilGraph()
 	}
+	eng, err := engine.Resolve(opt.Engine, G.g.N(), G.g.M())
+	if err != nil {
+		return Result{}, fmt.Errorf("parcut: %w", err)
+	}
+	caps := eng.Caps()
 	var m *wd.Meter
 	if opt.CollectStats {
 		m = new(wd.Meter)
@@ -366,6 +387,11 @@ func MinCutContext(ctx context.Context, G *Graph, opt Options) (Result, error) {
 	if runs < 1 {
 		runs = 1
 	}
+	if !caps.BoostDecomposable {
+		// Extra seeded runs cannot change this engine's answer; one run is
+		// the whole solve.
+		runs = 1
+	}
 	sink := opt.Progress.sinkOrNil()
 	sink.SetRuns(int64(runs))
 	var out Result
@@ -373,8 +399,8 @@ func MinCutContext(ctx context.Context, G *Graph, opt Options) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, fmt.Errorf("parcut: canceled: %w", err)
 		}
-		runSp := opt.Trace.Child("run").AttrInt("run", int64(run))
-		r, err := core.MinCutContext(ctx, G.g, core.Options{
+		runSp := opt.Trace.Child("run").AttrInt("run", int64(run)).Attr("engine", eng.Name())
+		r, err := eng.Solve(ctx, G.g, engine.Options{
 			Seed:           BoostSeed(opt.Seed, run),
 			WantPartition:  opt.WantPartition,
 			ParallelPhases: opt.ParallelPhases,
@@ -399,6 +425,10 @@ func MinCutContext(ctx context.Context, G *Graph, opt Options) (Result, error) {
 	}
 	return out, nil
 }
+
+// Engines lists the registered engine names in registration order; any of
+// them (or "auto") is a valid Options.Engine.
+func Engines() []string { return engine.Names() }
 
 // ConstrainedMinCut finds the smallest cut that crosses at most two edges
 // of the given rooted spanning tree (parent[v] is v's parent; the root has

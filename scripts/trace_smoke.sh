@@ -69,7 +69,10 @@ json_field() {
 echo "== uploading graph and solving"
 ID=$(graph 400 | curl -fsS -X POST --data-binary @- "${BASE}/v1/graphs" | json_field id)
 [[ "$ID" == sha256:* ]] || fail "bad upload id: ${ID}"
-RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' -d '{"seed": 7}' \
+# Pin the paper engine: this script asserts its packing/scan span chain,
+# and the default engine is "auto", which sends a 400-vertex graph to the
+# stoerwagner baseline (engines_smoke.sh covers that path).
+RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' -d '{"seed": 7, "engine": "geissmann"}' \
   "${BASE}/v1/graphs/${ID}/mincut")
 JOB=$(echo "${RESP}" | json_field job_id)
 echo "${RESP}" | grep -q '"status":"done"' || fail "solve did not finish: ${RESP}"
