@@ -36,6 +36,7 @@ func BenchmarkTable1OursSparse(b *testing.B) {
 	for _, n := range []int{256, 512, 1024} {
 		g := gen.RandomConnected(n, 4*n, 100, 42)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var meter wd.Meter
 			for i := 0; i < b.N; i++ {
 				meter.Reset()
@@ -53,6 +54,7 @@ func BenchmarkTable1OursDense(b *testing.B) {
 	for _, n := range []int{128, 256} {
 		g := gen.RandomConnected(n, n*n/8, 100, 42)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var meter wd.Meter
 			for i := 0; i < b.N; i++ {
 				meter.Reset()
@@ -69,6 +71,7 @@ func BenchmarkTable1KargerStein(b *testing.B) {
 	for _, n := range []int{256, 512, 1024} {
 		g := gen.RandomConnected(n, 4*n, 100, 42)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := baseline.KargerSteinOnce(g, int64(i)); err != nil {
 					b.Fatal(err)
@@ -82,6 +85,7 @@ func BenchmarkTable1StoerWagner(b *testing.B) {
 	for _, n := range []int{256, 512, 1024} {
 		g := gen.RandomConnected(n, 4*n, 100, 42)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := baseline.StoerWagner(g); err != nil {
 					b.Fatal(err)
@@ -97,6 +101,7 @@ func BenchmarkSelfSpeedup(b *testing.B) {
 	g := gen.RandomConnected(1024, 4096, 100, 42)
 	for _, p := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			old := runtime.GOMAXPROCS(p)
 			defer runtime.GOMAXPROCS(old)
 			for i := 0; i < b.N; i++ {
@@ -122,6 +127,7 @@ func BenchmarkMinPathBatch(b *testing.B) {
 		k := 2 * n
 		ops := benchPathOps(n, k, 13)
 		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			b.ReportAllocs()
 			var meter wd.Meter
 			for i := 0; i < b.N; i++ {
 				meter.Reset()
@@ -147,6 +153,7 @@ func BenchmarkDecompose(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			phases := 0
 			for i := 0; i < b.N; i++ {
 				d := decomp.Decompose(tr, nil, nil)
@@ -165,6 +172,7 @@ func BenchmarkTwoRespect(b *testing.B) {
 		g := gen.RandomConnected(n, m, 50, 5)
 		parent := gen.SpanningTreeParent(g, 6)
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
 			var meter wd.Meter
 			for i := 0; i < b.N; i++ {
 				meter.Reset()
@@ -183,6 +191,7 @@ func BenchmarkPacking(b *testing.B) {
 	for _, n := range []int{256, 1024} {
 		g := gen.RandomConnected(n, 4*n, 50, 9)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			trees := 0
 			for i := 0; i < b.N; i++ {
 				res, err := packing.SampleTrees(g, packing.Options{Seed: int64(i)}, nil, nil)
@@ -204,6 +213,7 @@ func BenchmarkCacheMisses(b *testing.B) {
 	ops := benchPrefixOps(n, k, 5)
 	for _, impl := range []string{"one-by-one", "sweep"} {
 		b.Run(impl, func(b *testing.B) {
+			b.ReportAllocs()
 			var misses int64
 			for i := 0; i < b.N; i++ {
 				sim := cache.NewSim(128, 1024)
@@ -226,11 +236,13 @@ func BenchmarkQueryMergeVsBinarySearch(b *testing.B) {
 	w0 := make([]int64, n)
 	ops := benchPrefixOps(n, k, 3)
 	b.Run("merge-broadcast", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			minprefix.RunBatch(w0, ops, nil, nil)
 		}
 	})
 	b.Run("binary-search", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			minprefix.RunBatchBinarySearch(w0, ops, nil, nil)
 		}
@@ -247,11 +259,13 @@ func BenchmarkBoughFinding(b *testing.B) {
 	}
 	next[n-1] = listrank.Nil
 	b.Run("pointer-jumping", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			listrank.Rank(next, nil, nil)
 		}
 	})
 	b.Run("random-mate", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			listrank.RankRandomMate(next, int64(i), nil, nil)
 		}

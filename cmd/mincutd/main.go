@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	parcut "repro"
 	"repro/internal/service/httpapi"
 	"repro/internal/service/registry"
 	"repro/internal/service/sched"
@@ -69,6 +70,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof profiling endpoints (empty = disabled)")
 	traceBuffer := flag.Int("trace-buffer", 256, "finished solve traces retained for GET /v1/traces (0 = tracing disabled)")
 	traceSlow := flag.Duration("trace-slow-threshold", 0, "log one structured line per solve slower than this (0 = disabled)")
+	parTune := flag.Bool("par-tune", false, "calibrate parallel-primitive granularity cutoffs at startup instead of using the built-in baseline (~1s of probing)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -93,6 +95,18 @@ func main() {
 	}
 	if *traceBuffer < 0 {
 		fatal("bad -trace-buffer", "error", "must be >= 0")
+	}
+	if *parTune {
+		// Calibrate once against this machine and make the result the
+		// process-wide default: every executor the scheduler's workers
+		// create from here on picks it up.
+		start := time.Now()
+		t := parcut.Calibrate()
+		parcut.SetDefaultTuning(t)
+		logger.Info("calibrated parallel cutoffs",
+			"for_grain", t.ForGrain, "scan", t.Scan, "reduce", t.Reduce,
+			"merge", t.Merge, "sort", t.Sort,
+			"elapsed", time.Since(start).Round(time.Millisecond))
 	}
 	if err := run(config{
 		addr:         *addr,

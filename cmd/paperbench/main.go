@@ -6,6 +6,10 @@
 // Usage:
 //
 //	paperbench -exp table1|depth|minpath|decomp|tworespect|packing|cache|agree|ablation|engines|all [-quick]
+//	paperbench -exp hotpath [-hotpath-reps N] [-hotpath-out f.json] [-perf-baseline BENCH_baseline.json] [-perf-tolerance 0.10]
+//
+// hotpath benchmarks the solver's inner-loop primitives and doubles as
+// the CI perf gate (scripts/perfgate.sh); it is not part of "all".
 package main
 
 import (
@@ -60,6 +64,7 @@ func main() {
 		"ablation":   expAblation,
 		"scaling":    expScaling,
 		"engines":    expEngines,
+		"hotpath":    expHotpath,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "depth", "minpath", "decomp", "tworespect", "packing", "cache", "agree", "ablation", "scaling", "engines"} {
@@ -488,10 +493,19 @@ func expScaling() {
 		// mincutd serves on /v1/traces.
 		PackingMs float64 `json:"packing_ms"`
 		ScanMs    float64 `json:"scan_ms"`
+		// AllocsPerSolve is the heap-allocation count of the last
+		// (warmest) rep: the arena recycling means it should be far
+		// below the first rep's and roughly width-independent.
+		AllocsPerSolve uint64 `json:"allocs_per_solve"`
+		// Steals and SharedPushes are the executor's work-stealing
+		// counters summed over all reps at this width (zero at width 1,
+		// where the pool runs inline).
+		Steals       int64 `json:"steals"`
+		SharedPushes int64 `json:"shared_pushes"`
 	}
 	rows := make([]widthRow, 0, len(widths))
-	fmt.Println("| width | ms | speedup vs width 1 | packing ms | scan ms | value |")
-	fmt.Println("|-------|----|--------------------|------------|---------|-------|")
+	fmt.Println("| width | ms | speedup vs width 1 | packing ms | scan ms | allocs/solve | steals | value |")
+	fmt.Println("|-------|----|--------------------|------------|---------|--------------|--------|-------|")
 	var baseMS float64
 	var refValue int64
 	for i, w := range widths {
@@ -499,16 +513,22 @@ func expScaling() {
 		best := math.Inf(1)
 		var res parcut.Result
 		var packMS, scanMS float64
+		var allocs uint64
 		for r := 0; r < reps; r++ {
 			var published *trace.Trace
 			rec := trace.NewRecorder("bench", 0, func(tr *trace.Trace) { published = tr })
 			opt := parcut.Options{Seed: seed, Executor: exec, Trace: rec.Start("solve")}
+			var msBefore runtime.MemStats
+			runtime.ReadMemStats(&msBefore)
 			start := time.Now()
 			got, err := parcut.MinCut(g, opt)
 			if err != nil {
 				log.Fatal(err)
 			}
 			el := time.Since(start).Seconds() * 1000
+			var msAfter runtime.MemStats
+			runtime.ReadMemStats(&msAfter)
+			allocs = msAfter.Mallocs - msBefore.Mallocs // keep the last (warmest) rep
 			opt.Trace.End()
 			rec.Release()
 			if el < best {
@@ -518,6 +538,7 @@ func expScaling() {
 			}
 			res = got
 		}
+		st := exec.Stats()
 		exec.Close()
 		if i == 0 {
 			baseMS = best
@@ -525,8 +546,10 @@ func expScaling() {
 		} else if res.Value != refValue {
 			log.Fatalf("scaling: width %d produced value %d, width 1 produced %d (determinism violated)", w, res.Value, refValue)
 		}
-		rows = append(rows, widthRow{Width: w, Millis: best, Speedup: baseMS / best, Value: res.Value, PackingMs: packMS, ScanMs: scanMS})
-		fmt.Printf("| %d | %.1f | %.2fx | %.1f | %.1f | %d |\n", w, best, baseMS/best, packMS, scanMS, res.Value)
+		rows = append(rows, widthRow{Width: w, Millis: best, Speedup: baseMS / best, Value: res.Value,
+			PackingMs: packMS, ScanMs: scanMS, AllocsPerSolve: allocs, Steals: st.Steals, SharedPushes: st.SharedPushes})
+		fmt.Printf("| %d | %.1f | %.2fx | %.1f | %.1f | %d | %d | %d |\n",
+			w, best, baseMS/best, packMS, scanMS, allocs, st.Steals, res.Value)
 	}
 	if *scalingOut == "" {
 		return

@@ -58,13 +58,15 @@ func Decompose(t *tree.Tree, pool *par.Pool, m *wd.Meter) *Decomposition {
 	m.Add(int64(n), 1)
 	remaining := n
 	phase := int32(0)
-	st := newPhaseState(n)
+	st, release := newPhaseState(pool.Arena(), n)
+	defer release()
+	memberBuf := make([]int32, 0, n)
 	for remaining > 0 {
 		phase++
 		if phase > int32(wd.CeilLog2(n))+2 {
 			panic(fmt.Sprintf("decomp: phase bound exceeded (n=%d, phase=%d)", n, phase))
 		}
-		members, paths, fronts := peelPhase(t, alive, count, st, d, pool, m)
+		members, paths, fronts := peelPhase(t, alive, count, st, d, pool, m, memberBuf[:0])
 		if len(members) == 0 {
 			panic("decomp: phase made no progress")
 		}
@@ -93,49 +95,82 @@ func Decompose(t *tree.Tree, pool *par.Pool, m *wd.Meter) *Decomposition {
 func Boughs(t *tree.Tree, pool *par.Pool, m *wd.Meter, sink *progress.Sink, sp trace.SpanRef) (paths [][]int32, member []bool) {
 	dsp := sp.Child("boughs")
 	n := t.N()
-	alive := make([]bool, n)
-	count := make([]int32, n)
+	ar := pool.Arena()
+	aliveP := ar.Bool(n)
+	countP := ar.Int32(n)
+	pathOfP := ar.Int32(n)
+	posOfP := ar.Int32(n)
+	membersP := ar.Int32(n)
+	alive, count := *aliveP, *countP
 	pool.For(n, func(v int) {
 		alive[v] = true
 		count[v] = t.NumChildren(int32(v))
 	})
 	m.Add(int64(n), 1)
+	// The single-phase peel never reads PhaseOf, and PathOf/PosOf die with
+	// this call — all of it comes from the arena.
 	d := &Decomposition{
-		Tree:    t,
-		PathOf:  make([]int32, n),
-		PosOf:   make([]int32, n),
-		PhaseOf: make([]int32, n),
+		Tree:   t,
+		PathOf: *pathOfP,
+		PosOf:  *posOfP,
 	}
-	st := newPhaseState(n)
-	members, ps, _ := peelPhase(t, alive, count, st, d, pool, m)
+	st, release := newPhaseState(ar, n)
+	_, ps, _ := peelPhase(t, alive, count, st, d, pool, m, (*membersP)[:0])
 	sink.AddBoughs(len(ps))
 	dsp.AttrInt("boughs", int64(len(ps))).End()
+	// st.member is exactly the phase-1 membership; copy it into the
+	// caller-owned indicator before the scratch goes back.
 	member = make([]bool, n)
-	for _, v := range members {
-		member[v] = true
-	}
+	copy(member, st.member)
+	release()
+	ar.PutInt32(membersP)
+	ar.PutInt32(posOfP)
+	ar.PutInt32(pathOfP)
+	ar.PutInt32(countP)
+	ar.PutBool(aliveP)
 	return ps, member
 }
 
-// phaseState holds scratch arrays reused across phases.
+// phaseState holds scratch arrays reused across phases. The arrays are
+// borrowed from the executor's arena (the bough peel runs once per
+// scan-mode phase of every solve, so recycling them keeps the steady
+// state allocation-free) and handed back by the release func.
 type phaseState struct {
 	bad    []int64
 	member []bool
 	jump   []int32
 	jump2  []int32
 	next   []int32
-	cnt    []atomic.Int32
+	cnt    []atomic.Int64
 }
 
-func newPhaseState(n int) *phaseState {
-	return &phaseState{
-		bad:    make([]int64, n+1),
-		member: make([]bool, n),
-		jump:   make([]int32, n),
-		jump2:  make([]int32, n),
-		next:   make([]int32, n),
-		cnt:    make([]atomic.Int32, n),
+func newPhaseState(ar *par.Arena, n int) (*phaseState, func()) {
+	badP := ar.Int64(n + 1)
+	memberP := ar.Bool(n)
+	jumpP := ar.Int32(n)
+	jump2P := ar.Int32(n)
+	nextP := ar.Int32(n)
+	cntP := ar.AtomicInt64(n)
+	st := &phaseState{
+		bad:    *badP,
+		member: *memberP,
+		jump:   *jumpP,
+		jump2:  *jump2P,
+		next:   *nextP,
+		cnt:    *cntP,
 	}
+	// cnt must start zero and peelPhase leaves it zero (it resets every
+	// cell it incremented), so one clear at borrow covers all phases.
+	clear(st.cnt)
+	release := func() {
+		ar.PutInt64(badP)
+		ar.PutBool(memberP)
+		ar.PutInt32(jumpP)
+		ar.PutInt32(jump2P)
+		ar.PutInt32(nextP)
+		ar.PutAtomicInt64(cntP)
+	}
+	return st, release
 }
 
 // peelPhase identifies the boughs of the remaining tree, records their
@@ -143,7 +178,7 @@ func newPhaseState(n int) *phaseState {
 // the removed vertices, the new paths (front first), and the front vertex
 // of each path.
 func peelPhase(t *tree.Tree, alive []bool, count []int32, st *phaseState,
-	d *Decomposition, pool *par.Pool, m *wd.Meter) (members []int32, paths [][]int32, fronts []int32) {
+	d *Decomposition, pool *par.Pool, m *wd.Meter, memberBuf []int32) (members []int32, paths [][]int32, fronts []int32) {
 
 	n := t.N()
 	// bad[i+1] = 1 when the vertex at preorder position i is alive and
@@ -229,7 +264,7 @@ func peelPhase(t *tree.Tree, alive []bool, count []int32, st *phaseState,
 		}
 	}
 	m.Add(int64(len(fronts)), 1)
-	members = make([]int32, 0)
+	members = memberBuf
 	for vi := 0; vi < n; vi++ {
 		if st.member[vi] {
 			members = append(members, int32(vi))

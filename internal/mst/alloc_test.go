@@ -1,0 +1,70 @@
+package mst
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/wd"
+)
+
+// TestComponentsZeroAllocSteadyState asserts the packing inner loop's
+// core claim: a steady-state connectivity check — the operation
+// EstimateCut hammers while walking the sampling rate — performs zero
+// heap allocations once the executor's arena is warm. Loop bodies are
+// pre-bound closures recycled with the forest state; labels, candidates,
+// hooks, and the dedupe bits all come from the arena.
+func TestComponentsZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; zero-alloc holds only in normal builds")
+	}
+	const n = 512
+	edges := make([]graph.Edge, 0, 2*n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: int32(i / 2), V: int32(i), W: 1})
+	}
+	for i := 0; i+7 < n; i += 3 {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 7), W: 1})
+	}
+	p := par.NewPool(1)
+	defer p.Close()
+	m := &wd.Meter{}
+
+	run := func() {
+		if comps := Components(n, edges, p, m); comps != 1 {
+			t.Fatalf("Components = %d, want 1", comps)
+		}
+	}
+	run() // warm the arena and the forest state pool
+	if avg := testing.AllocsPerRun(50, run); avg > 0 {
+		t.Errorf("steady-state Components: %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestForestSteadyStateAllocsOnlyOutput: Forest must allocate only what
+// it returns (the selected-edge slice), never its working arrays.
+func TestForestSteadyStateAllocsOnlyOutput(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; the output-only bound holds only in normal builds")
+	}
+	const n = 512
+	edges := make([]graph.Edge, 0, n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: int32(i / 2), V: int32(i), W: 1})
+	}
+	p := par.NewPool(1)
+	defer p.Close()
+	m := &wd.Meter{}
+
+	run := func() {
+		sel, comps := Forest(n, edges, nil, p, m)
+		if comps != 1 || len(sel) != n-1 {
+			t.Fatalf("Forest: %d comps, %d edges", comps, len(sel))
+		}
+	}
+	run()
+	// One allocation: the returned sel backing array.
+	if avg := testing.AllocsPerRun(50, run); avg > 1 {
+		t.Errorf("steady-state Forest: %.2f allocs/op, want <= 1 (output only)", avg)
+	}
+}

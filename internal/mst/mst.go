@@ -4,10 +4,18 @@
 // Borůvka is the classic O(log n)-round parallel MST algorithm, so it is
 // the natural engine here (and it doubles as the connectivity test for
 // detecting disconnected inputs, whose minimum cut is 0).
+//
+// Forest is the innermost loop of a solve — packing calls it O(log² n)
+// times per estimate guess — so its working arrays (component labels,
+// candidate slots, hook chains, selection dedupe bits) come from the
+// executor's arena and its loop bodies are pre-bound closures recycled
+// through a state pool: a steady-state Forest call performs no O(n) or
+// O(m) allocations beyond the selected-edge output the caller asked for.
 package mst
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -23,13 +31,111 @@ const (
 	noCand   = ^uint64(0)
 )
 
+// forestState carries one Forest invocation's working set. The loop-body
+// closures are bound once, when the state is first created, and capture
+// only the state pointer — so a recycled state re-runs the same closures
+// over freshly borrowed arrays and the per-round loops allocate nothing.
+type forestState struct {
+	edges []graph.Edge
+	cost  []int64
+	comp  []int32
+	hook  []int32
+	hook2 []int32
+	cand  []atomic.Uint64
+	seen  []bool
+
+	changed atomic.Bool
+
+	fInit    func(i int)
+	fClear   func(i int)
+	fScan    func(lo, hi int)
+	fHook    func(i int)
+	fBreak   func(i int)
+	fJump    func(i int)
+	fRelabel func(i int)
+}
+
+var forestStates sync.Pool
+
+func getForestState() *forestState {
+	if v := forestStates.Get(); v != nil {
+		return v.(*forestState)
+	}
+	s := &forestState{}
+	s.fInit = func(i int) { s.comp[i] = int32(i) }
+	s.fClear = func(i int) { s.cand[i].Store(noCand) }
+	// Each component's candidate: the cheapest incident edge leaving it.
+	s.fScan = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := s.edges[i]
+			cu, cv := s.comp[e.U], s.comp[e.V]
+			if cu == cv {
+				continue
+			}
+			var c int64
+			if s.cost != nil {
+				c = s.cost[i]
+			}
+			key := uint64(c)<<25 | uint64(i)
+			atomicMin(&s.cand[cu], key)
+			atomicMin(&s.cand[cv], key)
+		}
+	}
+	// Hook components along their candidate edges.
+	s.fHook = func(ci int) {
+		s.hook[ci] = int32(ci)
+		key := s.cand[ci].Load()
+		if key == noCand {
+			return
+		}
+		e := s.edges[key&(1<<25-1)]
+		other := s.comp[e.U]
+		if other == int32(ci) {
+			other = s.comp[e.V]
+		}
+		s.hook[ci] = other
+	}
+	// Break mutual hooks (2-cycles) toward the smaller label.
+	s.fBreak = func(ci int) {
+		h := s.hook[ci]
+		if s.hook[h] == int32(ci) && h > int32(ci) {
+			// ci is the smaller of a mutual pair: it becomes the root.
+			s.hook2[ci] = int32(ci)
+		} else {
+			s.hook2[ci] = h
+		}
+	}
+	s.fJump = func(ci int) {
+		h := s.hook[s.hook[ci]]
+		s.hook2[ci] = h
+		if h != s.hook[ci] {
+			s.changed.Store(true)
+		}
+	}
+	s.fRelabel = func(v int) { s.comp[v] = s.hook[s.comp[v]] }
+	return s
+}
+
+func putForestState(s *forestState) {
+	s.edges, s.cost = nil, nil
+	s.comp, s.hook, s.hook2, s.cand, s.seen = nil, nil, nil, nil, nil
+	forestStates.Put(s)
+}
+
 // Forest computes a minimum spanning forest of the n-vertex multigraph
 // with the given edges. cost[i] is the cost of edge i (nil means uniform
 // cost); ties break by edge index, making the forest unique and the
 // Borůvka hooking cycle-free. It returns the indices of the selected
 // edges and the number of connected components.
 func Forest(n int, edges []graph.Edge, cost []int64, pool *par.Pool, m *wd.Meter) (sel []int32, comps int) {
-	sel, _, comps = ForestWithLabels(n, edges, cost, pool, m)
+	if n == 0 {
+		return nil, 0
+	}
+	ar := pool.Arena()
+	compP := ar.Int32(n)
+	sel = make([]int32, 0, n-1)
+	sel, comps = forestInto(n, edges, cost, pool, m, *compP, sel)
+	ar.PutInt32(compP)
 	return sel, comps
 }
 
@@ -39,6 +145,34 @@ func ForestWithLabels(n int, edges []graph.Edge, cost []int64, pool *par.Pool, m
 	if n == 0 {
 		return nil, nil, 0
 	}
+	labels = make([]int32, n)
+	sel = make([]int32, 0, n-1)
+	sel, comps = forestInto(n, edges, cost, pool, m, labels, sel)
+	return sel, labels, comps
+}
+
+// Components returns the number of connected components (Borůvka with
+// uniform costs, discarding the forest). With the forest discarded, every
+// working array comes from the executor's arena: steady-state calls are
+// allocation-free.
+func Components(n int, edges []graph.Edge, pool *par.Pool, m *wd.Meter) int {
+	if n == 0 {
+		return 0
+	}
+	ar := pool.Arena()
+	compP := ar.Int32(n)
+	selP := ar.Int32(n - 1)
+	_, comps := forestInto(n, edges, nil, pool, m, *compP, (*selP)[:0])
+	ar.PutInt32(selP)
+	ar.PutInt32(compP)
+	return comps
+}
+
+// forestInto runs the Borůvka rounds, writing component labels into comp
+// (len n, caller-provided) and appending selected edge indices to sel
+// (cap n-1 avoids regrowth). It returns the final sel and the component
+// count.
+func forestInto(n int, edges []graph.Edge, cost []int64, pool *par.Pool, m *wd.Meter, comp, sel []int32) ([]int32, int) {
 	mm := len(edges)
 	if mm >= maxEdges {
 		panic(fmt.Sprintf("mst: %d edges exceed packed-candidate limit %d", mm, maxEdges))
@@ -50,72 +184,44 @@ func ForestWithLabels(n int, edges []graph.Edge, cost []int64, pool *par.Pool, m
 			}
 		}
 	}
-	comp := make([]int32, n)
-	pool.For(n, func(i int) { comp[i] = int32(i) })
-	cand := make([]atomic.Uint64, n)
-	hook := make([]int32, n)
-	hook2 := make([]int32, n)
-	comps = n
-	sel = make([]int32, 0, n-1)
+	ar := pool.Arena()
+	candP := ar.AtomicUint64(n)
+	hookP := ar.Int32(n)
+	hook2P := ar.Int32(n)
+	seenP := ar.Bool(mm)
+
+	s := getForestState()
+	s.edges, s.cost = edges, cost
+	s.comp, s.cand = comp, *candP
+	s.hook, s.hook2 = *hookP, *hook2P
+	s.seen = *seenP
+	// seen dedupes selected edges across the whole call: once an edge is
+	// selected its endpoints share a component, so it can never become a
+	// candidate again — one clear up front suffices.
+	clear(s.seen)
+
+	pool.For(n, s.fInit)
+	comps := n
 	for round := 0; ; round++ {
 		if round > int(wd.CeilLog2(n))+2 {
 			panic("mst: round bound exceeded")
 		}
-		pool.For(n, func(i int) { cand[i].Store(noCand) })
-		// Each component's candidate: the cheapest incident edge leaving it.
-		pool.ForChunk(mm, par.Grain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e := edges[i]
-				cu, cv := comp[e.U], comp[e.V]
-				if cu == cv {
-					continue
-				}
-				var c int64
-				if cost != nil {
-					c = cost[i]
-				}
-				key := uint64(c)<<25 | uint64(i)
-				atomicMin(&cand[cu], key)
-				atomicMin(&cand[cv], key)
-			}
-		})
+		pool.For(n, s.fClear)
+		pool.ForChunk(mm, par.Grain, s.fScan)
 		m.Add(int64(mm), 1)
-		// Hook components along their candidate edges.
-		progress := false
-		pool.For(n, func(ci int) {
-			hook[ci] = int32(ci)
-			key := cand[ci].Load()
-			if key == noCand {
-				return
-			}
-			e := edges[key&(1<<25-1)]
-			other := comp[e.U]
-			if other == int32(ci) {
-				other = comp[e.V]
-			}
-			hook[ci] = other
-		})
-		// Break mutual hooks (2-cycles) toward the smaller label.
-		pool.For(n, func(ci int) {
-			h := hook[ci]
-			if hook[h] == int32(ci) && h > int32(ci) {
-				// ci is the smaller of a mutual pair: it becomes the root.
-				hook2[ci] = int32(ci)
-			} else {
-				hook2[ci] = h
-			}
-		})
-		hook, hook2 = hook2, hook
+		pool.For(n, s.fHook)
+		pool.For(n, s.fBreak)
+		s.hook, s.hook2 = s.hook2, s.hook
 		// Collect selected edges (dedupe mutual candidates).
-		seen := make(map[int32]bool, comps)
+		progress := false
 		for ci := 0; ci < n; ci++ {
-			key := cand[ci].Load()
+			key := s.cand[ci].Load()
 			if key == noCand {
 				continue
 			}
 			idx := int32(key & (1<<25 - 1))
-			if !seen[idx] {
-				seen[idx] = true
+			if !s.seen[idx] {
+				s.seen[idx] = true
 				sel = append(sel, idx)
 				comps--
 				progress = true
@@ -126,23 +232,26 @@ func ForestWithLabels(n int, edges []graph.Edge, cost []int64, pool *par.Pool, m
 		}
 		// Pointer-jump hooks to roots and relabel vertex components.
 		for j := int64(0); j <= wd.CeilLog2(n); j++ {
-			var changed atomic.Bool
-			pool.For(n, func(ci int) {
-				h := hook[hook[ci]]
-				hook2[ci] = h
-				if h != hook[ci] {
-					changed.Store(true)
-				}
-			})
-			hook, hook2 = hook2, hook
-			if !changed.Load() {
+			s.changed.Store(false)
+			pool.For(n, s.fJump)
+			s.hook, s.hook2 = s.hook2, s.hook
+			if !s.changed.Load() {
 				break
 			}
 		}
-		pool.For(n, func(v int) { comp[v] = hook[comp[v]] })
+		pool.For(n, s.fRelabel)
 		m.Add(3*int64(n), wd.CeilLog2(n)+2)
 	}
-	return sel, comp, comps
+
+	// The hook/hook2 swaps may have exchanged the backing arrays; restore
+	// the headers before returning them to the arena.
+	*hookP, *hook2P = s.hook, s.hook2
+	putForestState(s)
+	ar.PutAtomicUint64(candP)
+	ar.PutInt32(hookP)
+	ar.PutInt32(hook2P)
+	ar.PutBool(seenP)
+	return sel, comps
 }
 
 // atomicMin lowers a to min(a, key).
@@ -153,13 +262,6 @@ func atomicMin(a *atomic.Uint64, key uint64) {
 			return
 		}
 	}
-}
-
-// Components returns the number of connected components (Borůvka with
-// uniform costs, discarding the forest).
-func Components(n int, edges []graph.Edge, pool *par.Pool, m *wd.Meter) int {
-	_, comps := Forest(n, edges, nil, pool, m)
-	return comps
 }
 
 // Kruskal is the sequential reference MST used by tests: sort edge indices

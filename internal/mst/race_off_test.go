@@ -1,0 +1,9 @@
+//go:build !race
+
+package mst
+
+// raceEnabled reports whether the race detector is active. The
+// steady-state zero-alloc tests skip under -race: the race-mode
+// sync.Pool deliberately drops a fraction of Puts (to shake out
+// use-after-Put bugs), so arena borrows legitimately re-allocate there.
+const raceEnabled = false

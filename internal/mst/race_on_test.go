@@ -1,0 +1,5 @@
+//go:build race
+
+package mst
+
+const raceEnabled = true

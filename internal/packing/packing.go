@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/mst"
@@ -31,6 +32,43 @@ import (
 	"repro/internal/trace"
 	"repro/internal/wd"
 )
+
+// scratch holds the per-attempt working buffers of the estimate loop: the
+// materialized skeleton (edges + origin map) and the greedy packing's
+// load array. Skeleton sizes are stable across attempts of a solve and
+// across solves of similar graphs, so recycling the backing arrays makes
+// repeat solves allocation-free here; the buffers are recycled through a
+// package pool because one scratch spans calls into several executors'
+// primitives.
+type scratch struct {
+	edges  []graph.Edge
+	origin []int32
+	load   []int64
+}
+
+var scratchPool sync.Pool
+
+func getScratch() *scratch {
+	if v := scratchPool.Get(); v != nil {
+		return v.(*scratch)
+	}
+	return &scratch{}
+}
+
+func putScratch(sc *scratch) {
+	scratchPool.Put(sc)
+}
+
+// loadFor returns sc.load resized to n and zeroed.
+func (sc *scratch) loadFor(n int) []int64 {
+	if cap(sc.load) < n {
+		sc.load = make([]int64, n)
+		return sc.load
+	}
+	sc.load = sc.load[:n]
+	clear(sc.load)
+	return sc.load
+}
 
 // Options control the sampling and packing constants. The defaults are
 // tuned empirically (see EXPERIMENTS.md E6): the paper's w.h.p. analysis
@@ -109,10 +147,13 @@ func binomial(w int64, p float64, cap int64, rng *rand.Rand) int64 {
 	}
 }
 
-// skeleton materializes the sampled multigraph: each original edge e
-// contributes Binomial(min(w(e), clamp), p) unit copies (capped at
-// multCap). origin maps each copy back to its original edge index.
-func skeleton(g *graph.Graph, p float64, clamp, multCap int64, rng *rand.Rand) (edges []graph.Edge, origin []int32) {
+// skeleton materializes the sampled multigraph into sc's recycled
+// buffers: each original edge e contributes Binomial(min(w(e), clamp), p)
+// unit copies (capped at multCap). origin maps each copy back to its
+// original edge index. The returned slices are views of sc's buffers and
+// are invalidated by the next skeleton call on the same scratch.
+func skeleton(g *graph.Graph, p float64, clamp, multCap int64, rng *rand.Rand, sc *scratch) (edges []graph.Edge, origin []int32) {
+	edges, origin = sc.edges[:0], sc.origin[:0]
 	for i, e := range g.Edges() {
 		if e.U == e.V {
 			continue
@@ -127,6 +168,7 @@ func skeleton(g *graph.Graph, p float64, clamp, multCap int64, rng *rand.Rand) (
 			origin = append(origin, int32(i))
 		}
 	}
+	sc.edges, sc.origin = edges, origin
 	return edges, origin
 }
 
@@ -147,11 +189,13 @@ func EstimateCut(g *graph.Graph, seed int64, pool *par.Pool, m *wd.Meter) int64 
 	}
 	lnN := math.Log(float64(n) + 1)
 	rng := rand.New(rand.NewSource(seed))
+	sc := getScratch()
+	defer putScratch(sc)
 	// Walk j downward (doubling p) until the sampled skeleton connects.
 	for j := int(math.Log2(float64(upper)/lnN)) + 1; j > 0; j-- {
 		p := math.Ldexp(1, -j) // 2^-j
 		clamp := int64(3*lnN/p) + 1
-		edges, _ := skeleton(g, p, clamp, int64(8*lnN)+4, rng)
+		edges, _ := skeleton(g, p, clamp, int64(8*lnN)+4, rng, sc)
 		if len(edges) < n-1 {
 			continue
 		}
@@ -218,6 +262,8 @@ func SampleTreesContext(ctx context.Context, g *graph.Graph, opt Options, pool *
 	threshold := opt.AcceptFraction * opt.Kappa * lnN
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 	res := &Result{}
+	sc := getScratch()
+	defer putScratch(sc)
 	for guess := 0; ; guess++ {
 		if guess > 64 {
 			return nil, fmt.Errorf("packing: estimate loop failed to converge")
@@ -230,10 +276,10 @@ func SampleTreesContext(ctx context.Context, g *graph.Graph, opt Options, pool *
 			p = 1
 		}
 		asp := sp.Child("pack-attempt").AttrInt("guess", int64(guess)).AttrInt("target", ch)
-		edges, origin := skeleton(g, p, ch, int64(rounds), rng)
+		edges, origin := skeleton(g, p, ch, int64(rounds), rng, sc)
 		atFloor := p >= 1
 		sink.AddPackRounds(int64(rounds))
-		trees, maxLoad, ok, err := pack(ctx, n, edges, rounds, pool, m, sink, asp)
+		trees, maxLoad, ok, err := pack(ctx, n, edges, rounds, sc.loadFor(len(edges)), pool, m, sink, asp)
 		if err != nil {
 			asp.End()
 			return nil, err
@@ -269,11 +315,10 @@ func SampleTreesContext(ctx context.Context, g *graph.Graph, opt Options, pool *
 // skeleton was connected. Each round is a cancellation seam, a progress
 // tick, and a "round" child span of sp: rounds are the packing phase's
 // unit of work.
-func pack(ctx context.Context, n int, edges []graph.Edge, rounds int, pool *par.Pool, m *wd.Meter, sink *progress.Sink, sp trace.SpanRef) (trees [][]int32, maxLoad int64, ok bool, err error) {
+func pack(ctx context.Context, n int, edges []graph.Edge, rounds int, load []int64, pool *par.Pool, m *wd.Meter, sink *progress.Sink, sp trace.SpanRef) (trees [][]int32, maxLoad int64, ok bool, err error) {
 	if len(edges) < n-1 {
 		return nil, 0, false, nil
 	}
-	load := make([]int64, len(edges))
 	for r := 0; r < rounds; r++ {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, false, fmt.Errorf("packing: canceled at round %d/%d: %w", r, rounds, err)

@@ -1,0 +1,92 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Arena recycles the typed scratch slices of the solver hot loops. Every
+// solve round in packing/scan/decomposition needs a handful of O(n) or
+// O(m) working arrays that die at the end of the round; allocating them
+// fresh each round made the garbage collector a hidden participant in the
+// paper's work bound. An Arena is a set of per-type free-lists (built on
+// sync.Pool, so idle memory is still reclaimable by the GC across
+// cycles): borrow with the typed getters, return with the matching Put.
+//
+// Contract: borrowed slices have the requested length but UNSPECIFIED
+// contents — callers either write every cell before reading it or clear
+// the slice themselves. Returning a slice transfers ownership back; the
+// caller must not retain any view of it.
+//
+// Each Pool owns one Arena (see Pool.Arena), so scratch reuse follows
+// executor placement: a scheduler worker's solves recycle through their
+// own executor's free-lists without cross-worker contention beyond
+// sync.Pool's own sharding. The zero Arena is ready to use.
+type Arena struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	int64s sync.Pool // *[]int64
+	int32s sync.Pool // *[]int32
+	bools  sync.Pool // *[]bool
+	au64s  sync.Pool // *[]atomic.Uint64
+	ai64s  sync.Pool // *[]atomic.Int64
+}
+
+// arenaGet reslices a recycled buffer to length n, or allocates one with
+// some growth headroom when the free-list is empty or its buffer is too
+// small (the undersized buffer is dropped for the GC; steady-state solves
+// converge on max-sized buffers after the first round).
+func arenaGet[T any](a *Arena, fl *sync.Pool, n int) *[]T {
+	if v := fl.Get(); v != nil {
+		sp := v.(*[]T)
+		if cap(*sp) >= n {
+			*sp = (*sp)[:n]
+			a.hits.Add(1)
+			return sp
+		}
+	}
+	a.misses.Add(1)
+	s := make([]T, n)
+	return &s
+}
+
+// Int64 borrows a []int64 of length n (contents unspecified).
+func (a *Arena) Int64(n int) *[]int64 { return arenaGet[int64](a, &a.int64s, n) }
+
+// PutInt64 returns a slice borrowed with Int64.
+func (a *Arena) PutInt64(sp *[]int64) { a.int64s.Put(sp) }
+
+// Int32 borrows a []int32 of length n (contents unspecified).
+func (a *Arena) Int32(n int) *[]int32 { return arenaGet[int32](a, &a.int32s, n) }
+
+// PutInt32 returns a slice borrowed with Int32.
+func (a *Arena) PutInt32(sp *[]int32) { a.int32s.Put(sp) }
+
+// Bool borrows a []bool of length n (contents unspecified).
+func (a *Arena) Bool(n int) *[]bool { return arenaGet[bool](a, &a.bools, n) }
+
+// PutBool returns a slice borrowed with Bool.
+func (a *Arena) PutBool(sp *[]bool) { a.bools.Put(sp) }
+
+// AtomicUint64 borrows a []atomic.Uint64 of length n (contents
+// unspecified).
+func (a *Arena) AtomicUint64(n int) *[]atomic.Uint64 {
+	return arenaGet[atomic.Uint64](a, &a.au64s, n)
+}
+
+// PutAtomicUint64 returns a slice borrowed with AtomicUint64.
+func (a *Arena) PutAtomicUint64(sp *[]atomic.Uint64) { a.au64s.Put(sp) }
+
+// AtomicInt64 borrows a []atomic.Int64 of length n (contents
+// unspecified).
+func (a *Arena) AtomicInt64(n int) *[]atomic.Int64 {
+	return arenaGet[atomic.Int64](a, &a.ai64s, n)
+}
+
+// PutAtomicInt64 returns a slice borrowed with AtomicInt64.
+func (a *Arena) PutAtomicInt64(sp *[]atomic.Int64) { a.ai64s.Put(sp) }
+
+// Arena returns the pool's scratch arena (the default pool's for a nil
+// receiver).
+func (p *Pool) Arena() *Arena { return &p.get().arena }

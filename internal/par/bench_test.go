@@ -17,6 +17,7 @@ func benchInts(n int, seed int64) []int64 {
 func BenchmarkExclusiveSum1M(b *testing.B) {
 	xs := benchInts(1<<20, 1)
 	out := make([]int64, len(xs))
+	b.ReportAllocs()
 	b.SetBytes(int64(len(xs) * 8))
 	for i := 0; i < b.N; i++ {
 		ExclusiveSum(xs, out)
@@ -33,6 +34,7 @@ func BenchmarkSegmentedBroadcast1M(b *testing.B) {
 		vals[i] = int64(i)
 	}
 	out := make([]int64, n)
+	b.ReportAllocs()
 	b.SetBytes(int64(n * 8))
 	for i := 0; i < b.N; i++ {
 		SegmentedBroadcast(present, vals, out, 0)
@@ -47,6 +49,7 @@ func BenchmarkMerge1M(b *testing.B) {
 	SortStable(x, less)
 	SortStable(y, less)
 	out := make([]int64, 2*n)
+	b.ReportAllocs()
 	b.SetBytes(int64(2 * n * 8))
 	for i := 0; i < b.N; i++ {
 		Merge(x, y, out, less)
@@ -57,6 +60,7 @@ func BenchmarkSortStable1M(b *testing.B) {
 	src := benchInts(1<<20, 5)
 	xs := make([]int64, len(src))
 	less := func(a, b int64) bool { return a < b }
+	b.ReportAllocs()
 	b.SetBytes(int64(len(src) * 8))
 	for i := 0; i < b.N; i++ {
 		copy(xs, src)
@@ -66,6 +70,7 @@ func BenchmarkSortStable1M(b *testing.B) {
 
 func BenchmarkReduceMin1M(b *testing.B) {
 	xs := benchInts(1<<20, 6)
+	b.ReportAllocs()
 	b.SetBytes(int64(len(xs) * 8))
 	for i := 0; i < b.N; i++ {
 		MinInt64(xs)

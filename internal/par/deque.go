@@ -1,0 +1,102 @@
+package par
+
+import "sync"
+
+// dequeCap bounds each lane's deque. Bursty divide-and-conquer fans out
+// faster than workers drain, so the bound must absorb a realistic burst
+// (a merge sort over 10^7 elements forks ~n/cutoff ≈ thousands of
+// branches, but half of them complete before the other half is pushed);
+// overflow past the bound spills to the pool's shared queue, never to
+// inline execution in the forking caller.
+const dequeCap = 256
+
+// task is one forked branch, stored by value in the deques so that a fork
+// allocates nothing beyond what the caller's own closure captured. Exactly
+// one of f, lf, cs is set:
+//
+//   - f:  a plain branch (public Do/Do2/fork path)
+//   - lf: a lane-aware branch — invoked with the *executing* lane, so
+//     recursive primitives (merge, sort) keep pushing onto the deque of
+//     whichever lane actually runs them
+//   - cs: a shared chunk loop — the branch claims chunk indices from cs
+//     until the loop is exhausted
+//
+// j, when non-nil, is decremented after the branch body returns.
+type task struct {
+	f  func()
+	lf func(*lane)
+	cs *chunkRun
+	j  *join
+}
+
+// lane is one deque owner: each of the pool's width-1 worker goroutines
+// owns a lane permanently. The owner pushes and pops at the bottom (LIFO,
+// so nested fork-join keeps its depth-first cache locality); thieves take
+// from the top (FIFO, so they steal the oldest — typically largest —
+// branch).
+type lane struct {
+	dq deque
+}
+
+// deque is the bounded double-ended queue behind one lane. A small mutex
+// per lane replaces the old pool-global channel: the owner's push/pop and
+// an occasional thief contend only with each other, never with the other
+// width-2 lanes.
+type deque struct {
+	mu   sync.Mutex
+	head uint32 // next steal slot (top)
+	tail uint32 // next push slot (bottom); tail-head = size
+	buf  [dequeCap]task
+}
+
+// pushBottom appends t at the bottom. It reports false when the deque is
+// full; the caller then spills to the pool's overflow queue.
+func (d *deque) pushBottom(t task) bool {
+	d.mu.Lock()
+	if d.tail-d.head == dequeCap {
+		d.mu.Unlock()
+		return false
+	}
+	d.buf[d.tail%dequeCap] = t
+	d.tail++
+	d.mu.Unlock()
+	return true
+}
+
+// popBottom removes the most recently pushed task (LIFO), for the lane's
+// owner.
+func (d *deque) popBottom() (task, bool) {
+	d.mu.Lock()
+	if d.tail == d.head {
+		d.mu.Unlock()
+		return task{}, false
+	}
+	d.tail--
+	t := d.buf[d.tail%dequeCap]
+	d.buf[d.tail%dequeCap] = task{}
+	d.mu.Unlock()
+	return t, true
+}
+
+// stealTop removes the oldest task (FIFO), for a thief.
+func (d *deque) stealTop() (task, bool) {
+	d.mu.Lock()
+	if d.tail == d.head {
+		d.mu.Unlock()
+		return task{}, false
+	}
+	t := d.buf[d.head%dequeCap]
+	d.buf[d.head%dequeCap] = task{}
+	d.head++
+	d.mu.Unlock()
+	return t, true
+}
+
+// size reports the current number of queued tasks (racy snapshot, used by
+// tests).
+func (d *deque) size() int {
+	d.mu.Lock()
+	n := int(d.tail - d.head)
+	d.mu.Unlock()
+	return n
+}

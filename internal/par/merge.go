@@ -7,13 +7,16 @@ import "sort"
 // merge is stable: on ties, elements of a precede elements of b. Large
 // merges split in parallel by the classic median/binary-search scheme
 // (Cole-style merging, the primitive the paper cites for its O(log) depth
-// merge [7]). Merge/SortStable are package functions rather than Pool
-// methods because Go does not allow generic methods.
+// merge [7]); the recursion is lane-aware, so whichever lane executes a
+// branch — owner or thief — pushes its sub-branches onto its own deque.
+// Merge/SortStable are package functions rather than Pool methods because
+// Go does not allow generic methods.
 func MergeOn[T any](p *Pool, a, b, out []T, less func(x, y T) bool) {
 	if len(out) != len(a)+len(b) {
 		panic("par: Merge output length mismatch")
 	}
-	mergeRec(p.get(), a, b, out, less)
+	p = p.get()
+	mergeRec(p, nil, a, b, out, less, p.tun().Merge)
 }
 
 // Merge merges on the default pool.
@@ -21,18 +24,18 @@ func Merge[T any](a, b, out []T, less func(x, y T) bool) {
 	MergeOn(nil, a, b, out, less)
 }
 
-func mergeRec[T any](p *Pool, a, b, out []T, less func(x, y T) bool) {
+func mergeRec[T any](p *Pool, l *lane, a, b, out []T, less func(x, y T) bool, cutoff int) {
 	if len(a) < len(b) {
 		// Keep a as the larger side so the split point is well-defined,
 		// flipping the tie-breaking so stability (a before b) is preserved.
-		mergeRecFlipped(p, b, a, out, less)
+		mergeRecFlipped(p, l, b, a, out, less, cutoff)
 		return
 	}
 	if len(b) == 0 {
 		copy(out, a)
 		return
 	}
-	if len(a)+len(b) <= 4*Grain || p.width == 1 {
+	if p.lanes == nil || len(a)+len(b) <= cutoff {
 		seqMerge(a, b, out, less)
 		return
 	}
@@ -41,26 +44,26 @@ func mergeRec[T any](p *Pool, a, b, out []T, less func(x, y T) bool) {
 	// its right, keeping a-before-b stability.
 	j := sort.Search(len(b), func(j int) bool { return !less(b[j], a[i]) })
 	out[i+j] = a[i]
-	p.Do2(
-		func() { mergeRec(p, a[:i], b[:j], out[:i+j], less) },
-		func() { mergeRec(p, a[i+1:], b[j:], out[i+j+1:], less) },
+	p.do2Lane(l,
+		func(l *lane) { mergeRec(p, l, a[:i], b[:j], out[:i+j], less, cutoff) },
+		func(l *lane) { mergeRec(p, l, a[i+1:], b[j:], out[i+j+1:], less, cutoff) },
 	)
 }
 
 // mergeRecFlipped merges with a as the physically larger slice but with b
 // logically first for tie-breaking (elements of b win ties).
-func mergeRecFlipped[T any](p *Pool, a, b, out []T, less func(x, y T) bool) {
+func mergeRecFlipped[T any](p *Pool, l *lane, a, b, out []T, less func(x, y T) bool, cutoff int) {
 	if len(a) < len(b) {
 		// Re-balance: mergeRec(b, a) keeps b's elements first on ties,
 		// which is exactly this function's contract.
-		mergeRec(p, b, a, out, less)
+		mergeRec(p, l, b, a, out, less, cutoff)
 		return
 	}
 	if len(b) == 0 {
 		copy(out, a)
 		return
 	}
-	if len(a)+len(b) <= 4*Grain || p.width == 1 {
+	if p.lanes == nil || len(a)+len(b) <= cutoff {
 		seqMerge(b, a, out, less)
 		return
 	}
@@ -69,9 +72,9 @@ func mergeRecFlipped[T any](p *Pool, a, b, out []T, less func(x, y T) bool) {
 	// its left (b is logically first here).
 	j := sort.Search(len(b), func(j int) bool { return less(a[i], b[j]) })
 	out[i+j] = a[i]
-	p.Do2(
-		func() { mergeRecFlipped(p, a[:i], b[:j], out[:i+j], less) },
-		func() { mergeRecFlipped(p, a[i+1:], b[j:], out[i+j+1:], less) },
+	p.do2Lane(l,
+		func(l *lane) { mergeRecFlipped(p, l, a[:i], b[:j], out[:i+j], less, cutoff) },
+		func(l *lane) { mergeRecFlipped(p, l, a[i+1:], b[j:], out[i+j+1:], less, cutoff) },
 	)
 }
 
@@ -101,12 +104,13 @@ func SortStableOn[T any](p *Pool, xs []T, less func(x, y T) bool) {
 	if n <= 1 {
 		return
 	}
+	t := p.tun()
 	buf := make([]T, n)
-	if n <= 8*Grain || p.width == 1 {
+	if p.lanes == nil || n <= t.Sort {
 		seqSortStable(xs, buf, less)
 		return
 	}
-	sortInto(p, xs, buf, less, true)
+	sortInto(p, nil, xs, buf, less, true, t.Sort, t.Merge)
 }
 
 // SortStable sorts on the default pool.
@@ -115,9 +119,9 @@ func SortStable[T any](xs []T, less func(x, y T) bool) {
 }
 
 // sortInto sorts src; if inSrc is true the result ends in src, else in dst.
-func sortInto[T any](p *Pool, src, dst []T, less func(x, y T) bool, inSrc bool) {
+func sortInto[T any](p *Pool, l *lane, src, dst []T, less func(x, y T) bool, inSrc bool, sortCut, mergeCut int) {
 	n := len(src)
-	if n <= 8*Grain {
+	if n <= sortCut {
 		seqSortStable(src, dst, less)
 		if !inSrc {
 			copy(dst, src)
@@ -125,14 +129,14 @@ func sortInto[T any](p *Pool, src, dst []T, less func(x, y T) bool, inSrc bool) 
 		return
 	}
 	mid := n / 2
-	p.Do2(
-		func() { sortInto(p, src[:mid], dst[:mid], less, !inSrc) },
-		func() { sortInto(p, src[mid:], dst[mid:], less, !inSrc) },
+	p.do2Lane(l,
+		func(l *lane) { sortInto(p, l, src[:mid], dst[:mid], less, !inSrc, sortCut, mergeCut) },
+		func(l *lane) { sortInto(p, l, src[mid:], dst[mid:], less, !inSrc, sortCut, mergeCut) },
 	)
 	if inSrc {
-		mergeRec(p, dst[:mid], dst[mid:], src, less)
+		mergeRec(p, l, dst[:mid], dst[mid:], src, less, mergeCut)
 	} else {
-		mergeRec(p, src[:mid], src[mid:], dst, less)
+		mergeRec(p, l, src[:mid], src[mid:], dst, less, mergeCut)
 	}
 }
 

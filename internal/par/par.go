@@ -5,25 +5,24 @@
 //
 // Go has no work-stealing fork-join runtime, so the primitives emulate the
 // Work-Depth model on an explicit executor, Pool: a persistent bounded-width
-// worker set on which all primitives are methods. The non-generic
-// primitives hang off *Pool directly; the generic ones (Merge, SortStable)
-// are package functions taking the pool as their first argument (Go has no
-// generic methods) under the names MergeOn and SortStableOn. The historic
-// package-level functions remain and delegate to a shared default pool of
-// width GOMAXPROCS, so code that does not care about executor placement
-// keeps working unchanged — but without per-call goroutine spawning.
+// worker set with per-worker work-stealing deques on which all primitives
+// are methods. The non-generic primitives hang off *Pool directly; the
+// generic ones (Merge, SortStable) are package functions taking the pool as
+// their first argument (Go has no generic methods) under the names MergeOn
+// and SortStableOn. The historic package-level functions remain and
+// delegate to a shared default pool of width GOMAXPROCS, so code that does
+// not care about executor placement keeps working unchanged — but without
+// per-call goroutine spawning.
 //
-// Every primitive degrades to its sequential form below a grain size, which
+// Every primitive degrades to its sequential form below a cutoff size
+// (per-primitive, machine-calibratable — see Tuning and Calibrate), which
 // keeps constant factors competitive with hand-written loops while
 // preserving the parallel structure that the paper's depth bounds rely on,
 // and every primitive returns identical results at every pool width.
 package par
 
-import (
-	"sync/atomic"
-)
-
-// Grain is the default smallest amount of per-lane sequential work.
+// Grain is the default smallest amount of per-lane sequential work, and
+// the anchor for the baseline per-primitive cutoffs (see BaselineTuning).
 // Loops over fewer elements run sequentially: handing a branch to a worker
 // and joining it costs on the order of microseconds, so data-parallel loops
 // only pay off once each lane gets several thousand elements. Task
@@ -33,15 +32,21 @@ const Grain = 8192
 
 // For runs f(i) for every i in [0, n) with no ordering guarantees.
 func (p *Pool) For(n int, f func(i int)) {
-	p.ForChunk(n, Grain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			f(i)
-		}
-	})
+	p = p.get()
+	p.ForGrain(n, p.tun().ForGrain, f)
 }
 
 // ForGrain is For with an explicit grain size.
 func (p *Pool) ForGrain(n, grain int, f func(i int)) {
+	p = p.get()
+	// Sequential fast path before the wrapper closure exists, so loops
+	// below the cutoff (and any loop on a width-1 pool) allocate nothing.
+	if p.lanes == nil || p.closed.Load() || n <= grain {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
 	p.ForChunk(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			f(i)
@@ -73,7 +78,10 @@ func (p *Pool) ForGrainRegion(name string, obs RegionFunc, n, grain int, f func(
 }
 
 // ForChunk partitions [0, n) into contiguous chunks of at least grain
-// elements and runs f(lo, hi) on the chunks in parallel.
+// elements and runs f(lo, hi) on the chunks in parallel. The caller and
+// up to width-1 helper branches claim chunks from a shared atomic cursor,
+// so chunk-to-lane assignment is dynamic (load-balanced) while chunk
+// boundaries — and therefore results — are fixed by n and grain alone.
 func (p *Pool) ForChunk(n, grain int, f func(lo, hi int)) {
 	p = p.get()
 	if n <= 0 {
@@ -82,7 +90,7 @@ func (p *Pool) ForChunk(n, grain int, f func(lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
-	if p.width == 1 || n <= grain {
+	if p.lanes == nil || p.closed.Load() || n <= grain {
 		f(0, n)
 		return
 	}
@@ -95,29 +103,31 @@ func (p *Pool) ForChunk(n, grain int, f func(lo, hi int)) {
 		return
 	}
 	size := (n + chunks - 1) / chunks
-	var next atomic.Int64
-	p.run(chunks, func() {
-		for {
-			c := int(next.Add(1)) - 1
-			if c >= chunks {
-				return
-			}
-			lo := c * size
-			hi := lo + size
-			if hi > n {
-				hi = n
-			}
-			if lo < hi {
-				f(lo, hi)
-			}
+	cr := p.getChunkRun()
+	cr.next.Store(0)
+	cr.chunks, cr.size, cr.n, cr.f = chunks, size, n, f
+	helpers := chunks - 1
+	if mw := p.width - 1; helpers > mw {
+		helpers = mw
+	}
+	j := p.getJoin()
+	for i := 0; i < helpers; i++ {
+		if !p.fork(nil, j, task{cs: cr}) {
+			break // pool closed mid-call; the caller drains alone
 		}
-	})
+	}
+	cr.drain()
+	p.wait(nil, j)
+	p.putJoin(j)
+	p.putChunkRun(cr)
 }
 
 // Do runs the given functions as parallel fork-join branches on the pool:
-// branches are handed to idle workers (at most width run at once, zero
-// goroutines spawned) and branches the pool cannot take run inline in the
-// caller.
+// branches are handed to the lanes' deques (at most width run at once,
+// zero goroutines spawned) and the caller helps execute queued branches
+// while joining. Branches only run inline in the caller when the pool is
+// sequential or closed — saturation spills to the overflow queue instead
+// of serializing.
 func (p *Pool) Do(fs ...func()) {
 	p = p.get()
 	switch len(fs) {
@@ -127,42 +137,45 @@ func (p *Pool) Do(fs ...func()) {
 		fs[0]()
 		return
 	}
-	if p.width == 1 || p.tasks == nil {
+	if p.lanes == nil || p.closed.Load() {
 		for _, f := range fs {
 			f()
 		}
 		return
 	}
-	j := newJoin()
+	j := p.getJoin()
 	var inline []func()
 	for _, f := range fs[1:] {
-		if !p.fork(j, f) {
-			inline = append(inline, f)
+		if !p.fork(nil, j, task{f: f}) {
+			inline = append(inline, f) // pool closed mid-call
 		}
 	}
 	fs[0]()
 	for _, f := range inline {
 		f()
 	}
-	p.wait(j)
+	p.wait(nil, j)
+	p.putJoin(j)
 }
 
 // Do2 is a binary fork-join (the common case in divide and conquer).
 func (p *Pool) Do2(a, b func()) {
 	p = p.get()
-	if p.width == 1 || p.tasks == nil {
+	if p.lanes == nil || p.closed.Load() {
 		a()
 		b()
 		return
 	}
-	j := newJoin()
-	if !p.fork(j, b) {
+	j := p.getJoin()
+	if !p.fork(nil, j, task{f: b}) {
+		p.putJoin(j)
 		a()
 		b()
 		return
 	}
 	a()
-	p.wait(j)
+	p.wait(nil, j)
+	p.putJoin(j)
 }
 
 // ReduceInt64 reduces xs with the associative op, returning identity for an
@@ -173,7 +186,7 @@ func (p *Pool) ReduceInt64(xs []int64, identity int64, op func(a, b int64) int64
 	if n == 0 {
 		return identity
 	}
-	if n <= Grain || p.width == 1 {
+	if p.lanes == nil || n <= p.tun().Reduce {
 		acc := identity
 		for _, x := range xs {
 			acc = op(acc, x)
@@ -212,7 +225,7 @@ func (p *Pool) MinInt64(xs []int64) (int64, int) {
 		panic("par: MinInt64 of empty slice")
 	}
 	n := len(xs)
-	if n <= Grain || p.width == 1 {
+	if p.lanes == nil || n <= p.tun().Reduce {
 		return seqMin(xs, 0)
 	}
 	chunks := p.numChunks(n)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package par
+
+// raceEnabled reports whether the race detector is active. Steady-state
+// allocation bounds skip under -race: the race-mode sync.Pool
+// deliberately drops a fraction of Puts, so pooled joins, chunk runs, and
+// arena buffers legitimately re-allocate there.
+const raceEnabled = false

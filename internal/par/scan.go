@@ -9,7 +9,7 @@ func (p *Pool) ExclusiveSum(xs, out []int64) int64 {
 	if n == 0 {
 		return 0
 	}
-	if n <= 4*Grain || p.width == 1 {
+	if p.lanes == nil || n <= p.tun().Scan {
 		return seqExclusive(xs, out)
 	}
 	chunks := p.numChunks(n)
@@ -60,7 +60,7 @@ func (p *Pool) InclusiveSum(xs, out []int64) int64 {
 	if n == 0 {
 		return 0
 	}
-	if n <= 4*Grain || p.width == 1 {
+	if p.lanes == nil || n <= p.tun().Scan {
 		var acc int64
 		for i, x := range xs {
 			acc += x
@@ -128,7 +128,7 @@ func (p *Pool) SegmentedBroadcast(present []bool, vals, out []int64, initial int
 	if n == 0 {
 		return
 	}
-	if n <= 4*Grain || p.width == 1 {
+	if p.lanes == nil || n <= p.tun().Scan {
 		acc := initial
 		for i := 0; i < n; i++ {
 			if present[i] {
@@ -144,7 +144,10 @@ func (p *Pool) SegmentedBroadcast(present []bool, vals, out []int64, initial int
 	cp, carry := p.getScratch(chunks)
 	defer p.putScratch(lp)
 	defer p.putScratch(cp)
-	has := make([]bool, chunks)
+	hp := p.arena.Bool(chunks)
+	defer p.arena.PutBool(hp)
+	has := *hp
+	clear(has)
 	p.ForChunk(chunks, 1, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
 			lo, hi := c*size, (c+1)*size

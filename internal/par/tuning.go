@@ -1,0 +1,212 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tuning holds the per-primitive sequential cutoffs: a primitive invoked
+// on fewer elements than its cutoff runs sequentially in the caller.
+// Forking a branch costs on the order of a microsecond, so the profitable
+// threshold differs per primitive — a scan does two cheap passes per
+// element while a sort comparison cascade does far more work per element
+// — and per machine. The zero value of a field means "use the baseline
+// default"; values are clamped to [MinCutoff, MaxCutoff].
+type Tuning struct {
+	// ForGrain is the default per-chunk element count for For loops.
+	ForGrain int
+	// Scan gates ExclusiveSum/InclusiveSum/SegmentedBroadcast.
+	Scan int
+	// Reduce gates ReduceInt64/MinInt64/SumInt64.
+	Reduce int
+	// Merge gates MergeOn (total elements across both inputs).
+	Merge int
+	// Sort gates SortStableOn.
+	Sort int
+}
+
+// Cutoff bounds: below MinCutoff forking never pays; above MaxCutoff a
+// primitive that "never wins" would stop parallelizing even the huge
+// inputs the paper's bounds are about.
+const (
+	MinCutoff = 1 << 10
+	MaxCutoff = 1 << 20
+)
+
+// BaselineTuning is the uncalibrated default, matching the historical
+// fixed-Grain thresholds the primitives shipped with.
+func BaselineTuning() Tuning {
+	return Tuning{
+		ForGrain: Grain,
+		Scan:     4 * Grain,
+		Reduce:   Grain,
+		Merge:    4 * Grain,
+		Sort:     8 * Grain,
+	}
+}
+
+// sequentialTuning turns every primitive sequential (width-1 machines,
+// calibration probes).
+func sequentialTuning() Tuning {
+	return Tuning{ForGrain: MaxCutoff, Scan: MaxCutoff, Reduce: MaxCutoff, Merge: MaxCutoff, Sort: MaxCutoff}
+}
+
+func clampCutoff(v, fallback int) int {
+	if v == 0 {
+		v = fallback
+	}
+	if v < MinCutoff {
+		return MinCutoff
+	}
+	if v > MaxCutoff {
+		return MaxCutoff
+	}
+	return v
+}
+
+func (t Tuning) sanitized() Tuning {
+	base := BaselineTuning()
+	t.ForGrain = clampCutoff(t.ForGrain, base.ForGrain)
+	t.Scan = clampCutoff(t.Scan, base.Scan)
+	t.Reduce = clampCutoff(t.Reduce, base.Reduce)
+	t.Merge = clampCutoff(t.Merge, base.Merge)
+	t.Sort = clampCutoff(t.Sort, base.Sort)
+	return t
+}
+
+// pkgTuning is the process-wide default applied to every pool without an
+// explicit override; nil means BaselineTuning.
+var pkgTuning atomic.Pointer[Tuning]
+
+// DefaultTuning returns the process-wide cutoff defaults.
+func DefaultTuning() Tuning {
+	if t := pkgTuning.Load(); t != nil {
+		return *t
+	}
+	return BaselineTuning()
+}
+
+// SetDefaultTuning replaces the process-wide cutoff defaults (zero fields
+// fall back to the baseline; all values are clamped). Pools with a
+// per-pool override (SetTuning) are unaffected.
+func SetDefaultTuning(t Tuning) {
+	s := t.sanitized()
+	pkgTuning.Store(&s)
+}
+
+// SetTuning overrides the cutoffs for this pool only.
+func (p *Pool) SetTuning(t Tuning) {
+	s := t.sanitized()
+	p.get().tuning.Store(&s)
+}
+
+// Tuning returns the cutoffs in effect for this pool.
+func (p *Pool) Tuning() Tuning { return p.get().tun() }
+
+func (p *Pool) tun() Tuning {
+	if t := p.tuning.Load(); t != nil {
+		return *t
+	}
+	return DefaultTuning()
+}
+
+// Calibrate measures the parallel-vs-sequential crossover of each
+// primitive on this machine and returns the resulting cutoffs. It probes
+// on a private pool of the given width (<= 0 means GOMAXPROCS), timing
+// each primitive sequentially and force-parallel across a ladder of
+// sizes and picking the smallest size where the parallel form wins by a
+// clear margin. A width <= 1 machine gets all-sequential cutoffs. The
+// probe costs a few tens of milliseconds; services run it once at
+// startup (CalibrateOnce / mincutd's -par-tune) and install the result
+// with SetDefaultTuning.
+func Calibrate(width int) Tuning {
+	p := NewPool(width)
+	defer p.Close()
+	if p.width <= 1 {
+		return sequentialTuning()
+	}
+
+	sizes := []int{4096, 8192, 16384, 32768, 65536, 131072}
+	buf := make([]int64, sizes[len(sizes)-1])
+	out := make([]int64, len(buf))
+	for i := range buf {
+		buf[i] = int64(i*2654435761) % 1009
+	}
+
+	t := BaselineTuning()
+	t.Scan = probeCutoff(p, sizes, func(n int) {
+		p.ExclusiveSum(buf[:n], out[:n])
+	}, func(tt *Tuning, cut int) { tt.Scan = cut })
+	t.Reduce = probeCutoff(p, sizes, func(n int) {
+		p.SumInt64(buf[:n])
+	}, func(tt *Tuning, cut int) { tt.Reduce = cut })
+	t.ForGrain = probeCutoff(p, sizes, func(n int) {
+		s := buf[:n]
+		p.For(n, func(i int) { s[i] = s[i] ^ int64(i) })
+	}, func(tt *Tuning, cut int) { tt.ForGrain = cut })
+
+	sorted := make([]int64, len(buf))
+	t.Merge = probeCutoff(p, sizes, func(n int) {
+		half := n / 2
+		for i := 0; i < half; i++ {
+			sorted[i] = int64(2 * i)
+			sorted[half+i] = int64(2*i + 1)
+		}
+		MergeOn(p, sorted[:half], sorted[half:n], out[:n], func(a, b int64) bool { return a < b })
+	}, func(tt *Tuning, cut int) { tt.Merge = cut })
+	t.Sort = probeCutoff(p, sizes, func(n int) {
+		copy(sorted[:n], buf[:n])
+		SortStableOn(p, sorted[:n], func(a, b int64) bool { return a < b })
+	}, func(tt *Tuning, cut int) { tt.Sort = cut })
+
+	return t.sanitized()
+}
+
+// probeCutoff times run(n) sequentially (cutoffs maxed) and
+// force-parallel (the primitive's cutoff dropped to n/2) at each ladder
+// size and returns the smallest n where parallel beats sequential by
+// >=5%; MaxCutoff if it never does. Medians over 5 reps absorb scheduler
+// noise.
+func probeCutoff(p *Pool, sizes []int, run func(n int), set func(*Tuning, int)) int {
+	defer p.tuning.Store(nil)
+	const reps = 5
+	measure := func(n int, t Tuning) time.Duration {
+		p.tuning.Store(&t)
+		ds := make([]time.Duration, reps)
+		for r := range ds {
+			start := time.Now()
+			run(n)
+			ds[r] = time.Since(start)
+		}
+		// median by selection over 5 elements
+		for i := 1; i < len(ds); i++ {
+			for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+				ds[j], ds[j-1] = ds[j-1], ds[j]
+			}
+		}
+		return ds[reps/2]
+	}
+	for _, n := range sizes {
+		seq := measure(n, sequentialTuning())
+		forced := sequentialTuning()
+		set(&forced, n/2)
+		parl := measure(n, forced)
+		if parl*100 <= seq*95 {
+			return n
+		}
+	}
+	return MaxCutoff
+}
+
+var (
+	calOnce sync.Once
+	calT    Tuning
+)
+
+// CalibrateOnce runs Calibrate at the current GOMAXPROCS the first time
+// it is called and caches the result process-wide.
+func CalibrateOnce() Tuning {
+	calOnce.Do(func() { calT = Calibrate(0) })
+	return calT
+}

@@ -1,0 +1,72 @@
+package par
+
+import "testing"
+
+func TestCalibrateSequentialWidth(t *testing.T) {
+	tun := Calibrate(1)
+	if tun.Scan != MaxCutoff || tun.Sort != MaxCutoff || tun.Merge != MaxCutoff ||
+		tun.Reduce != MaxCutoff || tun.ForGrain != MaxCutoff {
+		t.Fatalf("width-1 calibration must be all-sequential, got %+v", tun)
+	}
+}
+
+func TestCalibrateProducesValidCutoffs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe skipped in -short")
+	}
+	tun := Calibrate(4)
+	for name, v := range map[string]int{
+		"ForGrain": tun.ForGrain, "Scan": tun.Scan, "Reduce": tun.Reduce,
+		"Merge": tun.Merge, "Sort": tun.Sort,
+	} {
+		if v < MinCutoff || v > MaxCutoff {
+			t.Errorf("%s cutoff %d outside [%d, %d]", name, v, MinCutoff, MaxCutoff)
+		}
+	}
+}
+
+func TestTuningSanitize(t *testing.T) {
+	SetDefaultTuning(Tuning{Scan: 1, Sort: 1 << 30})
+	defer pkgTuning.Store(nil)
+	got := DefaultTuning()
+	if got.Scan != MinCutoff {
+		t.Errorf("Scan clamped to %d, want %d", got.Scan, MinCutoff)
+	}
+	if got.Sort != MaxCutoff {
+		t.Errorf("Sort clamped to %d, want %d", got.Sort, MaxCutoff)
+	}
+	base := BaselineTuning()
+	if got.Merge != base.Merge || got.Reduce != base.Reduce || got.ForGrain != base.ForGrain {
+		t.Errorf("zero fields must fall back to baseline: got %+v", got)
+	}
+}
+
+func TestPerPoolTuningOverride(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.SetTuning(Tuning{Scan: 2048})
+	if got := p.Tuning().Scan; got != 2048 {
+		t.Fatalf("pool Scan cutoff = %d, want 2048", got)
+	}
+	if got := DefaultTuning().Scan; got == 2048 && BaselineTuning().Scan != 2048 {
+		t.Fatal("per-pool override leaked into the process default")
+	}
+	// Results must not depend on cutoffs.
+	xs := make([]int64, 10000)
+	for i := range xs {
+		xs[i] = int64(i % 7)
+	}
+	out1 := make([]int64, len(xs))
+	out2 := make([]int64, len(xs))
+	t1 := p.ExclusiveSum(xs, out1)
+	p.SetTuning(Tuning{Scan: MaxCutoff})
+	t2 := p.ExclusiveSum(xs, out2)
+	if t1 != t2 {
+		t.Fatalf("totals differ across cutoffs: %d vs %d", t1, t2)
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("out[%d] differs across cutoffs: %d vs %d", i, out1[i], out2[i])
+		}
+	}
+}

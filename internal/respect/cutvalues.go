@@ -29,8 +29,12 @@ import (
 // with S the weighted degree and ρ(x) the weight of edges whose LCA is x.
 func CutValues(g *graph.Graph, t *tree.Tree, l *lca.LCA, pool *par.Pool, m *wd.Meter) (c, rhoDown []int64) {
 	n := t.N()
-	s := make([]int64, n)
-	rho := make([]int64, n)
+	ar := pool.Arena()
+	sP := ar.Int64(n)
+	rhoP := ar.Int64(n)
+	s, rho := *sP, *rhoP
+	clear(s) // atomic-add accumulators must start at zero
+	clear(rho)
 	edges := g.Edges()
 	pool.ForChunk(len(edges), par.Grain, func(lo, hi int) {
 		for _, e := range edges[lo:hi] {
@@ -45,6 +49,8 @@ func CutValues(g *graph.Graph, t *tree.Tree, l *lca.LCA, pool *par.Pool, m *wd.M
 	m.Add(int64(len(edges)), 1)
 	sDown := t.SubtreeSum(s, pool, m)
 	rhoDown = t.SubtreeSum(rho, pool, m)
+	ar.PutInt64(sP)
+	ar.PutInt64(rhoP)
 	c = make([]int64, n)
 	pool.For(n, func(v int) {
 		c[v] = sDown[v] - 2*rhoDown[v]

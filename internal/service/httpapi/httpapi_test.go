@@ -757,3 +757,40 @@ func TestGraphInfoDoesNotFaultBytesIn(t *testing.T) {
 		t.Fatal("unknown id not 404")
 	}
 }
+
+// TestPoolMetricsExposed: /metrics must render the work-stealing executor
+// counters, and the arena series must move after a solve (every solver run
+// borrows its working arrays from the worker executor's arena).
+func TestPoolMetricsExposed(t *testing.T) {
+	ts := newTestServer(t, 1)
+	id := ts.uploadCycle(t, 64)
+	// Force the paper engine: "auto" resolves small graphs to a
+	// sequential backend that never exercises the executor.
+	for seed := 1; seed <= 2; seed++ {
+		var jr jobResponse
+		body := []byte(fmt.Sprintf(`{"seed": %d, "engine": "geissmann"}`, seed))
+		if code, raw := ts.do(t, "POST", "/v1/graphs/"+id+"/mincut", "application/json", body, &jr); code != http.StatusOK {
+			t.Fatalf("solve: %d %s", code, raw)
+		}
+	}
+	for _, name := range []string{
+		"mincutd_pool_steals_total",
+		"mincutd_pool_local_pushes_total",
+		"mincutd_pool_shared_pushes_total",
+		"mincutd_pool_overflow_pushes_total",
+		"mincutd_pool_inline_runs_total",
+		"mincutd_pool_arena_hits_total",
+		"mincutd_pool_arena_misses_total",
+	} {
+		ts.metric(t, name) // fails the test if the series is absent
+	}
+	if v := ts.metric(t, "mincutd_pool_arena_misses_total"); v == 0 {
+		t.Error("mincutd_pool_arena_misses_total = 0 after solving, want > 0")
+	}
+	if v := ts.metric(t, "mincutd_pool_arena_hits_total"); v == 0 {
+		t.Error("mincutd_pool_arena_hits_total = 0 after two solves, want > 0")
+	}
+	if v := ts.metric(t, "mincutd_pool_inline_runs_total"); v != 0 {
+		t.Errorf("mincutd_pool_inline_runs_total = %d, want 0", v)
+	}
+}

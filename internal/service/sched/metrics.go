@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	parcut "repro"
 	"repro/internal/engine"
 )
 
@@ -292,6 +293,11 @@ type Metrics struct {
 	// executor width each worker owns (Workers × PoolWidth caps the
 	// solver's total parallelism).
 	QueueDepth, Running, PeakRunning, Workers, PoolWidth int
+	// Pool aggregates the work-stealing and arena counters across every
+	// worker's executor: steal traffic, fork placement (local deque /
+	// another lane's deque / overflow spill), inline degradations (always
+	// 0 while the executors are open), and solve-arena hit rates.
+	Pool parcut.PoolStats
 }
 
 func (c *counters) snapshot() Metrics {

@@ -378,6 +378,9 @@ type Scheduler struct {
 	running     int // jobs currently on a worker (fan-out parents excluded)
 	peakRun     int // high-water mark of running
 
+	execMu sync.Mutex
+	execs  []*parcut.Executor // live worker executors, for Metrics aggregation
+
 	wg sync.WaitGroup
 	m  counters
 }
@@ -900,6 +903,18 @@ func (s *Scheduler) Metrics() Metrics {
 	}
 	m.Workers = s.workers
 	m.PoolWidth = s.solveWidth
+	s.execMu.Lock()
+	for _, e := range s.execs {
+		st := e.Stats()
+		m.Pool.Steals += st.Steals
+		m.Pool.LocalPushes += st.LocalPushes
+		m.Pool.SharedPushes += st.SharedPushes
+		m.Pool.OverflowPushes += st.OverflowPushes
+		m.Pool.InlineRuns += st.InlineRuns
+		m.Pool.ArenaHits += st.ArenaHits
+		m.Pool.ArenaMisses += st.ArenaMisses
+	}
+	s.execMu.Unlock()
 	return m
 }
 
@@ -939,6 +954,20 @@ func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	exec := parcut.NewExecutor(s.solveWidth)
 	defer exec.Close()
+	s.execMu.Lock()
+	s.execs = append(s.execs, exec)
+	s.execMu.Unlock()
+	defer func() {
+		s.execMu.Lock()
+		for i, e := range s.execs {
+			if e == exec {
+				s.execs[i] = s.execs[len(s.execs)-1]
+				s.execs = s.execs[:len(s.execs)-1]
+				break
+			}
+		}
+		s.execMu.Unlock()
+	}()
 	for {
 		s.mu.Lock()
 		for s.queuedTotal == 0 && !s.draining {

@@ -686,3 +686,36 @@ func TestInvalidateGraphWithInFlightJob(t *testing.T) {
 		t.Fatal("blocked waiter returned nil after cancel")
 	}
 }
+
+// TestMetricsAggregateExecutorPoolCounters: the scheduler's Metrics must
+// surface the work-stealing executors' counters. Every solve borrows its
+// working arrays from the worker executor's arena, so after one solve the
+// arena counters are non-zero, and after a second solve of the same shape
+// the free-lists are warm and hits appear.
+func TestMetricsAggregateExecutorPoolCounters(t *testing.T) {
+	s := New(Config{Workers: 1, SolveParallelism: 2})
+	defer shutdown(t, s)
+	g := cycle(t, 64)
+	for seed := int64(1); seed <= 2; seed++ {
+		j, _, err := s.Submit(Key{GraphID: "pm", Opt: SolveOptions{Seed: seed}}, g, SubmitOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), j); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	m := s.Metrics()
+	if m.Pool.ArenaMisses == 0 {
+		t.Errorf("Pool.ArenaMisses = 0, want > 0 (first solve must borrow fresh buffers)")
+	}
+	if m.Pool.ArenaHits == 0 {
+		t.Errorf("Pool.ArenaHits = 0, want > 0 (second solve must recycle)")
+	}
+	if m.Pool.InlineRuns != 0 {
+		t.Errorf("Pool.InlineRuns = %d, want 0 (no saturation collapse)", m.Pool.InlineRuns)
+	}
+	if m.Pool.LocalPushes+m.Pool.SharedPushes+m.Pool.OverflowPushes == 0 {
+		t.Errorf("no forks recorded at width 2; counters = %+v", m.Pool)
+	}
+}

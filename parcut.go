@@ -76,6 +76,57 @@ func (e *Executor) unwrap() *par.Pool {
 	return e.pool
 }
 
+// PoolStats is a point-in-time snapshot of an executor's scheduling and
+// scratch-arena counters. All counters are cumulative since the executor
+// was created.
+type PoolStats struct {
+	// Steals counts branches taken from another lane's deque by idle
+	// lanes; LocalPushes/SharedPushes/OverflowPushes classify where forked
+	// branches were enqueued (the forking lane's own deque, another
+	// lane's, or the shared overflow queue). InlineRuns counts forks that
+	// ran inline in the forking goroutine — always 0 on an open executor
+	// of width > 1.
+	Steals, LocalPushes, SharedPushes, OverflowPushes, InlineRuns int64
+	// ArenaHits and ArenaMisses count recycled vs freshly allocated
+	// scratch borrows in the executor's solve arena.
+	ArenaHits, ArenaMisses int64
+}
+
+// Stats snapshots the executor's counters (the shared default executor's
+// for a nil receiver).
+func (e *Executor) Stats() PoolStats {
+	st := e.unwrap().Stats()
+	return PoolStats{
+		Steals:         st.Steals,
+		LocalPushes:    st.LocalPushes,
+		SharedPushes:   st.SharedPushes,
+		OverflowPushes: st.OverflowPushes,
+		InlineRuns:     st.InlineRuns,
+		ArenaHits:      st.ArenaHits,
+		ArenaMisses:    st.ArenaMisses,
+	}
+}
+
+// Tuning holds the per-primitive sequential cutoffs of the parallel
+// primitives (loops, scans, reductions, merges, sorts): below its cutoff
+// a primitive runs sequentially in the caller. Zero fields mean the
+// built-in baseline; cutoffs never change results, only constant factors.
+type Tuning = par.Tuning
+
+// Calibrate measures this machine's parallel-vs-sequential crossover per
+// primitive (once per process; subsequent calls return the cached result)
+// and returns the resulting cutoffs. Install them with SetDefaultTuning,
+// or per executor with Executor.SetTuning.
+func Calibrate() Tuning { return par.CalibrateOnce() }
+
+// SetDefaultTuning installs process-wide cutoff defaults, applied to
+// every executor without a per-executor override.
+func SetDefaultTuning(t Tuning) { par.SetDefaultTuning(t) }
+
+// SetTuning overrides the cutoffs for this executor only (for a nil
+// receiver, the shared default executor).
+func (e *Executor) SetTuning(t Tuning) { e.unwrap().SetTuning(t) }
+
 // executionPool resolves the executor a call with these options runs on,
 // and whether the call owns it (and must close it when done).
 func (o Options) executionPool() (pool *par.Pool, owned bool) {
@@ -83,7 +134,11 @@ func (o Options) executionPool() (pool *par.Pool, owned bool) {
 		return o.Executor.pool, false
 	}
 	if o.Parallelism > 0 {
-		return par.NewPool(o.Parallelism), true
+		p := par.NewPool(o.Parallelism)
+		if o.Tuning != nil {
+			p.SetTuning(*o.Tuning)
+		}
+		return p, true
 	}
 	return nil, false
 }
@@ -199,6 +254,13 @@ type Options struct {
 	// Parallelism. Long-lived callers issuing many solves should prefer
 	// an Executor so workers persist across calls.
 	Executor *Executor
+	// Tuning, when non-nil, overrides the per-primitive sequential
+	// cutoffs for the call's dedicated executor. It applies only when the
+	// call creates its own executor (Parallelism > 0): a caller-owned
+	// Executor keeps whatever SetTuning configured on it, and the shared
+	// default executor follows SetDefaultTuning. Cutoffs never change the
+	// Result, only speed.
+	Tuning *Tuning
 	// Progress, when non-nil, receives live progress updates (current
 	// phase, packing rounds, trees scanned, boost runs completed) while
 	// the solve runs. Attach a fresh Progress per solve; attaching one
