@@ -18,6 +18,15 @@
 // opt-in and separately bindable so profiling endpoints never face the
 // service's own clients.
 //
+// Cluster mode: give every node the same -peers list (its own advertised
+// address included) and each node owns a deterministic shard of the graph
+// space by consistent hashing on graph content IDs. Any node accepts any
+// request — work it does not own is forwarded to the owner — so a load
+// balancer can spray requests across the whole cluster:
+//
+//	mincutd -addr :8080 -advertise host1:8080 \
+//	        -peers host1:8080,host2:8080,host3:8080
+//
 // On SIGTERM or SIGINT the server stops accepting work, finishes in-flight
 // requests and jobs, and exits; jobs still running when -drain-timeout
 // expires are canceled.
@@ -28,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"net"
 	"net/http"
@@ -41,6 +51,7 @@ import (
 	"time"
 
 	parcut "repro"
+	"repro/internal/cluster"
 	"repro/internal/service/httpapi"
 	"repro/internal/service/registry"
 	"repro/internal/service/sched"
@@ -71,6 +82,11 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", 256, "finished solve traces retained for GET /v1/traces (0 = tracing disabled)")
 	traceSlow := flag.Duration("trace-slow-threshold", 0, "log one structured line per solve slower than this (0 = disabled)")
 	parTune := flag.Bool("par-tune", false, "calibrate parallel-primitive granularity cutoffs at startup instead of using the built-in baseline (~1s of probing)")
+	peers := flag.String("peers", "", `static cluster member list, e.g. "host1:8080,host2:8080,host3:8080" (empty = single-node); every node must be given the same list`)
+	advertise := flag.String("advertise", "", "this node's address as it appears in -peers (required with -peers)")
+	clusterVNodes := flag.Int("cluster-vnodes", 0, "virtual nodes per member on the placement ring (0 = 256); must match across the cluster")
+	peerProbe := flag.Duration("peer-probe-interval", 2*time.Second, "how often peers are health-probed via /healthz")
+	peerRetries := flag.Int("peer-retries", 2, "re-dials after a connection-level forward failure (-1 = none); HTTP error responses are never retried")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -123,6 +139,11 @@ func main() {
 		debugAddr:    *debugAddr,
 		traceBuffer:  *traceBuffer,
 		traceSlow:    *traceSlow,
+		peers:        parseList(*peers),
+		advertise:    *advertise,
+		vnodes:       *clusterVNodes,
+		peerProbe:    *peerProbe,
+		peerRetries:  *peerRetries,
 		logger:       logger,
 	}, nil); err != nil {
 		fatal("exiting", "error", err)
@@ -183,7 +204,34 @@ type config struct {
 	debugAddr    string
 	traceBuffer  int
 	traceSlow    time.Duration
+	peers        []string // static member list; empty = single-node
+	advertise    string   // this node's address within peers
+	vnodes       int
+	peerProbe    time.Duration
+	peerRetries  int
 	logger       *slog.Logger // nil means slog.Default()
+}
+
+// parseList splits a comma-separated flag value, trimming whitespace and
+// dropping empty entries.
+func parseList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// jobIDPrefix derives the per-node job-ID prefix from the advertised
+// address: a short stable hash, so job IDs are unique across the cluster
+// (peers can route an unknown job ID to the node that minted it) without
+// leaking raw host:port strings into IDs.
+func jobIDPrefix(advertise string) string {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(advertise))
+	return fmt.Sprintf("%08x-", h.Sum32())
 }
 
 // debugHandler is the pprof route table, registered explicitly on a
@@ -228,6 +276,14 @@ func run(cfg config, ready chan<- string) error {
 	if cfg.traceBuffer > 0 {
 		ring = trace.NewRing(cfg.traceBuffer)
 	}
+	clustered := len(cfg.peers) > 0
+	if clustered && cfg.advertise == "" {
+		return fmt.Errorf("-peers requires -advertise (this node's address within the peer list)")
+	}
+	idPrefix := ""
+	if clustered {
+		idPrefix = jobIDPrefix(cfg.advertise)
+	}
 	reg := registry.New(cfg.cacheBytes, backend)
 	sch := sched.New(sched.Config{
 		Workers:          cfg.workers,
@@ -239,8 +295,31 @@ func run(cfg config, ready chan<- string) error {
 		Traces:           ring,
 		SlowSolve:        cfg.traceSlow,
 		Logger:           logger,
+		IDPrefix:         idPrefix,
 	})
-	api := httpapi.New(reg, sch, st, httpapi.Options{Traces: ring, Logger: logger, Version: version})
+	apiOpts := httpapi.Options{Traces: ring, Logger: logger, Version: version}
+	if clustered {
+		node, err := cluster.New(cluster.Options{
+			Self:          cfg.advertise,
+			Members:       cfg.peers,
+			VNodes:        cfg.vnodes,
+			Local:         sched.Local{Scheduler: sch},
+			Graphs:        reg,
+			RequestID:     httpapi.RequestID,
+			Retries:       cfg.peerRetries,
+			ProbeInterval: cfg.peerProbe,
+			Logger:        logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		apiOpts.Submitter = node
+		apiOpts.Cluster = node
+		logger.Info("cluster mode", "self", cfg.advertise, "members", node.Ring().Members(),
+			"vnodes", node.Ring().VNodes(), "job_id_prefix", idPrefix)
+	}
+	api := httpapi.New(reg, sch, st, apiOpts)
 	srv := &http.Server{Handler: api.Handler()}
 
 	if cfg.debugAddr != "" {

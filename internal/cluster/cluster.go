@@ -1,0 +1,301 @@
+// Package cluster turns a set of independent mincutd processes into one
+// sharded service. Placement is consistent hashing over a static member
+// list: every graph lives on the node its content hash maps to, every
+// node builds the identical ring from the same -peers list, and any node
+// accepts any request — the HTTP layer forwards work it does not own to
+// the owner over the same API external clients use.
+//
+// The seam is sched.Submitter: Node implements it by dispatching each
+// submission to the local scheduler (for graphs this node owns) or to a
+// remote peer (a proxied solve with request-ID propagation, bounded
+// retries on connection errors, and per-peer health gating fed by
+// /healthz probes). Boost fan-out stays node-local — the owning node
+// decomposes boosted solves across its own worker pool exactly as in
+// single-node mode — so a cluster solve is the same decompose/merge
+// pattern as a boost solve, with the network as the seam.
+//
+// Results are transport-neutral by construction: the owning node runs
+// the identical deterministic solver whichever node the request entered
+// through, so a Result is bit-for-bit identical across entry points.
+// Membership is static in this iteration (no failure takeover): when a
+// peer is down, its shard answers 502 and every other shard keeps
+// working. Replication and rebalancing build on this seam.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	parcut "repro"
+	"repro/internal/engine"
+	"repro/internal/service/registry"
+	"repro/internal/service/sched"
+)
+
+// Options configures a Node.
+type Options struct {
+	// Self is this node's advertised host:port — the address peers dial
+	// and the identity used on the ring. It must appear in Members.
+	Self string
+	// Members is the full static member list, including Self.
+	Members []string
+	// VNodes is the virtual-node count per member (0 = a sensible
+	// default). Every node must use the same value.
+	VNodes int
+	// Local runs the shard this node owns.
+	Local sched.Submitter
+	// Graphs is this node's registry, used to fetch a graph (and resolve
+	// the "auto" engine against its size) when a local submission arrives
+	// without one.
+	Graphs *registry.Registry
+	// RequestID extracts the request correlation ID from a context so
+	// forwarded requests carry it; nil disables propagation. (The HTTP
+	// layer owns the context key; injecting the accessor avoids an
+	// import cycle.)
+	RequestID func(context.Context) string
+	// Retries is how many times a forward is re-dialed after a
+	// connection-level failure (0 = default 2; negative = no retries).
+	Retries int
+	// ProbeInterval is the health-probe period (0 = 2s).
+	ProbeInterval time.Duration
+	// DialTimeout bounds connection establishment to a peer (0 = 2s).
+	// Requests themselves are unbounded — a forwarded solve may
+	// legitimately run for minutes; the caller's context bounds it.
+	DialTimeout time.Duration
+	// Transport overrides the HTTP transport used for peer traffic
+	// (tests inject failures with it); nil builds a dialer-timeout one.
+	Transport http.RoundTripper
+	// Logger receives peer up/down transitions; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// Node is one member of the cluster: the ring, the peer clients, and the
+// local shard, glued together behind sched.Submitter.
+type Node struct {
+	self      string
+	ring      *Ring
+	peers     map[string]*Peer // keyed by addr; excludes self
+	local     sched.Submitter
+	graphs    *registry.Registry
+	requestID func(context.Context) string
+	log       *slog.Logger
+
+	probeEvery time.Duration
+	stopProbe  context.CancelFunc
+	probeWG    sync.WaitGroup
+}
+
+// New builds the node and starts its health prober. Close stops it.
+func New(opt Options) (*Node, error) {
+	if opt.Self == "" {
+		return nil, fmt.Errorf("cluster: missing self address")
+	}
+	if opt.Local == nil {
+		return nil, fmt.Errorf("cluster: missing local submitter")
+	}
+	ring := NewRing(opt.Members, opt.VNodes)
+	selfOnRing := false
+	for _, m := range ring.Members() {
+		if m == opt.Self {
+			selfOnRing = true
+		}
+	}
+	if !selfOnRing {
+		return nil, fmt.Errorf("cluster: self %q is not in the member list %v", opt.Self, ring.Members())
+	}
+	if opt.Retries == 0 {
+		opt.Retries = 2
+	} else if opt.Retries < 0 {
+		opt.Retries = 0
+	}
+	if opt.ProbeInterval <= 0 {
+		opt.ProbeInterval = 2 * time.Second
+	}
+	if opt.DialTimeout <= 0 {
+		opt.DialTimeout = 2 * time.Second
+	}
+	if opt.Logger == nil {
+		opt.Logger = slog.Default()
+	}
+	transport := opt.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: opt.DialTimeout}).DialContext,
+			MaxIdleConnsPerHost: 16,
+		}
+	}
+	client := &http.Client{Transport: transport}
+	n := &Node{
+		self:       opt.Self,
+		ring:       ring,
+		peers:      make(map[string]*Peer),
+		local:      opt.Local,
+		graphs:     opt.Graphs,
+		requestID:  opt.RequestID,
+		log:        opt.Logger,
+		probeEvery: opt.ProbeInterval,
+	}
+	for _, m := range ring.Members() {
+		if m == opt.Self {
+			continue
+		}
+		n.peers[m] = &Peer{addr: m, client: client, retries: opt.Retries, backoff: 50 * time.Millisecond}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n.stopProbe = cancel
+	n.probeWG.Add(1)
+	go n.probeLoop(ctx)
+	return n, nil
+}
+
+// Close stops the health prober.
+func (n *Node) Close() {
+	n.stopProbe()
+	n.probeWG.Wait()
+}
+
+// probeLoop probes every peer each probeEvery tick and logs transitions.
+func (n *Node) probeLoop(ctx context.Context) {
+	defer n.probeWG.Done()
+	t := time.NewTicker(n.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			n.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll runs one probe round (exposed to tests via the package).
+func (n *Node) probeAll(ctx context.Context) {
+	for _, p := range n.peers {
+		pctx, cancel := context.WithTimeout(ctx, n.probeEvery)
+		wasUp := p.Up()
+		up := p.probe(pctx)
+		cancel()
+		if up != wasUp {
+			if up {
+				n.log.Info("cluster peer up", "peer", p.addr)
+			} else {
+				n.log.Warn("cluster peer down", "peer", p.addr)
+			}
+		}
+	}
+}
+
+// Self returns this node's advertised address.
+func (n *Node) Self() string { return n.self }
+
+// Ring returns the placement ring (immutable).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Owner returns the member that owns graphID.
+func (n *Node) Owner(graphID string) string { return n.ring.Owner(graphID) }
+
+// IsLocal reports whether this node owns graphID.
+func (n *Node) IsLocal(graphID string) bool { return n.ring.Owner(graphID) == n.self }
+
+// Peer returns the client for addr (nil for self or unknown members).
+func (n *Node) Peer(addr string) *Peer { return n.peers[addr] }
+
+// Submit implements sched.Submitter by routing on the graph's owner: the
+// local scheduler for shards this node owns (fetching the graph — and
+// resolving the "auto" engine against its size — when the caller did not
+// supply it), a proxied remote solve otherwise. Remote submissions start
+// their HTTP request immediately, so submitting a batch of handles and
+// then waiting on each runs the remote solves concurrently, mirroring
+// the local scheduler's submit-all-then-wait coalescing pattern.
+func (n *Node) Submit(ctx context.Context, key sched.Key, g *parcut.Graph, opts sched.SubmitOpts) (sched.Handle, bool, error) {
+	owner := n.ring.Owner(key.GraphID)
+	if owner == n.self {
+		if g == nil || key.Opt.Engine == "" || key.Opt.Engine == engine.Auto {
+			if n.graphs == nil {
+				return nil, false, fmt.Errorf("cluster: no registry to resolve graph %s", key.GraphID)
+			}
+			gg, info, err := n.graphs.Get(key.GraphID)
+			if err != nil {
+				return nil, false, err
+			}
+			g = gg
+			name := key.Opt.Engine
+			if name == "" {
+				name = engine.Auto
+			}
+			eng, err := engine.Resolve(name, info.N, info.M)
+			if err != nil {
+				return nil, false, err
+			}
+			key.Opt.Engine = eng.Name()
+		}
+		return n.local.Submit(ctx, key, g, opts)
+	}
+	p := n.peers[owner]
+	if p == nil {
+		return nil, false, fmt.Errorf("cluster: owner %q of %s is not a known peer", owner, key.GraphID)
+	}
+	var rid string
+	if n.requestID != nil {
+		rid = n.requestID(ctx)
+	}
+	h, err := submitRemote(ctx, p, n.self, key, opts, rid)
+	if err != nil {
+		return nil, false, err
+	}
+	return h, false, nil
+}
+
+// Job implements sched.Submitter for the local shard. Cross-node job
+// lookup is an HTTP-layer concern (job IDs are node-local; the router
+// falls back to asking peers).
+func (n *Node) Job(id string) (sched.Status, bool) { return n.local.Job(id) }
+
+// Cancel implements sched.Submitter for the local shard.
+func (n *Node) Cancel(id string) bool { return n.local.Cancel(id) }
+
+// InvalidateGraph implements sched.Submitter for the local shard: graph
+// deletes are forwarded to the owner by the router, and only the owner
+// ever caches that graph's results.
+func (n *Node) InvalidateGraph(graphID string) int { return n.local.InvalidateGraph(graphID) }
+
+// PeerStats is one peer's forwarding counters for /metrics.
+type PeerStats struct {
+	Addr      string
+	Up        bool
+	Forwarded int64
+	Failed    int64
+}
+
+// Stats is a snapshot of the node's cluster state for /metrics and
+// /healthz.
+type Stats struct {
+	Self    string
+	Members []string
+	VNodes  int
+	Peers   []PeerStats // sorted by address
+}
+
+// Stats returns the current cluster snapshot.
+func (n *Node) Stats() Stats {
+	st := Stats{Self: n.self, Members: n.ring.Members(), VNodes: n.ring.VNodes()}
+	for _, p := range n.peers {
+		st.Peers = append(st.Peers, PeerStats{
+			Addr:      p.addr,
+			Up:        p.Up(),
+			Forwarded: p.forwarded.Load(),
+			Failed:    p.failed.Load(),
+		})
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].Addr < st.Peers[j].Addr })
+	return st
+}
+
+var _ sched.Submitter = (*Node)(nil)

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultVNodes is the virtual-node count per member when Options.VNodes
+// is zero: enough points that every member of a 3–10 node ring stays
+// within a factor of two of its fair share (pinned by TestRingBalance),
+// small enough that building and searching the ring is free.
+const defaultVNodes = 256
+
+// Ring is a consistent-hash ring over a static member list. Each member
+// contributes VNodes points (FNV-1a of "addr#i"), keys hash with the same
+// function, and a key is owned by the first point clockwise from its
+// hash. Placement is fully deterministic: every node that is given the
+// same member list — in any order — builds the identical ring, so the
+// cluster agrees on ownership without any coordination. Removing a member
+// moves only the keys that member owned (the consistent-hashing
+// guarantee), which is what makes a future rebalancing PR incremental.
+type Ring struct {
+	members []string // sorted, deduplicated
+	vnodes  int
+	points  []ringPoint // sorted by (hash, member)
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds the ring over members with vnodes points per member
+// (vnodes <= 0 means defaultVNodes). Members are deduplicated and sorted,
+// so the caller's ordering never affects placement. An empty member list
+// yields a ring whose Owner returns "".
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	sorted := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		sorted = append(sorted, m)
+	}
+	sort.Strings(sorted)
+	r := &Ring{members: sorted, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(sorted)*vnodes)
+	for _, m := range sorted {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash collisions between members are broken by name so every
+		// node resolves them identically.
+		return r.points[a].member < r.points[b].member
+	})
+	return r
+}
+
+// ringHash is FNV-1a over the key bytes: stable across processes,
+// architectures, and Go versions (unlike maphash), which placement
+// correctness depends on — two nodes hashing the same graph ID must get
+// the same owner.
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the member that owns key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	// First point with hash > h, wrapping to the start of the ring.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash > h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted member list the ring was built over.
+func (r *Ring) Members() []string { return r.members }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }

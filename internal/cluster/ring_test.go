@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRingDeterministicUnderMemberOrder pins the core placement
+// guarantee: every node builds the identical ring from the same member
+// list regardless of the order its -peers flag listed them in.
+func TestRingDeterministicUnderMemberOrder(t *testing.T) {
+	members := []string{"a:1", "b:2", "c:3", "d:4", "e:5"}
+	base := NewRing(members, 0)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(shuffled, 0)
+		for k := 0; k < 500; k++ {
+			key := fmt.Sprintf("sha256:%064x", k)
+			if got, want := r.Owner(key), base.Owner(key); got != want {
+				t.Fatalf("trial %d: Owner(%q) = %q under order %v, want %q", trial, key, got, shuffled, want)
+			}
+		}
+	}
+}
+
+// TestRingDedupAndEmpty covers member-list hygiene: duplicates and empty
+// strings are dropped, and the empty ring owns nothing.
+func TestRingDedupAndEmpty(t *testing.T) {
+	r := NewRing([]string{"b:2", "a:1", "b:2", "", "a:1"}, 8)
+	if got := r.Members(); len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("Members() = %v, want [a:1 b:2]", got)
+	}
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("anything"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want \"\"", got)
+	}
+}
+
+// TestRingBalance checks virtual nodes spread keys acceptably: with the
+// default vnode count, no member of a 5-node ring should own less than
+// half or more than double its fair share of a large key set.
+func TestRingBalance(t *testing.T) {
+	members := []string{"a:1", "b:2", "c:3", "d:4", "e:5"}
+	r := NewRing(members, 0)
+	const keys = 20000
+	counts := make(map[string]int)
+	for k := 0; k < keys; k++ {
+		counts[r.Owner(fmt.Sprintf("sha256:%064x", k))]++
+	}
+	fair := keys / len(members)
+	for _, m := range members {
+		c := counts[m]
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("member %s owns %d of %d keys, outside [%d, %d]", m, c, keys, fair/2, fair*2)
+		}
+	}
+}
+
+// TestRingRedistribution pins the consistent-hashing guarantee the
+// future rebalancing work depends on: removing a member moves only the
+// keys that member owned — every key owned by a survivor keeps its
+// owner exactly.
+func TestRingRedistribution(t *testing.T) {
+	members := []string{"a:1", "b:2", "c:3", "d:4"}
+	before := NewRing(members, 0)
+	after := NewRing([]string{"a:1", "b:2", "c:3"}, 0) // d:4 removed
+	const keys = 10000
+	moved := 0
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("sha256:%064x", k)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob == "d:4" {
+			moved++
+			if oa == "d:4" {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+			continue
+		}
+		if ob != oa {
+			t.Fatalf("key %q moved %q -> %q although its owner survived", key, ob, oa)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; balance test should have caught this")
+	}
+}
+
+// TestRingHashStable pins the hash function itself: placement must agree
+// across processes, architectures, and releases, so the raw FNV-1a
+// values may never change.
+func TestRingHashStable(t *testing.T) {
+	// Reference values computed from the FNV-1a specification.
+	cases := map[string]uint64{
+		"":            0xcbf29ce484222325,
+		"a":           0xaf63dc4c8601ec8c,
+		"sha256:abcd": 0x35fa30ee15955b6c,
+	}
+	for in, want := range cases {
+		if got := ringHash(in); got != want {
+			t.Errorf("ringHash(%q) = %#x, want %#x", in, got, want)
+		}
+	}
+}

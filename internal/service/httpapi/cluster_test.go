@@ -1,0 +1,350 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service/registry"
+	"repro/internal/service/sched"
+	"repro/internal/trace"
+)
+
+// clusterNode is one in-process cluster member: a full server stack on a
+// real listener, because cluster routing talks real HTTP between nodes.
+type clusterNode struct {
+	addr string
+	sch  *sched.Scheduler
+	node *cluster.Node
+	api  *Server
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// newTestCluster boots size members on loopback listeners and returns
+// them ready to serve. Each node has its own registry, scheduler, trace
+// ring, and a distinct job-ID prefix, exactly like separate processes.
+func newTestCluster(t *testing.T, size int) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, size)
+	members := make([]string, size)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &clusterNode{ln: ln, addr: ln.Addr().String()}
+		members[i] = ln.Addr().String()
+	}
+	for i, cn := range nodes {
+		reg := registry.New(0, nil)
+		ring := trace.NewRing(64)
+		cn.sch = sched.New(sched.Config{Workers: 2, Traces: ring, IDPrefix: fmt.Sprintf("n%d-", i)})
+		node, err := cluster.New(cluster.Options{
+			Self:          cn.addr,
+			Members:       members,
+			Local:         sched.Local{Scheduler: cn.sch},
+			Graphs:        reg,
+			RequestID:     RequestID,
+			ProbeInterval: time.Hour, // health transitions are driven by forwards in these tests
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn.node = node
+		cn.api = New(reg, cn.sch, nil, Options{Traces: ring, Submitter: node, Cluster: node})
+		cn.srv = &http.Server{Handler: cn.api.Handler()}
+		go func(cn *clusterNode) { _ = cn.srv.Serve(cn.ln) }(cn)
+	}
+	t.Cleanup(func() {
+		for _, cn := range nodes {
+			cn.node.Close()
+			_ = cn.srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := cn.sch.Shutdown(ctx); err != nil {
+				t.Errorf("scheduler shutdown: %v", err)
+			}
+			cancel()
+		}
+	})
+	return nodes
+}
+
+// clusterDo sends one request to a specific node and decodes the JSON
+// response body into out (unless out is nil).
+func clusterDo(t *testing.T, addr, method, path, contentType string, body []byte, headers map[string]string, out any) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, "http://"+addr+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, path, buf.String(), err)
+		}
+	}
+	return resp, buf.Bytes()
+}
+
+// cycleGraphText builds the n-cycle upload body with a weight tweak so
+// different seeds of the generator produce different content hashes
+// (and therefore different owners). Minimum cut = 2*minWeight.
+func cycleGraphText(n int, minWeight int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cut %d %d\n", n, n)
+	for i := 0; i < n; i++ {
+		w := minWeight + int64(i%3)
+		fmt.Fprintf(&b, "e %d %d %d\n", i, (i+1)%n, w)
+	}
+	return b.String()
+}
+
+// uploadOwnedBy uploads generated graphs through via until one lands on
+// the wanted owner, returning its ID and its minimum cut value (2*w for
+// the w used). Placement is content-addressed, so the test varies content
+// until the hash falls in the right shard.
+func uploadOwnedBy(t *testing.T, nodes []*clusterNode, via, owner int) (string, int64) {
+	t.Helper()
+	for w := int64(1); w < 200; w++ {
+		gr := struct {
+			ID   string `json:"id"`
+			Node string `json:"node"`
+		}{}
+		resp, _ := clusterDo(t, nodes[via].addr, http.MethodPost, "/v1/graphs", "", []byte(cycleGraphText(8, w)), nil, &gr)
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			t.Fatalf("upload: status %d", resp.StatusCode)
+		}
+		if gr.Node == nodes[owner].addr {
+			return gr.ID, 2 * w
+		}
+	}
+	t.Fatal("no generated graph hashed onto the wanted owner")
+	return "", 0
+}
+
+// TestClusterSolveThroughAnyNode pins the cluster's result-neutrality
+// contract: the same solve through the owner and through a non-owner
+// returns byte-identical results, and responses report the owner as the
+// serving node.
+func TestClusterSolveThroughAnyNode(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	id, want := uploadOwnedBy(t, nodes, 0, 1) // stored on node 1, uploaded via node 0
+
+	var bodies []map[string]any
+	for _, via := range nodes {
+		jr := jobResponse{}
+		resp, raw := clusterDo(t, via.addr, http.MethodPost, "/v1/graphs/"+id+"/mincut", "application/json",
+			[]byte(`{"seed":1,"want_partition":true}`), nil, &jr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve via %s: status %d: %s", via.addr, resp.StatusCode, raw)
+		}
+		if jr.Value == nil || *jr.Value != want {
+			t.Fatalf("solve via %s: value %v, want %d", via.addr, jr.Value, want)
+		}
+		if jr.Node != nodes[1].addr {
+			t.Fatalf("solve via %s reported node %q, want owner %s", via.addr, jr.Node, nodes[1].addr)
+		}
+		if got := resp.Header.Get(cluster.NodeHeader); got != nodes[1].addr {
+			t.Fatalf("solve via %s: %s = %q, want owner", via.addr, cluster.NodeHeader, got)
+		}
+		if !strings.HasPrefix(jr.JobID, "n1-") {
+			t.Fatalf("job ID %q does not carry the owner's prefix", jr.JobID)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		// The owner legitimately reports a cache hit on the repeat solve;
+		// everything else must be identical through either entry node.
+		delete(m, "cached")
+		bodies = append(bodies, m)
+	}
+	if !reflect.DeepEqual(bodies[0], bodies[1]) {
+		t.Fatalf("solve responses differ by entry node:\n%v\n%v", bodies[0], bodies[1])
+	}
+
+	// The graph is visible through both nodes too.
+	for _, via := range nodes {
+		gr := graphResponse{}
+		resp, _ := clusterDo(t, via.addr, http.MethodGet, "/v1/graphs/"+id, "", nil, nil, &gr)
+		if resp.StatusCode != http.StatusOK || gr.ID != id || gr.Node != nodes[1].addr {
+			t.Fatalf("graph info via %s = (%d, %+v), want the owner's record", via.addr, resp.StatusCode, gr)
+		}
+	}
+}
+
+// TestClusterRequestIDInOwnerTrace: a solve forwarded by a non-owner
+// lands in the owner's trace ring carrying the original request ID and
+// the forwarding node, so a cross-node solve is debuggable end to end.
+func TestClusterRequestIDInOwnerTrace(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	id, _ := uploadOwnedBy(t, nodes, 0, 1)
+
+	jr := jobResponse{}
+	resp, _ := clusterDo(t, nodes[0].addr, http.MethodPost, "/v1/graphs/"+id+"/mincut", "application/json",
+		[]byte(`{"seed":3}`), map[string]string{"X-Request-Id": "rid-cross-node"}, &jr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d", resp.StatusCode)
+	}
+	_, raw := clusterDo(t, nodes[1].addr, http.MethodGet, "/v1/traces/"+jr.JobID, "", nil, nil, nil)
+	if !strings.Contains(string(raw), "rid-cross-node") {
+		t.Errorf("owner trace %s does not carry the forwarded request ID: %s", jr.JobID, raw)
+	}
+	if !strings.Contains(string(raw), nodes[0].addr) {
+		t.Errorf("owner trace %s does not name the forwarding node %s: %s", jr.JobID, nodes[0].addr, raw)
+	}
+}
+
+// TestClusterJobLookupAcrossNodes: job IDs are node-prefixed, and a job
+// status query through the wrong node falls back to the peer that minted
+// the ID.
+func TestClusterJobLookupAcrossNodes(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	id, _ := uploadOwnedBy(t, nodes, 0, 1)
+	jr := jobResponse{}
+	if resp, _ := clusterDo(t, nodes[1].addr, http.MethodPost, "/v1/graphs/"+id+"/mincut", "application/json",
+		[]byte(`{"seed":4}`), nil, &jr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d", resp.StatusCode)
+	}
+	got := jobResponse{}
+	resp, raw := clusterDo(t, nodes[0].addr, http.MethodGet, "/v1/jobs/"+jr.JobID, "", nil, nil, &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job lookup via non-owner: status %d: %s", resp.StatusCode, raw)
+	}
+	if got.JobID != jr.JobID || got.Status != string(sched.StateDone) {
+		t.Fatalf("job lookup via non-owner = %+v, want done job %s", got, jr.JobID)
+	}
+}
+
+// TestClusterBatchFanout: the multi-graph batch endpoint fans solves out
+// to each graph's owner concurrently and merges results in input order,
+// whichever node accepted the batch.
+func TestClusterBatchFanout(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	id0, want0 := uploadOwnedBy(t, nodes, 0, 0)
+	id1, want1 := uploadOwnedBy(t, nodes, 0, 1)
+	wants := map[string]int64{id0: want0, id1: want1}
+
+	req := fmt.Sprintf(`{"items":[{"graph_id":%q,"seed":1},{"graph_id":%q,"seed":1},{"graph_id":"sha256:missing","seed":1}]}`, id1, id0)
+	var out struct {
+		Results []clusterBatchEntry `json:"results"`
+	}
+	resp, raw := clusterDo(t, nodes[0].addr, http.MethodPost, "/v1/mincut:batch", "application/json", []byte(req), nil, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, raw)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(out.Results))
+	}
+	// In input order: remote graph first, local second, failure last.
+	if out.Results[0].GraphID != id1 || out.Results[0].Node != nodes[1].addr || out.Results[0].Status != "done" {
+		t.Errorf("entry 0 = %+v, want done on %s", out.Results[0], nodes[1].addr)
+	}
+	if out.Results[1].GraphID != id0 || out.Results[1].Node != nodes[0].addr || out.Results[1].Status != "done" {
+		t.Errorf("entry 1 = %+v, want done on %s", out.Results[1], nodes[0].addr)
+	}
+	for _, e := range out.Results[:2] {
+		if e.Value == nil || *e.Value != wants[e.GraphID] {
+			t.Errorf("entry %s value = %v, want %d", e.GraphID, e.Value, wants[e.GraphID])
+		}
+	}
+	if out.Results[2].Status == "done" || out.Results[2].Error == "" {
+		t.Errorf("entry 2 = %+v, want a per-item failure for the unknown graph", out.Results[2])
+	}
+}
+
+// TestClusterPeerDown: killing one node takes out exactly its shard —
+// solves for its graphs answer 502 through the survivor, solves for the
+// survivor's own graphs keep working.
+func TestClusterPeerDown(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	id0, want0 := uploadOwnedBy(t, nodes, 0, 0)
+	id1, _ := uploadOwnedBy(t, nodes, 0, 1)
+
+	_ = nodes[1].srv.Close()
+	nodes[1].ln.Close()
+
+	resp, raw := clusterDo(t, nodes[0].addr, http.MethodPost, "/v1/graphs/"+id1+"/mincut", "application/json", []byte(`{"seed":9}`), nil, nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("solve for dead shard: status %d, want 502: %s", resp.StatusCode, raw)
+	}
+	jr := jobResponse{}
+	if resp, _ := clusterDo(t, nodes[0].addr, http.MethodPost, "/v1/graphs/"+id0+"/mincut", "application/json", []byte(`{"seed":9}`), nil, &jr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve for surviving shard: status %d, want 200", resp.StatusCode)
+	}
+	if jr.Value == nil || *jr.Value != want0 {
+		t.Fatalf("surviving shard value = %v, want %d", jr.Value, want0)
+	}
+	// The failed forward gated the dead peer; metrics expose it.
+	_, metrics := clusterDo(t, nodes[0].addr, http.MethodGet, "/metrics", "", nil, nil, nil)
+	want := fmt.Sprintf("mincutd_cluster_peer_up{peer=%q} 0", nodes[1].addr)
+	if !strings.Contains(string(metrics), want) {
+		t.Errorf("metrics missing %q after forward failure", want)
+	}
+}
+
+// TestClusterBatchUploadSharding: a batch upload through one node spreads
+// graphs across shards by content hash and reports each item's node, in
+// input order.
+func TestClusterBatchUploadSharding(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	items := make([]string, 12)
+	for i := range items {
+		items[i] = fmt.Sprintf(`{"text":%q}`, cycleGraphText(8, int64(i+1)))
+	}
+	body := `{"graphs":[` + strings.Join(items, ",") + `]}`
+	var out struct {
+		Results []batchUploadEntry `json:"results"`
+	}
+	resp, raw := clusterDo(t, nodes[0].addr, http.MethodPost, "/v1/graphs:batch", "application/json", []byte(body), nil, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch upload: status %d: %s", resp.StatusCode, raw)
+	}
+	if len(out.Results) != len(items) {
+		t.Fatalf("batch upload returned %d results, want %d", len(out.Results), len(items))
+	}
+	seen := map[string]int{}
+	for i, e := range out.Results {
+		if e.Index != i || e.Status != "created" || e.ID == "" {
+			t.Fatalf("entry %d = %+v, want created in input order", i, e)
+		}
+		seen[e.Node]++
+		// The reported node must agree with the ring.
+		if want := nodes[0].node.Owner(e.ID); e.Node != want {
+			t.Errorf("entry %d stored on %q, ring says %q", i, e.Node, want)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("12 distinct graphs all hashed to one shard: %v", seen)
+	}
+	// Every graph is now retrievable through the non-uploading node too.
+	for _, e := range out.Results {
+		gr := graphResponse{}
+		if resp, _ := clusterDo(t, nodes[1].addr, http.MethodGet, "/v1/graphs/"+e.ID, "", nil, nil, &gr); resp.StatusCode != http.StatusOK {
+			t.Errorf("graph %s not reachable via node 1: status %d", e.ID, resp.StatusCode)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	parcut "repro"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/service/registry"
 	"repro/internal/service/sched"
@@ -47,12 +48,16 @@ const maxUploadBytes = 256 << 20
 
 // Server holds the service state behind the HTTP handlers.
 type Server struct {
-	reg      *registry.Registry
-	sch      *sched.Scheduler
-	st       *store.Store // nil when running memory-only; metrics only
-	traces   *trace.Ring  // nil when tracing is disabled; trace routes 404
-	log      *slog.Logger
-	version  string
+	reg     *registry.Registry
+	sch     *sched.Scheduler
+	sub     sched.Submitter // routing submitter: the cluster node, or local
+	local   sched.Submitter // always this node's scheduler
+	cluster *cluster.Node   // nil when running single-node
+	st      *store.Store    // nil when running memory-only; metrics only
+	traces  *trace.Ring     // nil when tracing is disabled; trace routes 404
+	log     *slog.Logger
+	version string
+
 	reqSeq   atomic.Int64
 	httpm    httpMetrics
 	draining atomic.Bool
@@ -69,6 +74,17 @@ type Options struct {
 	// Version is the build version reported by /healthz and the
 	// mincutd_build_info metric; "" means "dev".
 	Version string
+	// Submitter routes solve submissions; nil means the local scheduler.
+	// Cluster deployments pass the cluster.Node so submissions land on
+	// each graph's owning shard.
+	Submitter sched.Submitter
+	// Cluster, when non-nil, turns on the cluster router: graph-scoped
+	// requests this node does not own are forwarded to the owner, batch
+	// requests shard across the ring, and /healthz and /metrics grow
+	// cluster sections. Nil means single-node; the route table and wire
+	// formats are identical either way (cluster responses additionally
+	// carry "node" fields).
+	Cluster *cluster.Node
 }
 
 // New wires a server around the given registry and scheduler. st is the
@@ -81,22 +97,31 @@ func New(reg *registry.Registry, sch *sched.Scheduler, st *store.Store, opt Opti
 	if opt.Version == "" {
 		opt.Version = "dev"
 	}
-	return &Server{reg: reg, sch: sch, st: st, traces: opt.Traces, log: opt.Logger, version: opt.Version}
+	local := sched.Local{Scheduler: sch}
+	sub := opt.Submitter
+	if sub == nil {
+		sub = local
+	}
+	return &Server{
+		reg: reg, sch: sch, sub: sub, local: local, cluster: opt.Cluster,
+		st: st, traces: opt.Traces, log: opt.Logger, version: opt.Version,
+	}
 }
 
 // Handler returns the route table wrapped in the request middleware
 // (request IDs, access log, latency histogram).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
-	mux.HandleFunc("POST /v1/graphs:batch", s.handleUploadBatch)
-	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphInfo)
-	mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleDeleteGraph)
-	mux.HandleFunc("POST /v1/graphs/{id}/mincut", s.handleMinCut)
-	mux.HandleFunc("POST /v1/graphs/{id}/mincut:batch", s.handleMinCutBatch)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("POST /v1/graphs", s.routeUpload)
+	mux.HandleFunc("POST /v1/graphs:batch", s.routeUploadBatch)
+	mux.HandleFunc("GET /v1/graphs/{id}", s.routeGraph(s.handleGraphInfo))
+	mux.HandleFunc("DELETE /v1/graphs/{id}", s.routeGraph(s.handleDeleteGraph))
+	mux.HandleFunc("POST /v1/graphs/{id}/mincut", s.routeGraph(s.handleMinCut))
+	mux.HandleFunc("POST /v1/graphs/{id}/mincut:batch", s.routeGraph(s.handleMinCutBatch))
+	mux.HandleFunc("POST /v1/mincut:batch", s.handleClusterBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.routeJob(s.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.routeJob(s.handleJobEvents))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.routeJob(s.handleCancelJob))
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -105,10 +130,13 @@ func (s *Server) Handler() http.Handler {
 }
 
 // attachJobSpan links the HTTP request into job's trace: an "http" span
-// under the job root carrying the method, path, and request ID. The
-// returned func ends the span and releases the hold; it is a no-op when
-// the job is untraced or its trace already published (a cached hit).
-func attachJobSpan(r *http.Request, job *sched.Job) func() {
+// under the job root carrying the method, path, and request ID — and,
+// for requests another cluster node forwarded here, the origin node, so
+// a cross-node solve is linked back to its entry point. The returned
+// func ends the span and releases the hold; it is a no-op when the job
+// is untraced, its trace already published (a cached hit), or the job
+// runs on another node (remote handles carry no local span).
+func attachJobSpan(r *http.Request, job sched.Handle) func() {
 	sp := job.TraceSpan()
 	rec := sp.Recorder()
 	if !sp.Active() || !rec.Hold() {
@@ -117,6 +145,9 @@ func attachJobSpan(r *http.Request, job *sched.Job) func() {
 	hsp := sp.Child("http").Attr("method", r.Method).Attr("path", r.URL.Path)
 	if rid := RequestID(r.Context()); rid != "" {
 		hsp.Attr("request_id", rid)
+	}
+	if origin := r.Header.Get(cluster.ForwardedFromHeader); origin != "" {
+		hsp.Attr("origin_node", origin)
 	}
 	return func() {
 		hsp.End()
@@ -181,6 +212,8 @@ type graphResponse struct {
 	M       int    `json:"m"`
 	Bytes   int64  `json:"bytes"`
 	Existed bool   `json:"existed,omitempty"`
+	// Node is the cluster member holding the graph; omitted single-node.
+	Node string `json:"node,omitempty"`
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -218,7 +251,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if existed {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, graphResponse{ID: info.ID, N: info.N, M: info.M, Bytes: info.Bytes, Existed: existed})
+	writeJSON(w, code, graphResponse{ID: info.ID, N: info.N, M: info.M, Bytes: info.Bytes, Existed: existed, Node: s.nodeName()})
 }
 
 // maxBatchUploadItems caps how many graphs one batch upload may carry.
@@ -248,7 +281,10 @@ type batchUploadEntry struct {
 	N      int    `json:"n,omitempty"`
 	M      int    `json:"m,omitempty"`
 	Bytes  int64  `json:"bytes,omitempty"`
-	Error  string `json:"error,omitempty"`
+	// Node is the cluster member the graph was stored on; omitted
+	// single-node.
+	Node  string `json:"node,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // handleUploadBatch ingests many graphs in one round trip — the bulk
@@ -292,15 +328,16 @@ func (s *Server) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 		graphs = append(graphs, g)
 		graphIdx = append(graphIdx, i)
 	}
+	node := s.nodeName()
 	for k, br := range s.reg.PutGraphBatch(graphs) {
 		i := graphIdx[k]
 		switch {
 		case br.Err != nil:
 			results[i] = batchUploadEntry{Index: i, Status: "failed", Error: br.Err.Error()}
 		case br.Existed:
-			results[i] = batchUploadEntry{Index: i, Status: "existed", ID: br.Info.ID, N: br.Info.N, M: br.Info.M, Bytes: br.Info.Bytes}
+			results[i] = batchUploadEntry{Index: i, Status: "existed", ID: br.Info.ID, N: br.Info.N, M: br.Info.M, Bytes: br.Info.Bytes, Node: node}
 		default:
-			results[i] = batchUploadEntry{Index: i, Status: "created", ID: br.Info.ID, N: br.Info.N, M: br.Info.M, Bytes: br.Info.Bytes}
+			results[i] = batchUploadEntry{Index: i, Status: "created", ID: br.Info.ID, N: br.Info.N, M: br.Info.M, Bytes: br.Info.Bytes, Node: node}
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
@@ -348,7 +385,7 @@ func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown graph %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, graphResponse{ID: info.ID, N: info.N, M: info.M, Bytes: info.Bytes})
+	writeJSON(w, http.StatusOK, graphResponse{ID: info.ID, N: info.N, M: info.M, Bytes: info.Bytes, Node: s.nodeName()})
 }
 
 // handleDeleteGraph removes a graph everywhere it lives: the in-memory
@@ -367,10 +404,14 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown graph %q", id)
 		return
 	}
-	invalidated := s.sch.InvalidateGraph(id)
-	writeJSON(w, http.StatusOK, map[string]any{
+	invalidated := s.sub.InvalidateGraph(id)
+	resp := map[string]any{
 		"id": id, "deleted": true, "invalidated_results": invalidated,
-	})
+	}
+	if node := s.nodeName(); node != "" {
+		resp["node"] = node
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // mincutRequest selects solver options; zero values are valid defaults.
@@ -417,7 +458,9 @@ type jobResponse struct {
 	Phase    string                   `json:"phase,omitempty"`
 	Progress *parcut.ProgressSnapshot `json:"progress,omitempty"`
 	Fraction *float64                 `json:"fraction,omitempty"`
-	Error    string                   `json:"error,omitempty"`
+	// Node is the cluster member the job ran on; omitted single-node.
+	Node  string `json:"node,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // submitErr maps a Submit failure to its HTTP response. Queue-pressure
@@ -489,7 +532,8 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		ParallelPhases: req.ParallelPhases,
 		Engine:         eng.Name(),
 	}}
-	job, hit, err := s.sch.Submit(key, g, sched.SubmitOpts{Class: class, Detached: req.Async})
+	sub := s.submitterFor(r)
+	job, hit, err := sub.Submit(r.Context(), key, g, sched.SubmitOpts{Class: class, Detached: req.Async})
 	if err != nil {
 		submitErr(w, err)
 		return
@@ -497,10 +541,10 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 	detach := attachJobSpan(r, job)
 	defer detach()
 	if req.Async {
-		st, _ := s.sch.Job(job.ID())
+		st, _ := sub.Job(job.ID())
 		writeJSON(w, http.StatusAccepted, jobResponse{
 			JobID: job.ID(), GraphID: id, Status: string(st.State), Class: string(st.Class),
-			Engine: st.Engine, Cached: hit, Fanout: job.Fanout(),
+			Engine: st.Engine, Cached: hit, Fanout: job.Fanout(), Node: s.nodeName(),
 		})
 		return
 	}
@@ -510,7 +554,7 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
 		defer cancel()
 	}
-	res, err := s.sch.Wait(ctx, job)
+	res, err := job.Wait(ctx)
 	if err != nil {
 		code := http.StatusInternalServerError
 		switch {
@@ -530,6 +574,7 @@ func (s *Server) handleMinCut(w http.ResponseWriter, r *http.Request) {
 		JobID: job.ID(), GraphID: id, Status: string(sched.StateDone), Class: string(class),
 		Engine: eng.Name(), Cached: hit,
 		Value: &res.Value, InCut: res.InCut, TreesScanned: res.TreesScanned, Fanout: job.Fanout(),
+		Node: s.nodeName(),
 	})
 }
 
@@ -639,8 +684,9 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	submitter := s.submitterFor(r)
 	type submission struct {
-		job *sched.Job
+		job sched.Handle
 		hit bool
 		err error
 	}
@@ -653,7 +699,7 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 			ParallelPhases: req.ParallelPhases,
 			Engine:         eng.Name(),
 		}}
-		subs[i].job, subs[i].hit, subs[i].err = s.sch.Submit(key, g, sched.SubmitOpts{Class: class})
+		subs[i].job, subs[i].hit, subs[i].err = submitter.Submit(r.Context(), key, g, sched.SubmitOpts{Class: class})
 	}
 
 	ctx := r.Context()
@@ -678,7 +724,7 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 			entry.Cached = sub.hit
 			entry.Fanout = sub.job.Fanout()
 			detach := attachJobSpan(r, sub.job)
-			res, err := s.sch.Wait(ctx, sub.job)
+			res, err := sub.job.Wait(ctx)
 			detach()
 			if err != nil {
 				entry.Status = "unfinished"
@@ -707,14 +753,14 @@ func (s *Server) handleMinCutBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	st, ok := s.sch.Job(id)
+	st, ok := s.sub.Job(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	resp := jobResponse{
 		JobID: st.ID, GraphID: st.GraphID, Status: string(st.State), Class: string(st.Class),
-		Engine: st.Engine, Fanout: st.Fanout, Error: st.Err,
+		Engine: st.Engine, Fanout: st.Fanout, Error: st.Err, Node: s.nodeName(),
 	}
 	fraction := st.Fraction
 	resp.Fraction = &fraction
@@ -789,11 +835,11 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, ok := s.sch.Job(id); !ok {
+	if _, ok := s.sub.Job(id); !ok {
 		writeErr(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	canceled := s.sch.Cancel(id)
+	canceled := s.sub.Cancel(id)
 	writeJSON(w, http.StatusOK, map[string]any{"job_id": id, "canceled": canceled})
 }
 
@@ -802,11 +848,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]string{
+	resp := map[string]any{
 		"status":     status,
 		"version":    s.version,
 		"go_version": runtime.Version(),
-	})
+	}
+	if s.cluster != nil {
+		st := s.cluster.Stats()
+		peers := make([]map[string]any, 0, len(st.Peers))
+		for _, p := range st.Peers {
+			peers = append(peers, map[string]any{"addr": p.Addr, "up": p.Up})
+		}
+		resp["cluster"] = map[string]any{
+			"self":    st.Self,
+			"members": st.Members,
+			"vnodes":  st.VNodes,
+			"peers":   peers,
+		}
+	}
+	writeJSON(w, code, resp)
 }
 
 // handleMetrics renders the scheduler and registry counters in Prometheus
@@ -956,6 +1016,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("mincutd_store_puts_total", "Graphs durably committed to disk.", ss.Puts)
 		counter("mincutd_store_deletes_total", "Graphs tombstoned on disk.", ss.Deletes)
 		counter("mincutd_store_fsyncs_total", "Fsync barriers issued by the commit protocol (group commit amortizes these over batches).", ss.Syncs)
+	}
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		fmt.Fprintf(&b, "# HELP mincutd_cluster_members Static cluster member count this node's ring was built over.\n# TYPE mincutd_cluster_members gauge\n")
+		fmt.Fprintf(&b, "mincutd_cluster_members{node=%q} %d\n", cs.Self, len(cs.Members))
+		fmt.Fprintf(&b, "# HELP mincutd_cluster_ring_vnodes Virtual nodes per member on the placement ring.\n# TYPE mincutd_cluster_ring_vnodes gauge\n")
+		fmt.Fprintf(&b, "mincutd_cluster_ring_vnodes{node=%q} %d\n", cs.Self, cs.VNodes)
+		fmt.Fprintf(&b, "# HELP mincutd_cluster_peer_up Peer health gate: 1 while forwards are allowed, 0 while the peer is marked down.\n# TYPE mincutd_cluster_peer_up gauge\n")
+		for _, p := range cs.Peers {
+			up := 0
+			if p.Up {
+				up = 1
+			}
+			fmt.Fprintf(&b, "mincutd_cluster_peer_up{peer=%q} %d\n", p.Addr, up)
+		}
+		fmt.Fprintf(&b, "# HELP mincutd_cluster_forwarded_total Requests forwarded to a peer (counted once per request, not per retry).\n# TYPE mincutd_cluster_forwarded_total counter\n")
+		for _, p := range cs.Peers {
+			fmt.Fprintf(&b, "mincutd_cluster_forwarded_total{peer=%q} %d\n", p.Addr, p.Forwarded)
+		}
+		fmt.Fprintf(&b, "# HELP mincutd_cluster_forward_failed_total Forwards that failed after retries or were gated by peer health.\n# TYPE mincutd_cluster_forward_failed_total counter\n")
+		for _, p := range cs.Peers {
+			fmt.Fprintf(&b, "mincutd_cluster_forward_failed_total{peer=%q} %d\n", p.Addr, p.Failed)
+		}
 	}
 	_, _ = io.WriteString(w, b.String())
 }

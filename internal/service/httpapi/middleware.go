@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // ctxKey keys httpapi's context values.
@@ -62,6 +64,11 @@ func (s *Server) middleware(mux *http.ServeMux) http.Handler {
 			rid = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
 		}
 		w.Header().Set("X-Request-Id", rid)
+		if s.cluster != nil {
+			// Stamp which node handled this; a proxied response overwrites
+			// it with the owner's stamp, so clients see who really served.
+			w.Header().Set(cluster.NodeHeader, s.cluster.Self())
+		}
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
 		// Resolve the route pattern up front: ServeMux hands handlers a
 		// shallow copy of the request, so a pattern set during dispatch

@@ -250,6 +250,20 @@ type BatchResult struct {
 	Err     error
 }
 
+// GraphID computes the content-addressed registry ID g would be stored
+// under — "sha256:" + hex digest of the canonical serialization — without
+// storing anything. The cluster router uses it to place a graph on its
+// owning node before (and instead of) a local Put; the ID it returns is
+// bit-for-bit the one the owning node's registry will assign, because
+// both hash the same canonical form.
+func GraphID(g *parcut.Graph) (string, error) {
+	h := sha256.New()
+	if err := g.Canonical().Write(h); err != nil {
+		return "", fmt.Errorf("registry: canonicalize: %v", err)
+	}
+	return IDPrefix + hex.EncodeToString(h.Sum(nil)), nil
+}
+
 // hashGraph canonicalizes g and computes its content-addressed Info.
 func (r *Registry) hashGraph(g *parcut.Graph) (*parcut.Graph, Info, error) {
 	g = g.Canonical()

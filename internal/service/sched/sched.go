@@ -151,9 +151,10 @@ type fanout struct {
 // mutex; Done is closed exactly once when the job reaches a terminal
 // state.
 type Job struct {
-	id  string
-	key Key
-	g   *parcut.Graph
+	id    string
+	key   Key
+	g     *parcut.Graph
+	owner *Scheduler // the scheduler that created the job; Handle.Wait needs it
 
 	class    Class
 	prio     int           // graph edge count; smaller solves first within a class
@@ -340,6 +341,12 @@ type Config struct {
 	// Logger receives the scheduler's structured logs (currently the
 	// slow-solve lines). nil means slog.Default().
 	Logger *slog.Logger
+	// IDPrefix is prepended to every job ID this scheduler mints. Single
+	// instances leave it empty ("job-7"); cluster nodes set a per-node
+	// prefix ("a1b2-job-7") so job IDs are unique across the cluster and
+	// a job lookup that misses locally can be forwarded to peers without
+	// ambiguity.
+	IDPrefix string
 }
 
 // Scheduler owns the worker pool, the priority queue, and the result
@@ -356,6 +363,7 @@ type Scheduler struct {
 	traces       *trace.Ring
 	slowSolve    time.Duration
 	log          *slog.Logger
+	idPrefix     string
 
 	baseCtx    context.Context
 	cancelBase context.CancelCauseFunc
@@ -420,6 +428,7 @@ func New(cfg Config) *Scheduler {
 		traces:       cfg.Traces,
 		slowSolve:    cfg.SlowSolve,
 		log:          cfg.Logger,
+		idPrefix:     cfg.IDPrefix,
 		baseCtx:      ctx,
 		cancelBase:   cancel,
 		byID:         make(map[string]*Job),
@@ -542,9 +551,10 @@ func (s *Scheduler) newJobLocked(key Key, g *parcut.Graph, class Class, detached
 	s.nextSeq++
 	jctx, jcancel := context.WithCancelCause(s.baseCtx)
 	j := &Job{
-		id:       fmt.Sprintf("job-%d", s.nextSeq),
+		id:       fmt.Sprintf("%sjob-%d", s.idPrefix, s.nextSeq),
 		key:      key,
 		g:        g,
+		owner:    s,
 		class:    class,
 		prio:     g.M(),
 		seq:      s.nextSeq,

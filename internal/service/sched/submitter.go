@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"context"
+
+	parcut "repro"
+	"repro/internal/trace"
+)
+
+// Handle is the transport-agnostic view of a submitted job: enough to
+// identify it, wait for its result, and hang an HTTP span off its trace.
+// A local handle is a *Job; a remote handle (internal/cluster) wraps an
+// in-flight HTTP request to the owning node. Callers that received an
+// attached handle must call Wait exactly once, whatever the transport.
+type Handle interface {
+	// ID is the job identifier on the node that runs the job. Remote
+	// handles may not know it until Wait returns.
+	ID() string
+	// Fanout is the number of sub-jobs a boosted solve was decomposed
+	// into (0 for ordinary jobs; remote handles learn it at Wait).
+	Fanout() int
+	// TraceSpan is the job's root span; the zero SpanRef (always returned
+	// by remote handles — the span tree lives on the owning node) makes
+	// every span operation a no-op.
+	TraceSpan() trace.SpanRef
+	// Wait blocks until the job finishes or ctx is done. Abandoning the
+	// wait cancels the job if nobody else is attached to it.
+	Wait(ctx context.Context) (parcut.Result, error)
+}
+
+// Submitter is the transport-agnostic job-submission seam: everything the
+// HTTP layer needs from "whatever runs solves", with no commitment to
+// where they run. *Scheduler implements it (through the Local adapter)
+// for the single-process service; internal/cluster's Node implements it
+// by consistent-hash routing between the local scheduler and remote
+// peers, so local and remote jobs are the same object to the API layer.
+type Submitter interface {
+	// Submit schedules a solve of the graph registered under key.GraphID
+	// (g may carry the parsed graph when the caller already holds it; a
+	// routing submitter fetches it itself when nil) or joins an
+	// equivalent in-flight or cached job. The boolean reports a cache
+	// hit. ctx bounds the submission itself, not the solve: local
+	// admission never blocks and ignores it, remote submission uses it
+	// for the proxied request.
+	Submit(ctx context.Context, key Key, g *parcut.Graph, opts SubmitOpts) (Handle, bool, error)
+	// Job returns a status snapshot of a job this submitter knows about.
+	Job(id string) (Status, bool)
+	// Cancel aborts a queued or running job, reporting whether it existed
+	// and was still cancelable.
+	Cancel(id string) bool
+	// InvalidateGraph drops every cached result for the graph so a
+	// re-upload of the same content cannot be served stale cuts; it
+	// returns how many cache keys were dropped.
+	InvalidateGraph(graphID string) int
+}
+
+// Local adapts a *Scheduler's concrete API to the Submitter seam. It is
+// what single-process deployments use directly, and what the cluster
+// node uses for the shard it owns.
+type Local struct{ *Scheduler }
+
+// Submit implements Submitter by delegating to the scheduler. Admission
+// is non-blocking, so ctx is intentionally unused; the returned handle's
+// Wait is where cancellation and deadlines apply.
+func (l Local) Submit(_ context.Context, key Key, g *parcut.Graph, opts SubmitOpts) (Handle, bool, error) {
+	j, hit, err := l.Scheduler.Submit(key, g, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return j, hit, nil
+}
+
+// Wait implements Handle: it blocks until the job finishes or ctx is
+// done, unregistering this waiter either way (the last waiter to give up
+// on a non-detached job cancels it).
+func (j *Job) Wait(ctx context.Context) (parcut.Result, error) {
+	return j.owner.Wait(ctx, j)
+}
+
+// compile-time checks: the scheduler side satisfies the seam.
+var (
+	_ Submitter = Local{}
+	_ Handle    = (*Job)(nil)
+)

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestIDPrefix pins the cluster-wide job-ID contract: a scheduler given
+// an IDPrefix mints every job ID under it, and the default prefix is
+// empty (single-node IDs stay "job-N"). Cross-node job lookup routes by
+// this prefix, so it may never silently change.
+func TestIDPrefix(t *testing.T) {
+	s := New(Config{Workers: 1, IDPrefix: "n7-"})
+	defer shutdown(t, s)
+	j, _, err := s.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(j.ID(), "n7-job-") {
+		t.Fatalf("job ID %q does not carry the configured prefix", j.ID())
+	}
+
+	plain := New(Config{Workers: 1})
+	defer shutdown(t, plain)
+	pj, _, err := plain.Submit(Key{GraphID: "g", Opt: SolveOptions{Seed: 1}}, cycle(t, 8), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pj.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(pj.ID(), "job-") {
+		t.Fatalf("unprefixed scheduler minted %q, want job-N", pj.ID())
+	}
+}
+
+// TestLocalAdapter pins the Submitter seam the cluster layer builds on:
+// Local{Scheduler} routes Submit/Job/Cancel/InvalidateGraph through the
+// scheduler unchanged, handles returned through the seam Wait like the
+// concrete jobs they wrap, and the cache-hit boolean survives the
+// adapter.
+func TestLocalAdapter(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	var sub Submitter = Local{Scheduler: s}
+
+	key := Key{GraphID: "g", Opt: SolveOptions{Seed: 5}}
+	h, hit, err := sub.Submit(context.Background(), key, cycle(t, 8), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first submit reported a cache hit")
+	}
+	res, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cycle's two lightest edges both weigh 2.
+	if res.Value != 4 {
+		t.Fatalf("cut value %d, want 4", res.Value)
+	}
+
+	if _, ok := sub.Job(h.ID()); !ok {
+		t.Fatalf("seam lost job %q", h.ID())
+	}
+	h2, hit, err := sub.Submit(context.Background(), key, cycle(t, 8), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || h2.ID() != h.ID() {
+		t.Fatalf("repeat submit = (%q, hit=%v), want cached %q", h2.ID(), hit, h.ID())
+	}
+	if _, err := h2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := sub.InvalidateGraph("g"); n == 0 {
+		t.Fatal("InvalidateGraph dropped no cached results")
+	}
+	if sub.Cancel(h.ID()) {
+		t.Fatal("Cancel reported success on a finished job")
+	}
+}

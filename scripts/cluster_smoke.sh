@@ -1,0 +1,199 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end check of sharded cluster mode against
+# three real daemons. It boots a 3-node cluster, then asserts that
+#
+#   * all three nodes see each other as healthy peers,
+#   * uploads through one node spread across shards by content hash, and
+#     each response names the owning node,
+#   * the same solve through two different non-owner nodes returns an
+#     identical cut value and partition, stamped with the owner's
+#     address (result neutrality: the entry node never matters),
+#   * an X-Request-Id sent through a non-owner lands in the OWNER's
+#     trace for the job, together with the forwarding node's address,
+#   * the multi-graph batch endpoint fans out across shards and merges
+#     results in input order,
+#   * /metrics on a forwarding node carries the cluster families,
+#   * kill -9 of one node takes out exactly its shard: solves for its
+#     graphs answer 502 through a survivor while other shards keep
+#     working,
+#   * the survivors shut down cleanly on SIGTERM.
+#
+# Runs in CI and locally: ./scripts/cluster_smoke.sh
+set -euo pipefail
+
+PORTS=(18390 18391 18392)
+WORKDIR="$(mktemp -d)"
+PIDS=()
+
+addr() { echo "127.0.0.1:$1"; }
+base() { echo "http://127.0.0.1:$1"; }
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    [[ -n "${pid}" ]] && kill -9 "${pid}" 2>/dev/null || true
+  done
+  rm -rf "${WORKDIR}"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  for port in "${PORTS[@]}"; do
+    echo "--- mincutd ${port} log ---" >&2
+    cat "${WORKDIR}/${port}.log" >&2 || true
+  done
+  exit 1
+}
+
+json_field() {
+  grep -o "\"$1\":[^,}]*" | head -n1 | sed 's/^[^:]*://; s/^"//; s/"$//'
+}
+
+cd "$(dirname "$0")/.."
+echo "== building mincutd"
+go build -o "${WORKDIR}/mincutd" ./cmd/mincutd
+
+PEERS="$(addr "${PORTS[0]}"),$(addr "${PORTS[1]}"),$(addr "${PORTS[2]}")"
+echo "== starting 3-node cluster (${PEERS})"
+for port in "${PORTS[@]}"; do
+  "${WORKDIR}/mincutd" -addr "$(addr "${port}")" -advertise "$(addr "${port}")" \
+    -peers "${PEERS}" -peer-probe-interval 200ms -workers 2 \
+    -trace-buffer 64 -log-format json >>"${WORKDIR}/${port}.log" 2>&1 &
+  PIDS+=($!)
+done
+for i in "${!PORTS[@]}"; do
+  port="${PORTS[$i]}"
+  for _ in $(seq 1 100); do
+    curl -fsS "$(base "${port}")/healthz" >/dev/null 2>&1 && break
+    kill -0 "${PIDS[$i]}" 2>/dev/null || fail "node ${port} died during startup"
+    sleep 0.1
+  done
+  curl -fsS "$(base "${port}")/healthz" >/dev/null || fail "node ${port} never became healthy"
+done
+
+echo "== waiting for peer probes to mark everyone up"
+for _ in $(seq 1 50); do
+  UP=$(curl -fsS "$(base "${PORTS[0]}")/healthz" | grep -o '"up":true' | wc -l)
+  [[ "${UP}" -ge 2 ]] && break
+  sleep 0.1
+done
+[[ "${UP}" -ge 2 ]] || fail "node ${PORTS[0]} never saw both peers healthy"
+
+# An 8-vertex weighted cycle; varying the base weight w changes the
+# content hash (steering placement) and the answer (min cut = 2*w, the
+# two cheapest edges).
+graph() {
+  local w=$1 n=8 i
+  echo "p cut ${n} ${n}"
+  for ((i = 0; i < n; i++)); do
+    echo "e ${i} $(((i + 1) % n)) $((w + i % 3))"
+  done
+}
+
+# Upload graphs through node A until content hashing lands one on the
+# node we will kill and one on a different (safe) node.
+KILL_ADDR="$(addr "${PORTS[2]}")"
+ID_KILL="" ID_SAFE="" SAFE_ADDR="" WANT_KILL="" WANT_SAFE=""
+echo "== uploading through node A until two shards are populated"
+for w in $(seq 1 60); do
+  RESP=$(graph "${w}" | curl -fsS -X POST --data-binary @- "$(base "${PORTS[0]}")/v1/graphs")
+  ID=$(echo "${RESP}" | json_field id)
+  NODE=$(echo "${RESP}" | json_field node)
+  [[ "$ID" == sha256:* && -n "${NODE}" ]] || fail "bad upload response: ${RESP}"
+  if [[ -z "${ID_KILL}" && "${NODE}" == "${KILL_ADDR}" ]]; then
+    ID_KILL="${ID}" WANT_KILL=$((2 * w))
+  elif [[ -z "${ID_SAFE}" && "${NODE}" != "${KILL_ADDR}" ]]; then
+    ID_SAFE="${ID}" SAFE_ADDR="${NODE}" WANT_SAFE=$((2 * w))
+  fi
+  [[ -n "${ID_KILL}" && -n "${ID_SAFE}" ]] && break
+done
+[[ -n "${ID_KILL}" && -n "${ID_SAFE}" ]] || fail "60 uploads never covered two shards"
+echo "   shard ${KILL_ADDR}: ${ID_KILL} (cut ${WANT_KILL}); shard ${SAFE_ADDR}: ${ID_SAFE} (cut ${WANT_SAFE})"
+
+echo "== solving the same graph through two non-owner nodes"
+declare -A VAL CUT NODEF
+for port in "${PORTS[1]}" "${PORTS[2]}"; do
+  RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"seed": 7, "want_partition": true}' "$(base "${port}")/v1/graphs/${ID_SAFE}/mincut")
+  echo "${RESP}" | grep -q '"status":"done"' || fail "solve via ${port} did not finish: ${RESP}"
+  VAL[$port]=$(echo "${RESP}" | json_field value)
+  CUT[$port]=$(echo "${RESP}" | grep -o '"in_cut":\[[^]]*\]')
+  NODEF[$port]=$(echo "${RESP}" | json_field node)
+done
+[[ "${VAL[${PORTS[1]}]}" == "${WANT_SAFE}" ]] ||
+  fail "solve returned ${VAL[${PORTS[1]}]}, want ${WANT_SAFE}"
+[[ "${VAL[${PORTS[1]}]}" == "${VAL[${PORTS[2]}]}" ]] ||
+  fail "cut value differs by entry node: ${VAL[${PORTS[1]}]} vs ${VAL[${PORTS[2]}]}"
+[[ -n "${CUT[${PORTS[1]}]}" && "${CUT[${PORTS[1]}]}" == "${CUT[${PORTS[2]}]}" ]] ||
+  fail "partition differs by entry node"
+[[ "${NODEF[${PORTS[1]}]}" == "${SAFE_ADDR}" && "${NODEF[${PORTS[2]}]}" == "${SAFE_ADDR}" ]] ||
+  fail "solve responses name ${NODEF[${PORTS[1]}]}/${NODEF[${PORTS[2]}]}, want owner ${SAFE_ADDR}"
+
+echo "== checking a forwarded X-Request-Id lands in the owner's trace"
+# Fresh seed so the solve cannot be served from cache (a cache hit would
+# reuse an old job whose trace predates this request ID).
+RID="rid-cluster-smoke-$$"
+VIA_PORT="${PORTS[1]}"
+[[ "${SAFE_ADDR}" == "$(addr "${VIA_PORT}")" ]] && VIA_PORT="${PORTS[2]}"
+RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' -H "X-Request-Id: ${RID}" \
+  -d '{"seed": 99}' "$(base "${VIA_PORT}")/v1/graphs/${ID_SAFE}/mincut")
+JOB=$(echo "${RESP}" | json_field job_id)
+[[ -n "${JOB}" ]] || fail "no job_id in forwarded solve: ${RESP}"
+OWNER_BASE="http://${SAFE_ADDR}"
+TRACE=$(curl -fsS "${OWNER_BASE}/v1/traces/${JOB}")
+echo "${TRACE}" | grep -q "${RID}" ||
+  fail "owner trace for ${JOB} lacks the forwarded request id ${RID}: ${TRACE}"
+echo "${TRACE}" | grep -q "$(addr "${VIA_PORT}")" ||
+  fail "owner trace for ${JOB} lacks the forwarding node: ${TRACE}"
+
+echo "== multi-graph batch through node B fans out and merges in order"
+BATCH=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"items\":[{\"graph_id\":\"${ID_KILL}\",\"seed\":7},{\"graph_id\":\"${ID_SAFE}\",\"seed\":7}]}" \
+  "$(base "${PORTS[1]}")/v1/mincut:batch")
+FIRST=$(echo "${BATCH}" | grep -o '"graph_id":"[^"]*"' | head -n1 | sed 's/"graph_id"://; s/"//g')
+[[ "${FIRST}" == "${ID_KILL}" ]] || fail "batch results out of input order: ${BATCH}"
+echo "${BATCH}" | grep -q "\"node\":\"${KILL_ADDR}\"" || fail "batch lacks shard ${KILL_ADDR}: ${BATCH}"
+echo "${BATCH}" | grep -q "\"node\":\"${SAFE_ADDR}\"" || fail "batch lacks shard ${SAFE_ADDR}: ${BATCH}"
+echo "${BATCH}" | grep -q "\"value\":${WANT_KILL}[,}]" || fail "batch lacks cut ${WANT_KILL}: ${BATCH}"
+echo "${BATCH}" | grep -q "\"value\":${WANT_SAFE}[,}]" || fail "batch lacks cut ${WANT_SAFE}: ${BATCH}"
+
+echo "== checking the cluster metric families on node A"
+METRICS=$(curl -fsS "$(base "${PORTS[0]}")/metrics")
+for want in \
+  'mincutd_cluster_members' \
+  'mincutd_cluster_ring_vnodes' \
+  "mincutd_cluster_peer_up{peer=\"${KILL_ADDR}\"} 1" \
+  'mincutd_cluster_forwarded_total'; do
+  echo "${METRICS}" | grep -qF "${want}" || fail "/metrics lacks ${want}"
+done
+
+echo "== kill -9 node C: exactly its shard goes 502"
+kill -9 "${PIDS[2]}"
+wait "${PIDS[2]}" 2>/dev/null || true
+PIDS[2]=""
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d '{"seed": 11}' "$(base "${PORTS[0]}")/v1/graphs/${ID_KILL}/mincut")
+[[ "${CODE}" == "502" ]] || fail "dead shard solve returned ${CODE}, want 502"
+RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"seed": 11}' "$(base "${PORTS[0]}")/v1/graphs/${ID_SAFE}/mincut")
+echo "${RESP}" | grep -q "\"value\":${WANT_SAFE}[,}]" ||
+  fail "surviving shard broken after peer death: ${RESP}"
+
+echo "== waiting for probes to gate the dead peer in /metrics"
+for _ in $(seq 1 50); do
+  curl -fsS "$(base "${PORTS[0]}")/metrics" |
+    grep -qF "mincutd_cluster_peer_up{peer=\"${KILL_ADDR}\"} 0" && break
+  sleep 0.1
+done
+curl -fsS "$(base "${PORTS[0]}")/metrics" |
+  grep -qF "mincutd_cluster_peer_up{peer=\"${KILL_ADDR}\"} 0" ||
+  fail "dead peer never marked down in /metrics"
+
+echo "== graceful shutdown of the survivors"
+for i in 0 1; do
+  kill -TERM "${PIDS[$i]}"
+  wait "${PIDS[$i]}" || fail "node ${PORTS[$i]} exited uncleanly on SIGTERM"
+  PIDS[$i]=""
+done
+
+echo "PASS: cluster smoke"
