@@ -8,9 +8,11 @@
 //
 // Algorithms are the registered solve engines plus two conveniences:
 // geissmann (the paper's parallel algorithm; "parcut" is an alias, the
-// default), stoerwagner (exact deterministic O(n³)), kargerstein (Monte
-// Carlo recursive contraction), auto (pick by graph size; the chosen
-// engine is printed), and brute (exhaustive, n ≤ 24 — not an engine).
+// default), andersonblelloch (the same packing searched with the
+// Anderson–Blelloch scan; bit-identical values), stoerwagner (exact
+// deterministic O(n³)), kargerstein (Monte Carlo recursive contraction),
+// auto (pick by graph size; the chosen engine is printed), and brute
+// (exhaustive, n ≤ 24 — not an engine).
 package main
 
 import (
@@ -34,7 +36,7 @@ func main() {
 	in := flag.String("in", "", "input graph file (- for stdin)")
 	genSpec := flag.String("gen", "", "generate the input instead (see graphgen -spec)")
 	seed := flag.Int64("seed", 1, "random seed")
-	algo := flag.String("algo", "parcut", "parcut (= geissmann) | stoerwagner | kargerstein | auto | brute")
+	algo := flag.String("algo", "parcut", "parcut (= geissmann) | andersonblelloch | stoerwagner | kargerstein | auto | brute")
 	partition := flag.Bool("partition", false, "print one side of the cut")
 	stats := flag.Bool("stats", false, "print work/depth model statistics (parcut only)")
 	flag.Parse()

@@ -606,9 +606,10 @@ func expEngines() {
 	// the large cells pointless (and slow) for them — the crossover they
 	// calibrate sits well below the cap.
 	engineMaxN := map[string]int{
-		"geissmann":   1 << 30,
-		"stoerwagner": 1024,
-		"kargerstein": 256,
+		"geissmann":        1 << 30,
+		"andersonblelloch": 1 << 30,
+		"stoerwagner":      1024,
+		"kargerstein":      256,
 	}
 	type row struct {
 		Family string  `json:"family"`
@@ -662,9 +663,12 @@ func expEngines() {
 			}
 		}
 	}
-	// Crossover per family: the largest n where the exact baseline still
-	// beat the paper engine (0 when it never did on the measured grid).
-	crossover := func(family string) int {
+	// Crossovers per family, both derived the same way: the largest n where
+	// the first engine still beat the second (0 when it never did on the
+	// measured grid). stoerwagner-vs-geissmann calibrates when to leave the
+	// exact baseline; geissmann-vs-andersonblelloch calibrates which
+	// 2-respecting scan the large graphs get.
+	crossover := func(family, slow, fast string) int {
 		ms := map[string]map[int]float64{}
 		for _, r := range rows {
 			if r.Family != family {
@@ -676,33 +680,42 @@ func expEngines() {
 			ms[r.Engine][r.N] = r.Millis
 		}
 		best := 0
-		for n, sw := range ms["stoerwagner"] {
-			if ge, ok := ms["geissmann"][n]; ok && sw <= ge && n > best {
+		for n, sl := range ms[slow] {
+			if fa, ok := ms[fast][n]; ok && sl <= fa && n > best {
 				best = n
 			}
 		}
 		return best
 	}
-	sparseX, denseX := crossover("sparse"), crossover("dense")
+	sparseX := crossover("sparse", "stoerwagner", "geissmann")
+	denseX := crossover("dense", "stoerwagner", "geissmann")
+	abSparseX := crossover("sparse", "geissmann", "andersonblelloch")
+	abDenseX := crossover("dense", "geissmann", "andersonblelloch")
 	fmt.Printf("\ncrossover (largest n where stoerwagner wins): sparse %d, dense %d\n", sparseX, denseX)
-	fmt.Printf("shipped auto thresholds: small_n=%d dense_n=%d dense_frac=%g\n",
-		engine.DefaultThresholds.SmallN, engine.DefaultThresholds.DenseN, engine.DefaultThresholds.DenseFrac)
+	fmt.Printf("crossover (largest n where geissmann beats andersonblelloch): sparse %d, dense %d\n", abSparseX, abDenseX)
+	fmt.Printf("shipped auto thresholds: small_n=%d dense_n=%d dense_frac=%g ab_n=%d\n",
+		engine.DefaultThresholds.SmallN, engine.DefaultThresholds.DenseN, engine.DefaultThresholds.DenseFrac,
+		engine.DefaultThresholds.ABN)
 	if *enginesOut == "" {
 		return
 	}
 	blob, err := json.MarshalIndent(struct {
-		Experiment       string  `json:"experiment"`
-		Seed             int64   `json:"seed"`
-		Reps             int     `json:"reps"`
-		NumCPU           int     `json:"num_cpu"`
-		Rows             []row   `json:"rows"`
-		SparseCrossoverN int     `json:"sparse_crossover_n"`
-		DenseCrossoverN  int     `json:"dense_crossover_n"`
-		ShippedSmallN    int     `json:"shipped_small_n"`
-		ShippedDenseN    int     `json:"shipped_dense_n"`
-		ShippedDenseFrac float64 `json:"shipped_dense_frac"`
-	}{"engines", 7, reps, runtime.NumCPU(), rows, sparseX, denseX,
-		engine.DefaultThresholds.SmallN, engine.DefaultThresholds.DenseN, engine.DefaultThresholds.DenseFrac}, "", "  ")
+		Experiment         string  `json:"experiment"`
+		Seed               int64   `json:"seed"`
+		Reps               int     `json:"reps"`
+		NumCPU             int     `json:"num_cpu"`
+		Rows               []row   `json:"rows"`
+		SparseCrossoverN   int     `json:"sparse_crossover_n"`
+		DenseCrossoverN    int     `json:"dense_crossover_n"`
+		ABSparseCrossoverN int     `json:"ab_sparse_crossover_n"`
+		ABDenseCrossoverN  int     `json:"ab_dense_crossover_n"`
+		ShippedSmallN      int     `json:"shipped_small_n"`
+		ShippedDenseN      int     `json:"shipped_dense_n"`
+		ShippedDenseFrac   float64 `json:"shipped_dense_frac"`
+		ShippedABN         int     `json:"shipped_ab_n"`
+	}{"engines", 7, reps, runtime.NumCPU(), rows, sparseX, denseX, abSparseX, abDenseX,
+		engine.DefaultThresholds.SmallN, engine.DefaultThresholds.DenseN, engine.DefaultThresholds.DenseFrac,
+		engine.DefaultThresholds.ABN}, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}

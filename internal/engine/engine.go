@@ -7,10 +7,14 @@
 // HTTP API can accept an "engine" field, and metrics/traces can label
 // work by backend.
 //
-// Three engines are built in:
+// Four engines are built in:
 //
 //   - "geissmann": the paper's parallel solver (core.MinCutContext) —
 //     near-linear work, polylog depth, Monte Carlo, boost-decomposable.
+//   - "andersonblelloch": the same tree packing searched with the
+//     Anderson–Blelloch compact 2-respecting scan (internal/abscan) —
+//     one log factor less work per tree, bit-identical cut values to
+//     geissmann.
 //   - "stoerwagner": the exact deterministic O(n³) baseline — the right
 //     choice for small or dense graphs where polylog machinery loses to
 //     tuned sequential code.
@@ -150,7 +154,7 @@ func Lookup(name string) (Engine, bool) {
 }
 
 // Names lists the registered engines in registration order (the built-ins
-// first: geissmann, stoerwagner, kargerstein).
+// first: geissmann, stoerwagner, kargerstein, andersonblelloch).
 func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()

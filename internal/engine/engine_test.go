@@ -12,10 +12,10 @@ import (
 	"repro/internal/par"
 )
 
-// TestRegistryBuiltins: the three built-in engines register in order, each
+// TestRegistryBuiltins: the four built-in engines register in order, each
 // resolvable by name, with the capability matrix the upper layers gate on.
 func TestRegistryBuiltins(t *testing.T) {
-	want := []string{"geissmann", "stoerwagner", "kargerstein"}
+	want := []string{"geissmann", "stoerwagner", "kargerstein", "andersonblelloch"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -39,6 +39,13 @@ func TestRegistryBuiltins(t *testing.T) {
 	if caps["kargerstein"].Exact || !caps["kargerstein"].Seeded || !caps["kargerstein"].BoostDecomposable || caps["kargerstein"].ParallelPhases {
 		t.Fatalf("kargerstein caps = %+v", caps["kargerstein"])
 	}
+	ab := caps["andersonblelloch"]
+	if ab.Exact || !ab.Seeded || !ab.BoostDecomposable || !ab.ParallelPhases {
+		t.Fatalf("andersonblelloch caps = %+v, want seeded, boostable, parallel-phases, not exact", ab)
+	}
+	if !reflect.DeepEqual(ab.Phases, caps["geissmann"].Phases) {
+		t.Fatalf("andersonblelloch phases = %v, want geissmann's %v (same outer loop)", ab.Phases, caps["geissmann"].Phases)
+	}
 }
 
 func TestResolve(t *testing.T) {
@@ -51,13 +58,14 @@ func TestResolve(t *testing.T) {
 	if _, err := Resolve("edmondskarp", 10, 20); err == nil {
 		t.Fatal("Resolve of an unknown engine succeeded")
 	}
-	// Auto: small goes to the exact baseline, large sparse to the paper
-	// engine, large-and-dense to the baseline again.
+	// Auto: small goes to the exact baseline, large sparse to the
+	// Anderson–Blelloch scan (which beat geissmann on every measured
+	// cell, so ABN ships at 0), large-and-dense to the baseline again.
 	if e, _ := Resolve(Auto, 100, 400); e.Name() != "stoerwagner" {
 		t.Fatalf("auto(100, 400) = %s, want stoerwagner", e.Name())
 	}
-	if e, _ := Resolve(Auto, 4096, 16_384); e.Name() != Default {
-		t.Fatalf("auto(4096, 16384) = %s, want %s", e.Name(), Default)
+	if e, _ := Resolve(Auto, 4096, 16_384); e.Name() != "andersonblelloch" {
+		t.Fatalf("auto(4096, 16384) = %s, want andersonblelloch", e.Name())
 	}
 	if e, _ := Resolve(Auto, 1024, 1024*1024/4); e.Name() != "stoerwagner" {
 		t.Fatalf("auto(1024, dense) = %s, want stoerwagner", e.Name())
@@ -65,23 +73,32 @@ func TestResolve(t *testing.T) {
 }
 
 func TestSelectThresholds(t *testing.T) {
-	tr := Thresholds{SmallN: 512, DenseN: 1024, DenseFrac: 0.125}
+	// A hypothetical calibration with a mid-size geissmann window
+	// (SmallN < n <= ABN), to exercise all four rows of the table.
+	tr := Thresholds{SmallN: 512, DenseN: 1024, DenseFrac: 0.125, ABN: 2048}
 	cases := []struct {
 		n, m int
 		want string
 	}{
 		{2, 1, "stoerwagner"},
 		{512, 2048, "stoerwagner"},        // at SmallN
-		{513, 2052, Default},              // just past SmallN, sparse
+		{513, 2052, Default},              // just past SmallN, sparse, <= ABN
 		{1024, 1024 * 128, "stoerwagner"}, // <= DenseN and m = n²/8
 		{1024, 1024*128 - 1, Default},     // a hair under the density bar
 		{1025, 1025 * 1025, Default},      // past DenseN, density irrelevant
-		{100_000, 400_000, Default},
+		{2048, 8192, Default},             // at ABN
+		{2049, 8196, "andersonblelloch"},  // just past ABN
+		{100_000, 400_000, "andersonblelloch"},
 	}
 	for _, c := range cases {
 		if got := tr.Select(c.n, c.m); got != c.want {
 			t.Errorf("Select(%d, %d) = %s, want %s", c.n, c.m, got, c.want)
 		}
+	}
+	// The shipped calibration has no geissmann window: andersonblelloch
+	// won every measured cell, so ABN is 0.
+	if got := Select(4096, 16_384); got != "andersonblelloch" {
+		t.Errorf("shipped Select(4096, 16384) = %s, want andersonblelloch", got)
 	}
 }
 
@@ -107,13 +124,16 @@ func checkPartition(t *testing.T, g *graph.Graph, name string, res Result) {
 }
 
 // TestCrossEngineEquivalence solves ~50 random connected graphs of varied
-// density with the paper engine and the exact baseline: every value must
-// match, and each engine's partition must re-evaluate to that value. The
-// (much slower) Karger–Stein engine is cross-checked on the smallest
-// graphs. Runs under -race in CI.
+// density with the paper engine, the Anderson–Blelloch engine, and the
+// exact baseline: every value must match — and andersonblelloch must
+// match geissmann bit for bit, since it packs the same trees and both
+// per-tree searches are exact — and each engine's partition must
+// re-evaluate to that value. The (much slower) Karger–Stein engine is
+// cross-checked on the smallest graphs. Runs under -race in CI.
 func TestCrossEngineEquivalence(t *testing.T) {
 	t.Parallel()
 	geis, _ := Lookup("geissmann")
+	ab, _ := Lookup("andersonblelloch")
 	sw, _ := Lookup("stoerwagner")
 	ks, _ := Lookup("kargerstein")
 	ctx := context.Background()
@@ -136,8 +156,21 @@ func TestCrossEngineEquivalence(t *testing.T) {
 		if gres.Value != sres.Value {
 			t.Fatalf("graph %d (n=%d m=%d): geissmann=%d stoerwagner=%d", i, n, m, gres.Value, sres.Value)
 		}
+		ares, err := ab.Solve(ctx, g, opt)
+		if err != nil {
+			t.Fatalf("graph %d (n=%d m=%d): andersonblelloch: %v", i, n, m, err)
+		}
+		if ares.Value != gres.Value {
+			t.Fatalf("graph %d (n=%d m=%d): andersonblelloch=%d geissmann=%d (must be bit-identical)",
+				i, n, m, ares.Value, gres.Value)
+		}
+		if ares.TreesScanned != gres.TreesScanned {
+			t.Fatalf("graph %d: andersonblelloch scanned %d trees, geissmann %d (same packing expected)",
+				i, ares.TreesScanned, gres.TreesScanned)
+		}
 		checkPartition(t, g, "stoerwagner", sres)
 		checkPartition(t, g, "geissmann", gres)
+		checkPartition(t, g, "andersonblelloch", ares)
 		if i%10 == 0 && n <= 48 {
 			kres, err := ks.Solve(ctx, g, opt)
 			if err != nil {

@@ -9,9 +9,12 @@ import (
 )
 
 func init() {
+	// One init registers every built-in so the registration order — which
+	// Names() exposes and tests pin — does not depend on file names.
 	Register(geissmannEngine{})
 	Register(stoerWagnerEngine{})
 	Register(kargerSteinEngine{})
+	Register(andersonBlellochEngine{})
 }
 
 // geissmannEngine is the paper solver (core.MinCutContext) behind the

@@ -81,6 +81,76 @@ func TestParallelScanSteadyStateAllocs(t *testing.T) {
 	_ = sink
 }
 
+// TestMergeSortZeroAllocSequential pins the arena-recycled scratch on
+// the sequential path: a width-1 merge runs straight through seqMerge,
+// and a width-1 sort borrows its ping-pong buffer from the arena, so
+// neither allocates at all.
+func TestMergeSortZeroAllocSequential(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	const n = 1 << 14
+	a := make([]int64, n)
+	b := make([]int64, n)
+	out := make([]int64, 2*n)
+	xs := make([]int64, 2*n)
+	seed := make([]int64, 2*n)
+	for i := range a {
+		a[i] = int64(2 * i)
+		b[i] = int64(2*i + 1)
+	}
+	for i := range seed {
+		seed[i] = int64((i * 2654435761) % (2 * n))
+	}
+	less := func(x, y int64) bool { return x < y }
+	assertZeroAlloc(t, "MergeOn", func() { MergeOn(p, a, b, out, less) })
+	assertZeroAlloc(t, "SortStableOn", func() {
+		copy(xs, seed)
+		SortStableOn(p, xs, less)
+	})
+}
+
+// TestMergeSortSteadyStateAllocs bounds the parallel path: fork frames
+// and the sort buffer recycle through the arena's typed free-lists, so
+// after warm-up a parallel merge or sort allocates (almost) nothing —
+// the only slack allowed is sync.Pool occasionally stranding a frame in
+// another P's private slot. Before frames, merge_1m sat at 31 allocs/op
+// and sort_1m at 182 allocs/op (~8.4 MB/op, dominated by the ping-pong
+// buffer).
+func TestMergeSortSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; steady-state bounds hold only in normal builds")
+	}
+	p := NewPool(4)
+	defer p.Close()
+	const n = 1 << 15
+	a := make([]int64, n)
+	b := make([]int64, n)
+	out := make([]int64, 2*n)
+	xs := make([]int64, 2*n)
+	seed := make([]int64, 2*n)
+	for i := range a {
+		a[i] = int64(2 * i)
+		b[i] = int64(2*i + 1)
+	}
+	for i := range seed {
+		seed[i] = int64((i * 2654435761) % (2 * n))
+	}
+	less := func(x, y int64) bool { return x < y }
+	mrun := func() { MergeOn(p, a, b, out, less) }
+	srun := func() {
+		copy(xs, seed)
+		SortStableOn(p, xs, less)
+	}
+	mrun()
+	srun()
+	if avg := testing.AllocsPerRun(20, mrun); avg > 2 {
+		t.Errorf("parallel MergeOn: %.1f allocs/op, want <= 2 (was 31 before frames)", avg)
+	}
+	if avg := testing.AllocsPerRun(20, srun); avg > 4 {
+		t.Errorf("parallel SortStableOn: %.1f allocs/op, want <= 4 (was 182 before frames)", avg)
+	}
+}
+
 func TestArenaCountsHitsAndMisses(t *testing.T) {
 	p := NewPool(1)
 	defer p.Close()

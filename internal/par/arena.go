@@ -1,6 +1,7 @@
 package par
 
 import (
+	"reflect"
 	"sync"
 	"sync/atomic"
 )
@@ -31,6 +32,50 @@ type Arena struct {
 	bools  sync.Pool // *[]bool
 	au64s  sync.Pool // *[]atomic.Uint64
 	ai64s  sync.Pool // *[]atomic.Int64
+
+	// typed holds free-lists created on demand for arbitrary element
+	// types (key: reflect.Type, value: *sync.Pool). The named pools
+	// above cover the scalar types the solver loops churn through;
+	// Slice/PutSlice extend the same discipline to any T — recursion
+	// frames, candidate records, algorithm-specific structs — without
+	// growing this struct per type.
+	typed sync.Map
+}
+
+// poolFor returns the free-list stored under key, creating it on first
+// use. Keys are reflect.Types of pointer types, so looking one up never
+// boxes a value onto the heap.
+func poolFor(a *Arena, key any) *sync.Pool {
+	if v, ok := a.typed.Load(key); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := a.typed.LoadOrStore(key, new(sync.Pool))
+	return v.(*sync.Pool)
+}
+
+// typedPool is the free-list of *[]T buffers, keyed by the *T type.
+func typedPool[T any](a *Arena) *sync.Pool {
+	return poolFor(a, reflect.TypeOf((*T)(nil)))
+}
+
+// framePool is the free-list of *F fork frames, keyed by the **F type
+// so it can never collide with the *[]F list typedPool keys by *F.
+func framePool[F any](a *Arena) *sync.Pool {
+	return poolFor(a, reflect.TypeOf((**F)(nil)))
+}
+
+// Slice borrows a []T of length n (contents unspecified) from the
+// arena's free-list for T. It is the generic face of the typed getters
+// — same contract, same hit/miss accounting in Pool.Stats — and, like
+// Merge/SortStable, a package function because Go does not allow
+// generic methods.
+func Slice[T any](a *Arena, n int) *[]T {
+	return arenaGet[T](a, typedPool[T](a), n)
+}
+
+// PutSlice returns a slice borrowed with Slice.
+func PutSlice[T any](a *Arena, sp *[]T) {
+	typedPool[T](a).Put(sp)
 }
 
 // arenaGet reslices a recycled buffer to length n, or allocates one with

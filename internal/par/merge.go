@@ -9,6 +9,8 @@ import "sort"
 // (Cole-style merging, the primitive the paper cites for its O(log) depth
 // merge [7]); the recursion is lane-aware, so whichever lane executes a
 // branch — owner or thief — pushes its sub-branches onto its own deque.
+// Forked branches are described by recycled frames rather than fresh
+// closures, so steady-state merges allocate nothing.
 // Merge/SortStable are package functions rather than Pool methods because
 // Go does not allow generic methods.
 func MergeOn[T any](p *Pool, a, b, out []T, less func(x, y T) bool) {
@@ -16,7 +18,7 @@ func MergeOn[T any](p *Pool, a, b, out []T, less func(x, y T) bool) {
 		panic("par: Merge output length mismatch")
 	}
 	p = p.get()
-	mergeRec(p, nil, a, b, out, less, p.tun().Merge)
+	mergeRec(p, nil, a, b, out, less, p.tun().Merge, false)
 }
 
 // Merge merges on the default pool.
@@ -24,58 +26,91 @@ func Merge[T any](a, b, out []T, less func(x, y T) bool) {
 	MergeOn(nil, a, b, out, less)
 }
 
-func mergeRec[T any](p *Pool, l *lane, a, b, out []T, less func(x, y T) bool, cutoff int) {
-	if len(a) < len(b) {
-		// Keep a as the larger side so the split point is well-defined,
-		// flipping the tie-breaking so stability (a before b) is preserved.
-		mergeRecFlipped(p, l, b, a, out, less, cutoff)
-		return
-	}
-	if len(b) == 0 {
-		copy(out, a)
-		return
-	}
-	if p.lanes == nil || len(a)+len(b) <= cutoff {
-		seqMerge(a, b, out, less)
-		return
-	}
-	i := len(a) / 2
-	// First j with b[j] >= a[i], so that b elements tied with a[i] land to
-	// its right, keeping a-before-b stability.
-	j := sort.Search(len(b), func(j int) bool { return !less(b[j], a[i]) })
-	out[i+j] = a[i]
-	p.do2Lane(l,
-		func(l *lane) { mergeRec(p, l, a[:i], b[:j], out[:i+j], less, cutoff) },
-		func(l *lane) { mergeRec(p, l, a[i+1:], b[j:], out[i+j+1:], less, cutoff) },
-	)
+// mergeFrame carries the arguments of a forked mergeRec branch plus a
+// run closure pre-bound to the frame. The closure is built once per
+// frame lifetime and the frame recycles through the arena's typed
+// free-lists, so forking costs no allocation after warm-up (the former
+// closure-per-fork scheme cost ~31 allocs/op on a 1M-element merge).
+type mergeFrame[T any] struct {
+	p         *Pool
+	a, b, out []T
+	less      func(x, y T) bool
+	cutoff    int
+	flip      bool
+	run       func(*lane)
 }
 
-// mergeRecFlipped merges with a as the physically larger slice but with b
-// logically first for tie-breaking (elements of b win ties).
-func mergeRecFlipped[T any](p *Pool, l *lane, a, b, out []T, less func(x, y T) bool, cutoff int) {
+func newMergeFrame[T any](p *Pool, a, b, out []T, less func(x, y T) bool, cutoff int, flip bool) *mergeFrame[T] {
+	var fr *mergeFrame[T]
+	if v := framePool[mergeFrame[T]](&p.arena).Get(); v != nil {
+		fr = v.(*mergeFrame[T])
+	} else {
+		fr = new(mergeFrame[T])
+		fr.run = fr.exec
+	}
+	fr.p, fr.a, fr.b, fr.out, fr.less, fr.cutoff, fr.flip = p, a, b, out, less, cutoff, flip
+	return fr
+}
+
+func (fr *mergeFrame[T]) exec(l *lane) {
+	mergeRec(fr.p, l, fr.a, fr.b, fr.out, fr.less, fr.cutoff, fr.flip)
+}
+
+// release returns the frame to its free-list. Only safe once the forked
+// branch has been joined: the join's pending count drops after exec
+// returns, so a caller past p.wait holds the only reference.
+func (fr *mergeFrame[T]) release() {
+	a := &fr.p.arena
+	fr.p, fr.a, fr.b, fr.out, fr.less = nil, nil, nil, nil, nil
+	framePool[mergeFrame[T]](a).Put(fr)
+}
+
+// mergeRec merges a and b into out. With flip false, elements of a win
+// ties (a is logically first); with flip true, elements of b win. One
+// function with a flip bit — rather than the former mergeRec /
+// mergeRecFlipped pair — lets the forked branch be a recycled frame.
+func mergeRec[T any](p *Pool, l *lane, a, b, out []T, less func(x, y T) bool, cutoff int, flip bool) {
 	if len(a) < len(b) {
-		// Re-balance: mergeRec(b, a) keeps b's elements first on ties,
-		// which is exactly this function's contract.
-		mergeRec(p, l, b, a, out, less, cutoff)
-		return
+		// Keep a as the physically larger side so the split point is
+		// well-defined; swapping sides flips the tie-break.
+		a, b = b, a
+		flip = !flip
 	}
 	if len(b) == 0 {
 		copy(out, a)
 		return
 	}
 	if p.lanes == nil || len(a)+len(b) <= cutoff {
-		seqMerge(b, a, out, less)
+		if flip {
+			seqMerge(b, a, out, less)
+		} else {
+			seqMerge(a, b, out, less)
+		}
 		return
 	}
 	i := len(a) / 2
-	// First j with a[i] < b[j], so that b elements tied with a[i] land to
-	// its left (b is logically first here).
-	j := sort.Search(len(b), func(j int) bool { return less(a[i], b[j]) })
+	var j int
+	if flip {
+		// First j with a[i] < b[j]: b elements tied with a[i] land to its
+		// left (b is logically first here).
+		j = sort.Search(len(b), func(j int) bool { return less(a[i], b[j]) })
+	} else {
+		// First j with b[j] >= a[i]: b elements tied with a[i] land to its
+		// right, keeping a-before-b stability.
+		j = sort.Search(len(b), func(j int) bool { return !less(b[j], a[i]) })
+	}
 	out[i+j] = a[i]
-	p.do2Lane(l,
-		func(l *lane) { mergeRecFlipped(p, l, a[:i], b[:j], out[:i+j], less, cutoff) },
-		func(l *lane) { mergeRecFlipped(p, l, a[i+1:], b[j:], out[i+j+1:], less, cutoff) },
-	)
+	fr := newMergeFrame(p, a[i+1:], b[j:], out[i+j+1:], less, cutoff, flip)
+	jn := p.getJoin()
+	if p.fork(l, jn, task{lf: fr.run}) {
+		mergeRec(p, l, a[:i], b[:j], out[:i+j], less, cutoff, flip)
+		p.wait(l, jn)
+	} else {
+		mergeRec(p, l, a[:i], b[:j], out[:i+j], less, cutoff, flip)
+		fr.exec(l)
+	}
+	p.putJoin(jn)
+	fr.release()
 }
 
 func seqMerge[T any](a, b, out []T, less func(x, y T) bool) {
@@ -97,7 +132,8 @@ func seqMerge[T any](a, b, out []T, less func(x, y T) bool) {
 // SortStableOn sorts xs in place, stably, on the pool p, using parallel
 // merge sort with sequential sorted runs at the leaves. It is the parallel
 // sorting primitive of Lemma 12 / §3.1.1 (stable sort by vertex, sort by
-// time).
+// time). The ping-pong buffer is borrowed from the pool's arena, so
+// steady-state sorts do not pay an O(n) allocation per call.
 func SortStableOn[T any](p *Pool, xs []T, less func(x, y T) bool) {
 	p = p.get()
 	n := len(xs)
@@ -105,17 +141,53 @@ func SortStableOn[T any](p *Pool, xs []T, less func(x, y T) bool) {
 		return
 	}
 	t := p.tun()
-	buf := make([]T, n)
+	bufp := Slice[T](&p.arena, n)
 	if p.lanes == nil || n <= t.Sort {
-		seqSortStable(xs, buf, less)
-		return
+		seqSortStable(xs, *bufp, less)
+	} else {
+		sortInto(p, nil, xs, *bufp, less, true, t.Sort, t.Merge)
 	}
-	sortInto(p, nil, xs, buf, less, true, t.Sort, t.Merge)
+	PutSlice(&p.arena, bufp)
 }
 
 // SortStable sorts on the default pool.
 func SortStable[T any](xs []T, less func(x, y T) bool) {
 	SortStableOn(nil, xs, less)
+}
+
+// sortFrame is the recycled fork descriptor for sortInto's right
+// branch; see mergeFrame.
+type sortFrame[T any] struct {
+	p        *Pool
+	src, dst []T
+	less     func(x, y T) bool
+	inSrc    bool
+	sortCut  int
+	mergeCut int
+	run      func(*lane)
+}
+
+func newSortFrame[T any](p *Pool, src, dst []T, less func(x, y T) bool, inSrc bool, sortCut, mergeCut int) *sortFrame[T] {
+	var fr *sortFrame[T]
+	if v := framePool[sortFrame[T]](&p.arena).Get(); v != nil {
+		fr = v.(*sortFrame[T])
+	} else {
+		fr = new(sortFrame[T])
+		fr.run = fr.exec
+	}
+	fr.p, fr.src, fr.dst, fr.less = p, src, dst, less
+	fr.inSrc, fr.sortCut, fr.mergeCut = inSrc, sortCut, mergeCut
+	return fr
+}
+
+func (fr *sortFrame[T]) exec(l *lane) {
+	sortInto(fr.p, l, fr.src, fr.dst, fr.less, fr.inSrc, fr.sortCut, fr.mergeCut)
+}
+
+func (fr *sortFrame[T]) release() {
+	a := &fr.p.arena
+	fr.p, fr.src, fr.dst, fr.less = nil, nil, nil, nil
+	framePool[sortFrame[T]](a).Put(fr)
 }
 
 // sortInto sorts src; if inSrc is true the result ends in src, else in dst.
@@ -129,14 +201,26 @@ func sortInto[T any](p *Pool, l *lane, src, dst []T, less func(x, y T) bool, inS
 		return
 	}
 	mid := n / 2
-	p.do2Lane(l,
-		func(l *lane) { sortInto(p, l, src[:mid], dst[:mid], less, !inSrc, sortCut, mergeCut) },
-		func(l *lane) { sortInto(p, l, src[mid:], dst[mid:], less, !inSrc, sortCut, mergeCut) },
-	)
-	if inSrc {
-		mergeRec(p, l, dst[:mid], dst[mid:], src, less, mergeCut)
+	if p.lanes == nil || p.closed.Load() {
+		sortInto(p, l, src[:mid], dst[:mid], less, !inSrc, sortCut, mergeCut)
+		sortInto(p, l, src[mid:], dst[mid:], less, !inSrc, sortCut, mergeCut)
 	} else {
-		mergeRec(p, l, src[:mid], src[mid:], dst, less, mergeCut)
+		fr := newSortFrame(p, src[mid:], dst[mid:], less, !inSrc, sortCut, mergeCut)
+		jn := p.getJoin()
+		if p.fork(l, jn, task{lf: fr.run}) {
+			sortInto(p, l, src[:mid], dst[:mid], less, !inSrc, sortCut, mergeCut)
+			p.wait(l, jn)
+		} else {
+			sortInto(p, l, src[:mid], dst[:mid], less, !inSrc, sortCut, mergeCut)
+			fr.exec(l)
+		}
+		p.putJoin(jn)
+		fr.release()
+	}
+	if inSrc {
+		mergeRec(p, l, dst[:mid], dst[mid:], src, less, mergeCut, false)
+	} else {
+		mergeRec(p, l, src[:mid], src[mid:], dst, less, mergeCut, false)
 	}
 }
 

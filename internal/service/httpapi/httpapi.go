@@ -420,8 +420,9 @@ type mincutRequest struct {
 	WantPartition  bool  `json:"want_partition"`
 	Boost          int   `json:"boost"`
 	ParallelPhases bool  `json:"parallel_phases"`
-	// Engine picks the solver backend: "geissmann", "stoerwagner",
-	// "kargerstein", or "auto" (the default), which selects by graph size.
+	// Engine picks the solver backend: "geissmann", "andersonblelloch",
+	// "stoerwagner", "kargerstein", or "auto" (the default), which selects
+	// by graph size.
 	// "auto" resolves to a concrete engine before the job is keyed, so an
 	// auto-selected solve and an explicit request for the same engine share
 	// one result-cache entry; the chosen engine is reported on the job.

@@ -9,7 +9,7 @@ import (
 
 // TestEnginesList: the public surface reports the built-in engines.
 func TestEnginesList(t *testing.T) {
-	want := []string{"geissmann", "stoerwagner", "kargerstein"}
+	want := []string{"geissmann", "stoerwagner", "kargerstein", "andersonblelloch"}
 	if got := Engines(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Engines() = %v, want %v", got, want)
 	}
@@ -24,7 +24,7 @@ func TestEngineOptionThreadsThrough(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"stoerwagner", "kargerstein", "auto"} {
+	for _, name := range []string{"andersonblelloch", "stoerwagner", "kargerstein", "auto"} {
 		res, err := MinCut(g, Options{Seed: 1, WantPartition: true, Engine: name, Boost: 3})
 		if err != nil {
 			t.Fatalf("engine %q: %v", name, err)
@@ -73,6 +73,31 @@ func TestCancelParkedInContractStoerWagner(t *testing.T) {
 	// must stop the loop long before its n-1 phases finish.
 	if s.TreesScanned >= s.TreesTotal {
 		t.Fatalf("contraction ran to completion (%d/%d) despite cancellation", s.TreesScanned, s.TreesTotal)
+	}
+}
+
+// TestCancelParkedInScanAndersonBlelloch parks the Anderson–Blelloch
+// engine at its new phase seam — a completed heavy-path sweep inside a
+// tree scan (reported through the bough-phase counters) — cancels, and
+// requires a prompt unwind: the seam check between heavy paths must stop
+// the remaining paths and trees.
+func TestCancelParkedInScanAndersonBlelloch(t *testing.T) {
+	g := RandomGraph(200, 800, 50, 7)
+	err, s := parkAt(t, g, Options{Seed: 1, Parallelism: 1, Engine: "andersonblelloch"},
+		func(ps ProgressSnapshot) bool { return ps.Phase == "scan" && ps.BoughPhasesDone >= 1 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Phase != "scan" {
+		t.Fatalf("final phase = %q, want scan", s.Phase)
+	}
+	// Parked after one heavy path; at most the in-flight path may finish
+	// before the per-path ctx check fires.
+	if s.BoughPhasesDone > 2 {
+		t.Fatalf("BoughPhasesDone = %d, want <= 2 (prompt unwind)", s.BoughPhasesDone)
+	}
+	if s.TreesScanned >= s.TreesTotal {
+		t.Fatalf("all %d trees scanned despite mid-scan cancellation", s.TreesTotal)
 	}
 }
 

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # engines_smoke.sh — end-to-end check of the pluggable engine seam. It
 # boots the real daemon, uploads one graph, solves it over HTTP with every
-# engine value (geissmann, stoerwagner, kargerstein, auto), and asserts
-# that
+# engine value (geissmann, andersonblelloch, stoerwagner, kargerstein,
+# auto), and asserts that
 #
-#   * all four solves return the same cut value,
+#   * all five solves return the same cut value,
 #   * each job reports its concrete engine ("auto" reports what it
 #     picked, and on this graph size it must pick stoerwagner),
 #   * the job's trace run span carries the engine attribute,
@@ -70,7 +70,7 @@ ID=$(graph | curl -fsS -X POST --data-binary @- "${BASE}/v1/graphs" | json_field
 [[ "$ID" == sha256:* ]] || fail "bad upload id: ${ID}"
 
 declare -A VALUE ENGINE JOB
-for eng in geissmann stoerwagner kargerstein auto; do
+for eng in geissmann andersonblelloch stoerwagner kargerstein auto; do
   echo "== solving with engine=${eng}"
   RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' \
     -d "{\"seed\": 7, \"engine\": \"${eng}\"}" "${BASE}/v1/graphs/${ID}/mincut")
@@ -82,13 +82,13 @@ for eng in geissmann stoerwagner kargerstein auto; do
 done
 
 echo "== diffing cut values across engines"
-for eng in stoerwagner kargerstein auto; do
+for eng in andersonblelloch stoerwagner kargerstein auto; do
   [[ "${VALUE[$eng]}" == "${VALUE[geissmann]}" ]] ||
     fail "engine ${eng} found ${VALUE[$eng]}, geissmann found ${VALUE[geissmann]}"
 done
 
 echo "== checking reported engines"
-for eng in geissmann stoerwagner kargerstein; do
+for eng in geissmann andersonblelloch stoerwagner kargerstein; do
   [[ "${ENGINE[$eng]}" == "${eng}" ]] || fail "engine ${eng} reported as ${ENGINE[$eng]}"
 done
 [[ "${ENGINE[auto]}" == "stoerwagner" ]] ||
@@ -107,15 +107,22 @@ TRACE=$(curl -fsS "${BASE}/v1/traces/${JOB[stoerwagner]}")
 echo "${TRACE}" | grep -q '"key":"engine","value":"stoerwagner"' ||
   fail "trace lacks the engine attribute: ${TRACE}"
 echo "${TRACE}" | grep -q '"name":"contract"' || fail "stoerwagner trace lacks a contract span"
+TRACE_AB=$(curl -fsS "${BASE}/v1/traces/${JOB[andersonblelloch]}")
+echo "${TRACE_AB}" | grep -q '"name":"path-decompose"' ||
+  fail "andersonblelloch trace lacks a path-decompose span"
+echo "${TRACE_AB}" | grep -q '"name":"path-scan"' ||
+  fail "andersonblelloch trace lacks a path-scan span"
 
 echo "== checking the engine-labeled metric families"
 METRICS=$(curl -fsS "${BASE}/metrics")
 for want in \
   'mincutd_jobs_completed_total{class="interactive",engine="geissmann"} 1' \
+  'mincutd_jobs_completed_total{class="interactive",engine="andersonblelloch"} 1' \
   'mincutd_jobs_completed_total{class="interactive",engine="stoerwagner"} 1' \
   'mincutd_jobs_completed_total{class="interactive",engine="kargerstein"} 1' \
   'mincutd_solve_duration_seconds_count{class="interactive",phase="contract",engine="stoerwagner"}' \
-  'mincutd_solve_duration_seconds_count{class="interactive",phase="scan",engine="geissmann"}'; do
+  'mincutd_solve_duration_seconds_count{class="interactive",phase="scan",engine="geissmann"}' \
+  'mincutd_solve_duration_seconds_count{class="interactive",phase="scan",engine="andersonblelloch"}'; do
   echo "${METRICS}" | grep -qF "${want}" || fail "/metrics lacks ${want}"
 done
 
